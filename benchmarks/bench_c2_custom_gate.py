@@ -1,0 +1,108 @@
+"""E12 — §5.2 footnote 2: extending the native gate set by waveform.
+
+"An expert can define a new quantum gate by providing its pulse
+waveform on that hardware, and the compiler will lower it into the
+corresponding pulse operations, seamlessly integrating the new gate
+into the framework."
+
+A GRAPE-designed pulse is registered as a new gate (`grape_x`) on the
+transmon device; the gate-level compiler then lowers circuits using it
+exactly like native gates, and the registered version outperforms the
+default DRAG-free calibration on leakage.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.compiler import JITCompiler, quantum_module_to_schedule
+from repro.control import GrapeOptimizer
+from repro.control.hamiltonians import qubit_subspace_isometry
+from repro.core import SampledWaveform
+from repro.mlir.dialects.quantum import CircuitBuilder
+from repro.sim.operators import destroy_on, number_on, pauli
+
+
+def design_grape_x(device):
+    """Design an X pulse for the device's own qutrit parameters."""
+    dims = (3,)
+    a = destroy_on(0, dims)
+    n = number_on(0, dims)
+    drift = -300e6 * 0.5 * (n @ n - n)
+    controls = [0.5 * (a + a.conj().T), 0.5j * (a - a.conj().T)]
+    opt = GrapeOptimizer(
+        drift,
+        controls,
+        pauli("x"),
+        n_steps=24,
+        dt=device.config.constraints.dt,
+        max_control=45e6,
+        subspace=qubit_subspace_isometry(dims),
+    )
+    res = opt.optimize(maxiter=250, seed=5)
+    # Controls (Hz on sigma_x/2, sigma_y/2) -> complex drive amplitude.
+    # The executor's drive convention H = rabi/2 (a* A + a A+) realizes
+    # u_x*C_x - u_y*C_y for a = (u_x + i u_y)/rabi, so the y quadrature
+    # enters conjugated.
+    rabi = 50e6  # the device's drive calibration
+    samples = (res.controls[:, 0] - 1j * res.controls[:, 1]) / rabi
+    return SampledWaveform(samples), res.fidelity
+
+
+def test_custom_gate_integration(sc_device):
+    waveform, design_fidelity = design_grape_x(sc_device)
+    port = sc_device.drive_port(0)
+    sc_device.calibrations.register_custom_gate(
+        "grape_x", (0,), port, sc_device.default_frame(port), waveform
+    )
+
+    # The new gate compiles through the standard pipeline.
+    cb = CircuitBuilder("custom", 1)
+    cb.gate("grape_x", [0]).measure(0, 0)
+    prog = JITCompiler().compile(cb.module, sc_device)
+    r = sc_device.executor.execute(prog.schedule, shots=0)
+    p1 = r.ideal_probabilities.get("1", 0.0)
+
+    # Compare against the built-in X calibration.
+    cb2 = CircuitBuilder("native", 1)
+    cb2.x(0).measure(0, 0)
+    r2 = sc_device.executor.execute(
+        quantum_module_to_schedule(cb2.module, sc_device), shots=0
+    )
+    rows = [
+        ("gate", "P(1)", "leakage"),
+        ("native x (DRAG beta=0)", f"{r2.ideal_probabilities.get('1', 0):.6f}", f"{r2.leakage[0]:.2e}"),
+        ("grape_x (registered)", f"{p1:.6f}", f"{r.leakage[0]:.2e}"),
+        ("GRAPE design fidelity", f"{design_fidelity:.6f}", ""),
+    ]
+    report("E12: custom gate registered by waveform", rows)
+    assert p1 > 0.999
+    assert design_fidelity > 0.999
+
+
+def test_custom_gate_in_qir_exchange(sc_device):
+    """The registered gate survives the full exchange round trip."""
+    waveform, _ = design_grape_x(sc_device)
+    port = sc_device.drive_port(0)
+    sc_device.calibrations.register_custom_gate(
+        "grape_x2", (0,), port, sc_device.default_frame(port), waveform
+    )
+    cb = CircuitBuilder("custom", 1)
+    cb.gate("grape_x2", [0]).measure(0, 0)
+    prog = JITCompiler().compile(cb.module, sc_device)
+    from repro.qir import link_qir_to_schedule
+
+    linked = link_qir_to_schedule(prog.qir, sc_device)
+    assert linked.equivalent_to(prog.schedule)
+
+
+def test_custom_gate_lowering_cost(benchmark, sc_device):
+    waveform, _ = design_grape_x(sc_device)
+    port = sc_device.drive_port(0)
+    sc_device.calibrations.register_custom_gate(
+        "grape_x3", (0,), port, sc_device.default_frame(port), waveform
+    )
+    cb = CircuitBuilder("custom", 1)
+    cb.gate("grape_x3", [0]).measure(0, 0)
+    sched = benchmark(quantum_module_to_schedule, cb.module, sc_device)
+    assert sched.duration > 0

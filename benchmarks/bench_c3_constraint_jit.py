@@ -1,0 +1,124 @@
+"""E7 — Claim C3 (§5.3): hardware-informed JIT compilation.
+
+The compiler queries each target's pulse constraints over QDMI and
+legalizes the program to them. The same source therefore compiles to
+*different* binaries per platform (grid alignment, envelope sampling),
+and programs that cannot be legalized are rejected before submission.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.compiler import JITCompiler
+from repro.core import Play, PulseSchedule, SampledWaveform, gaussian_waveform
+from repro.mlir.dialects.quantum import CircuitBuilder
+
+
+def source():
+    cb = CircuitBuilder("src", 2)
+    cb.x(0).cz(0, 1).sx(1).measure(0, 0).measure(1, 1)
+    return cb.module
+
+
+def test_same_source_different_binaries(all_devices):
+    jit = JITCompiler()
+    rows = [("device", "granularity", "dt (ns)", "samples", "seconds", "QIR bytes")]
+    seconds = {}
+    for dev in all_devices:
+        prog = jit.compile(source(), dev)
+        dt = dev.config.constraints.dt
+        seconds[dev.name] = prog.duration_samples * dt
+        rows.append(
+            (
+                dev.name,
+                prog.metadata["granularity"],
+                dt * 1e9,
+                prog.duration_samples,
+                f"{prog.duration_samples * dt:.2e}",
+                len(prog.qir),
+            )
+        )
+        dev.config.constraints.validate_schedule(prog.schedule)
+    report("E7: one source, three legalized binaries", rows)
+    assert seconds["sc-transmon"] < seconds["atom-array"] < seconds["ion-chain"]
+
+
+def test_granularity_legalization_pads(sc_device):
+    """A 13-sample pulse lands on the transmon's 8-sample grid."""
+    jit = JITCompiler()
+    s = PulseSchedule("odd")
+    p = sc_device.drive_port(0)
+    s.append(Play(p, sc_device.default_frame(p), SampledWaveform(np.full(13, 0.4))))
+    prog = jit.compile(s, sc_device)
+    plays = prog.schedule.instructions_of(Play)
+    report(
+        "E7: granularity legalization",
+        [("requested samples", 13), ("legalized samples", plays[0].instruction.duration)],
+    )
+    assert plays[0].instruction.duration == 16
+
+
+def test_envelope_sampling_on_restricted_device(all_devices):
+    """A 'sech' pulse is native nowhere: devices that accept raw samples
+    get it sampled; the parametric-only ion device rejects it."""
+    from repro.core import ParametricWaveform
+
+    jit = JITCompiler()
+    rows = [("device", "outcome")]
+    outcomes = {}
+    for dev in all_devices:
+        g = dev.config.constraints.granularity
+        s = PulseSchedule("sech")
+        p = dev.drive_port(0)
+        wf = ParametricWaveform("sech", 8 * g, {"amp": 0.3, "sigma": float(g)})
+        s.append(Play(p, dev.default_frame(p), wf))
+        try:
+            prog = jit.compile(s, dev)
+            kind = (
+                "sampled"
+                if "samples" in prog.pulse_module.ops_of("pulse.waveform")[0].attributes
+                else "parametric"
+            )
+            outcomes[dev.name] = kind
+        except Exception:
+            outcomes[dev.name] = "rejected"
+        rows.append((dev.name, outcomes[dev.name]))
+    report("E7: unsupported envelope handling", rows)
+    assert outcomes["sc-transmon"] == "sampled"
+    assert outcomes["atom-array"] == "sampled"
+    assert outcomes["ion-chain"] == "rejected"
+
+
+def test_amplitude_violation_rejected_pre_submission(all_devices):
+    jit = JITCompiler()
+    for dev in all_devices:
+        g = dev.config.constraints.granularity
+        s = PulseSchedule("hot")
+        p = dev.drive_port(0)
+        s.append(
+            Play(p, dev.default_frame(p), SampledWaveform(np.full(4 * g, 1.7)))
+        )
+        with pytest.raises(Exception):
+            jit.compile(s, dev)
+
+
+def test_jit_compile_latency(benchmark, sc_device):
+    jit = JITCompiler()
+    module = source()
+
+    def compile_cold():
+        jit.clear_cache()
+        return jit.compile(module, sc_device)
+
+    prog = benchmark(compile_cold)
+    assert prog.duration_samples > 0
+
+
+def test_jit_cache_latency(benchmark, sc_device):
+    jit = JITCompiler()
+    module = source()
+    jit.compile(module, sc_device)
+
+    prog = benchmark(jit.compile, module, sc_device)
+    assert prog.cache_hit

@@ -1,0 +1,94 @@
+"""E8 — Claim C4 (§5.4): QIR with the Pulse Profile as exchange format.
+
+Round-trips compiled programs through emission, parsing, profile
+validation and device-side linking on every platform; reports payload
+sizes (parametric vs sampled pulse encodings) and the per-stage costs.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.compiler import JITCompiler
+from repro.core import Play, PulseSchedule, SampledWaveform, gaussian_waveform
+from repro.mlir.dialects.quantum import CircuitBuilder
+from repro.qir import link_qir_to_schedule, parse_qir, schedule_to_qir, validate_profile
+
+
+def source():
+    cb = CircuitBuilder("src", 2)
+    cb.x(0).cz(0, 1).measure(0, 0).measure(1, 1)
+    return cb.module
+
+
+def test_roundtrip_on_every_platform(all_devices):
+    jit = JITCompiler()
+    rows = [("device", "QIR bytes", "pulse calls", "valid", "roundtrip")]
+    for dev in all_devices:
+        prog = jit.compile(source(), dev)
+        module = parse_qir(prog.qir)
+        rep = validate_profile(module)
+        linked = link_qir_to_schedule(module, dev)
+        ok = linked.equivalent_to(prog.schedule)
+        rows.append(
+            (dev.name, len(prog.qir), rep.num_pulse_calls, rep.valid, ok)
+        )
+        assert rep.valid and ok
+    report("E8: QIR pulse-profile roundtrip per platform", rows)
+
+
+def test_payload_size_parametric_vs_sampled(sc_device):
+    """The compiler's reason to keep pulses parametric: payload size."""
+    rows = [("encoding", "waveform samples", "QIR bytes")]
+    p = sc_device.drive_port(0)
+    f = sc_device.default_frame(p)
+    for n in (64, 256, 1024):
+        para = PulseSchedule("p")
+        para.append(Play(p, f, gaussian_waveform(n, 0.3, n / 8)))
+        samp = PulseSchedule("s")
+        samp.append(
+            Play(p, f, SampledWaveform(gaussian_waveform(n, 0.3, n / 8).samples()))
+        )
+        rows.append((f"parametric ({n})", n, len(schedule_to_qir(para))))
+        rows.append((f"sampled    ({n})", n, len(schedule_to_qir(samp))))
+    report("E8: exchange payload size", rows)
+    # Parametric encoding is duration-independent; sampled grows ~linearly.
+    para_small = len(schedule_to_qir(_para(sc_device, 64)))
+    para_big = len(schedule_to_qir(_para(sc_device, 1024)))
+    samp_small = len(schedule_to_qir(_samp(sc_device, 64)))
+    samp_big = len(schedule_to_qir(_samp(sc_device, 1024)))
+    assert para_big < 1.2 * para_small
+    assert samp_big > 5 * samp_small
+
+
+def _para(dev, n):
+    s = PulseSchedule("p")
+    p = dev.drive_port(0)
+    s.append(Play(p, dev.default_frame(p), gaussian_waveform(n, 0.3, n / 8)))
+    return s
+
+
+def _samp(dev, n):
+    s = PulseSchedule("s")
+    p = dev.drive_port(0)
+    s.append(
+        Play(p, dev.default_frame(p), SampledWaveform(gaussian_waveform(n, 0.3, n / 8).samples()))
+    )
+    return s
+
+
+def test_emit_latency(benchmark, sc_device):
+    prog = JITCompiler().compile(source(), sc_device)
+    text = benchmark(schedule_to_qir, prog.schedule)
+    assert text
+
+
+def test_parse_latency(benchmark, sc_device):
+    prog = JITCompiler().compile(source(), sc_device)
+    module = benchmark(parse_qir, prog.qir)
+    assert module.entry_name
+
+
+def test_link_latency(benchmark, sc_device):
+    prog = JITCompiler().compile(source(), sc_device)
+    sched = benchmark(link_qir_to_schedule, prog.qir, sc_device)
+    assert sched.duration == prog.duration_samples

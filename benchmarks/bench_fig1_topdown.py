@@ -1,0 +1,76 @@
+"""E2 — Fig. 1: the top-down flow from algorithm to waveforms.
+
+Walks one VQE-ansatz iteration down the whole ladder — algorithm
+(parameterized ansatz) -> gate circuit -> pulse schedule -> sampled
+waveforms on hardware ports — reporting the artifact sizes at every
+level, and times each lowering stage.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.compiler import quantum_module_to_schedule, schedule_to_pulse_module
+from repro.core import Play
+from repro.mlir.dialects.quantum import CircuitBuilder
+from repro.qir import schedule_to_qir
+
+
+def ansatz_module(params):
+    cb = CircuitBuilder("vqe-ansatz", 2)
+    idx = 0
+    for _ in range(2):
+        for q in (0, 1):
+            cb.rz(q, params[idx]).sx(q).rz(q, params[idx + 1]).sx(q).rz(
+                q, params[idx + 2]
+            )
+            idx += 3
+        cb.cz(0, 1)
+    cb.measure(0, 0).measure(1, 1)
+    return cb.module
+
+
+def test_topdown_ladder(sc_device):
+    params = np.linspace(0.1, 1.2, 12)
+    module = ansatz_module(params)
+    n_gates = sum(
+        1 for op in module.walk() if op.dialect == "quantum" and op.opname != "circuit"
+    )
+    schedule = quantum_module_to_schedule(module, sc_device)
+    pulse_module = schedule_to_pulse_module(schedule)
+    n_pulse_ops = sum(1 for op in pulse_module.walk() if op.dialect == "pulse")
+    plays = schedule.instructions_of(Play)
+    total_samples = sum(it.instruction.waveform.duration for it in plays)
+    qir = schedule_to_qir(schedule)
+
+    rows = [
+        ("level", "artifact", "size"),
+        ("algorithm", "ansatz parameters", len(params)),
+        ("circuit", "gate ops", n_gates),
+        ("pulse IR", "pulse ops", n_pulse_ops),
+        ("schedule", "timed instructions", len(schedule)),
+        ("waveforms", "played samples", total_samples),
+        ("hardware", "schedule duration (ns)", schedule.duration),
+        ("exchange", "QIR bytes", len(qir)),
+    ]
+    report("E2: Fig. 1 top-down flow", rows)
+    # The ladder must strictly expand toward the hardware.
+    assert n_gates < n_pulse_ops
+    assert total_samples > n_pulse_ops
+
+
+@pytest.mark.parametrize(
+    "stage", ["build", "lower", "lift", "emit"], ids=["algorithm->circuit", "circuit->schedule", "schedule->pulseIR", "schedule->QIR"]
+)
+def test_stage_latency(benchmark, sc_device, stage):
+    params = np.linspace(0.1, 1.2, 12)
+    module = ansatz_module(params)
+    schedule = quantum_module_to_schedule(module, sc_device)
+    if stage == "build":
+        benchmark(ansatz_module, params)
+    elif stage == "lower":
+        benchmark(quantum_module_to_schedule, module, sc_device)
+    elif stage == "lift":
+        benchmark(schedule_to_pulse_module, schedule)
+    else:
+        benchmark(schedule_to_qir, schedule)

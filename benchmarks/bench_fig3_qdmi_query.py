@@ -1,0 +1,112 @@
+"""E4 — Fig. 3: the QDMI query surface.
+
+Enumerates every entity the pulse-extended QDMI exposes — devices,
+sites, operations, ports, frames, pulse constraints — across the
+heterogeneous device park (including the non-QPU database device), and
+times the query path.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.qdmi import (
+    DeviceProperty,
+    OperationProperty,
+    PortProperty,
+    SiteProperty,
+    Site,
+)
+
+
+def test_capability_matrix(full_driver):
+    matrix = full_driver.capability_matrix()
+    rows = [("device", "technology", "sites", "pulse", "ports", "frames", "formats")]
+    for name, caps in matrix.items():
+        rows.append(
+            (
+                name,
+                caps["technology"],
+                caps["num_sites"],
+                caps["pulse_support"],
+                caps["num_ports"],
+                caps["num_frames"],
+                len(caps["formats"]),
+            )
+        )
+    report("E4: Fig. 3 capability matrix", rows)
+    assert matrix["calibration-db"]["pulse_support"] == "none"
+    assert all(
+        matrix[d]["pulse_support"] == "port"
+        for d in ("sc-transmon", "ion-chain", "atom-array")
+    )
+
+
+def test_pulse_constraint_queries(all_devices):
+    rows = [("device", "dt (ns)", "granularity", "max amp", "envelopes", "raw?")]
+    for dev in all_devices:
+        c = dev.pulse_constraints()
+        rows.append(
+            (
+                dev.name,
+                c.dt * 1e9,
+                c.granularity,
+                c.max_amplitude,
+                len(c.supported_envelopes or ()),
+                c.supports_raw_samples,
+            )
+        )
+    report("E4: pulse constraints per platform", rows)
+    grans = {dev.pulse_constraints().granularity for dev in all_devices}
+    assert len(grans) == 3  # genuinely heterogeneous
+
+
+def test_site_and_operation_queries(all_devices):
+    rows = [("device", "site", "freq (GHz)", "rabi (MHz)", "x duration (us)")]
+    for dev in all_devices:
+        for site in dev.sites():
+            freq = dev.query_site_property(site, SiteProperty.FREQUENCY)
+            rabi = dev.query_site_property(site, SiteProperty.RABI_RATE)
+            dur = dev.query_operation_property(
+                "x", [site], OperationProperty.DURATION
+            )
+            rows.append(
+                (
+                    dev.name,
+                    site.index,
+                    round(freq / 1e9, 4),
+                    round(rabi / 1e6, 3),
+                    round(dur * 1e6, 3),
+                )
+            )
+    report("E4: site/operation queries", rows)
+
+
+def test_port_queries(sc_device):
+    rows = [("port", "kind", "targets", "max amp")]
+    for port in sc_device.ports():
+        rows.append(
+            (
+                port.name,
+                sc_device.query_port_property(port, PortProperty.KIND).value,
+                port.targets,
+                sc_device.query_port_property(port, PortProperty.MAX_AMPLITUDE),
+            )
+        )
+    report("E4: port queries (superconducting)", rows)
+    assert len(rows) - 1 == 7
+
+
+def test_query_latency(benchmark, sc_device):
+    """The query path must be cheap enough for JIT-time use."""
+    site = Site(0)
+
+    def query_bundle():
+        sc_device.query_device_property(DeviceProperty.PULSE_CONSTRAINTS)
+        sc_device.query_site_property(site, SiteProperty.DRIVE_PORT)
+        sc_device.query_site_property(site, SiteProperty.DEFAULT_FRAME)
+        return sc_device.query_operation_property(
+            "x", [site], OperationProperty.DURATION
+        )
+
+    duration = benchmark(query_bundle)
+    assert duration > 0

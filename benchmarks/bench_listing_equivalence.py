@@ -1,0 +1,105 @@
+"""E1 — Listings 1/2/3 equivalence (the paper's central artifact).
+
+The same pulse-VQE kernel is constructed three ways — QPI calls
+(Listing 1), MLIR pulse dialect (Listing 2), QIR Pulse Profile
+(Listing 3) — and all three must produce the identical canonical pulse
+schedule and identical simulated distributions. The benchmark times
+each representation's construction+conversion path.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.core import SampledWaveform
+from repro.mlir.dialects.pulse import SequenceBuilder
+from repro.mlir.interp import module_to_schedule
+from repro.qir import link_qir_to_schedule, schedule_to_qir
+from repro.qpi import (
+    QCircuit,
+    qCircuitBegin,
+    qCircuitEnd,
+    qFrameChange,
+    qInitClassicalRegisters,
+    qMeasure,
+    qPlayWaveform,
+    qWaveform,
+    qX,
+    qpi_to_schedule,
+)
+
+AMPS_1 = np.full(32, 0.25)
+AMPS_2 = np.full(32, 0.30)
+AMPS_3 = np.full(64, 0.20)
+FREQS = (5.0e9, 5.1e9)
+PHASE = 0.4
+
+
+def via_qpi(device):
+    c = QCircuit()
+    qCircuitBegin(c)
+    qInitClassicalRegisters(2)
+    qX(0)
+    qX(1)
+    w1, w2, w3 = qWaveform(AMPS_1), qWaveform(AMPS_2), qWaveform(AMPS_3)
+    qPlayWaveform("q0-drive-port", w1)
+    qPlayWaveform("q1-drive-port", w2)
+    qFrameChange("q0-drive-port", FREQS[0], PHASE)
+    qFrameChange("q1-drive-port", FREQS[1], PHASE)
+    qPlayWaveform("q0q1-coupler-port", w3)
+    qMeasure(0, 0)
+    qMeasure(1, 1)
+    qCircuitEnd()
+    return qpi_to_schedule(c, device, name="pulse_vqe_quantum_kernel")
+
+
+def via_mlir(device):
+    sb = SequenceBuilder("pulse_vqe_quantum_kernel")
+    d0 = sb.add_mixed_frame_arg("drive0", "q0-drive-port")
+    d1 = sb.add_mixed_frame_arg("drive1", "q1-drive-port")
+    cp = sb.add_mixed_frame_arg("coupler", "q0q1-coupler-port")
+    sb.standard_x(d0)
+    sb.standard_x(d1)
+    w1 = sb.waveform(SampledWaveform(AMPS_1))
+    w2 = sb.waveform(SampledWaveform(AMPS_2))
+    w3 = sb.waveform(SampledWaveform(AMPS_3))
+    sb.play(d0, w1)
+    sb.play(d1, w2)
+    sb.frame_change(d0, FREQS[0], PHASE)
+    sb.frame_change(d1, FREQS[1], PHASE)
+    sb.play(cp, w3)
+    sched = module_to_schedule(sb.module, device)
+    device.calibrations.get("measure", (0,)).apply(sched, [0])
+    device.calibrations.get("measure", (1,)).apply(sched, [1])
+    return sched
+
+
+def via_qir(device):
+    return link_qir_to_schedule(schedule_to_qir(via_qpi(device)), device)
+
+
+def test_equivalence_table(sc_device):
+    s1, s2, s3 = via_qpi(sc_device), via_mlir(sc_device), via_qir(sc_device)
+    assert s1.equivalent_to(s2)
+    assert s1.equivalent_to(s3)
+    dists = [
+        sc_device.executor.execute(s, shots=0).ideal_probabilities
+        for s in (s1, s2, s3)
+    ]
+    rows = [("representation", "fingerprint", "duration", "P(top outcome)")]
+    for name, sched, dist in zip(("QPI (L1)", "MLIR (L2)", "QIR (L3)"), (s1, s2, s3), dists):
+        top = max(dist.values())
+        rows.append((name, sched.fingerprint(), sched.duration, f"{top:.6f}"))
+    report("E1: Listing 1 = Listing 2 = Listing 3", rows)
+    for key in dists[0]:
+        assert dists[1].get(key, 0) == pytest.approx(dists[0][key], abs=1e-12)
+        assert dists[2].get(key, 0) == pytest.approx(dists[0][key], abs=1e-12)
+
+
+@pytest.mark.parametrize(
+    "path", ["qpi", "mlir", "qir"], ids=["listing1-qpi", "listing2-mlir", "listing3-qir"]
+)
+def test_representation_construction_cost(benchmark, sc_device, path):
+    fn = {"qpi": via_qpi, "mlir": via_mlir, "qir": via_qir}[path]
+    schedule = benchmark(fn, sc_device)
+    assert schedule.duration > 0

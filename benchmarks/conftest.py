@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures and the experiment reporter.
+
+Each benchmark file regenerates one paper artifact (see the
+per-experiment index in DESIGN.md). Timing is handled by
+pytest-benchmark; the *shape* results (who wins, by what factor) are
+printed through :func:`report` so that running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.client import MQSSClient, RemoteDeviceProxy
+from repro.devices import (
+    CalibrationDatabaseDevice,
+    NeutralAtomDevice,
+    SuperconductingDevice,
+    TrappedIonDevice,
+)
+from repro.qdmi import QDMIDriver
+
+
+def report(title: str, rows: list[tuple]) -> None:
+    """Print one experiment's result table."""
+    print(f"\n--- {title} ---")
+    for row in rows:
+        print("   ", " | ".join(str(c) for c in row))
+
+
+@pytest.fixture
+def sc_device():
+    return SuperconductingDevice(num_qubits=2, drift_rate=0.0)
+
+
+@pytest.fixture
+def all_devices():
+    return [
+        SuperconductingDevice(num_qubits=2, drift_rate=0.0),
+        TrappedIonDevice(num_qubits=2, drift_rate=0.0),
+        NeutralAtomDevice(num_qubits=2, drift_rate=0.0),
+    ]
+
+
+@pytest.fixture
+def full_driver(all_devices):
+    driver = QDMIDriver()
+    for d in all_devices:
+        driver.register_device(d)
+    driver.register_device(
+        RemoteDeviceProxy(SuperconductingDevice("sc-remote", num_qubits=2))
+    )
+    driver.register_device(CalibrationDatabaseDevice())
+    return driver
+
+
+@pytest.fixture
+def client(full_driver):
+    return MQSSClient(full_driver)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2026)

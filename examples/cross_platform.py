@@ -1,0 +1,71 @@
+"""Cross-platform portability — paper Fig. 2's heterogeneous targets.
+
+The same gate-level circuit is JIT-compiled for three technologies
+(superconducting, trapped-ion, neutral-atom): the compiler queries each
+device's pulse constraints over QDMI, lowers through platform-specific
+calibrations, legalizes to the platform's timing grid and envelope
+vocabulary, and emits QIR with the Pulse Profile. The programs differ
+per platform — durations span three orders of magnitude — while the
+measured distributions agree.
+
+Run:  python examples/cross_platform.py
+"""
+
+from repro.client import JobRequest, MQSSClient
+from repro.compiler import JITCompiler
+from repro.devices import (
+    CalibrationDatabaseDevice,
+    NeutralAtomDevice,
+    SuperconductingDevice,
+    TrappedIonDevice,
+)
+from repro.mlir.dialects.quantum import CircuitBuilder
+from repro.qdmi import QDMIDriver
+
+
+def main() -> None:
+    driver = QDMIDriver()
+    devices = [
+        SuperconductingDevice(num_qubits=2),
+        TrappedIonDevice(num_qubits=2),
+        NeutralAtomDevice(num_qubits=2),
+    ]
+    for d in devices:
+        driver.register_device(d)
+    driver.register_device(CalibrationDatabaseDevice())
+    client = MQSSClient(driver)
+
+    print("== QDMI capability matrix (Fig. 3 discovery) ==")
+    for name, caps in driver.capability_matrix().items():
+        print(f"{name:>16}: {caps}")
+
+    circuit = CircuitBuilder("bell", 2)
+    circuit.sx(0).cz(0, 1).sx(1).measure(0, 0).measure(1, 1)
+
+    print("\n== one source, three compiled programs ==")
+    jit = JITCompiler()
+    for dev in devices:
+        prog = jit.compile(circuit.module, dev)
+        dt = dev.config.constraints.dt
+        print(
+            f"{dev.name:>16}: {prog.duration_samples:>6} samples "
+            f"({prog.duration_samples*dt*1e6:>9.2f} us), "
+            f"QIR {len(prog.qir):>6} bytes, "
+            f"granularity {prog.metadata['granularity']}"
+        )
+
+    print("\n== measured distributions (2000 shots each) ==")
+    for dev in devices:
+        r = client.submit(JobRequest(circuit.module, dev.name, shots=2000, seed=11))
+        top = dict(sorted(r.counts.items(), key=lambda kv: -kv[1])[:4])
+        print(f"{dev.name:>16}: {top}")
+
+    print("\n== QIR exchange snippet (superconducting target) ==")
+    prog = jit.compile(circuit.module, devices[0])
+    for line in prog.qir.splitlines()[:14]:
+        print("   ", line)
+    print("    ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Open-loop pulse engineering with GRAPE — paper §2.1.
+
+Designs an X gate for a three-level transmon with GRAPE (exact
+gradients) and compares it against the naive square pulse: final
+fidelity, leakage behaviour, and robustness to frequency detuning and
+amplitude miscalibration (the shaped-pulse robustness argument).
+
+Run:  python examples/optimal_control_grape.py
+"""
+
+import numpy as np
+
+from repro.control import GrapeOptimizer, amplitude_scan, detuning_scan
+from repro.control.hamiltonians import qubit_subspace_isometry
+from repro.sim.operators import destroy_on, number_on, pauli
+
+
+def main() -> None:
+    # Three-level transmon in its rotating frame: the drift is the
+    # anharmonicity; controls are the two drive quadratures.
+    dims = (3,)
+    a = destroy_on(0, dims)
+    n = number_on(0, dims)
+    drift = -300e6 * 0.5 * (n @ n - n)
+    controls = [0.5 * (a + a.conj().T), 0.5j * (a - a.conj().T)]
+    iso = qubit_subspace_isometry(dims)
+    target = pauli("x")
+    dt, n_steps = 1e-9, 24
+
+    print("== GRAPE X gate (24 ns, 3-level transmon) ==")
+    opt = GrapeOptimizer(
+        drift, controls, target, n_steps=n_steps, dt=dt,
+        max_control=60e6, subspace=iso,
+    )
+    result = opt.optimize(maxiter=300, seed=1)
+    print(f"fidelity  : {result.fidelity:.8f}")
+    print(f"iterations: {result.iterations}")
+    print(f"|u| max   : {np.abs(result.controls).max()/1e6:.1f} MHz")
+
+    # Square-pulse baseline with the same duration: amplitude chosen for
+    # a perfect pi rotation of a two-level qubit (ignores the |2> level).
+    amp = 0.5 / (n_steps * dt)  # Hz, since control op is sigma_x/2
+    square = np.zeros((n_steps, 2))
+    square[:, 0] = amp
+    base_fid = opt.fidelity(square)
+    print(f"\nsquare-pulse baseline fidelity: {base_fid:.6f} (leakage-limited)")
+
+    print("\n== robustness: fidelity vs. detuning ==")
+    offsets = np.linspace(-2e6, 2e6, 9)
+    f_grape = detuning_scan(drift, controls, result.controls, dt, target, n, offsets, subspace=iso)
+    f_square = detuning_scan(drift, controls, square, dt, target, n, offsets, subspace=iso)
+    print(f"{'detuning (MHz)':>15} | {'GRAPE':>10} | {'square':>10}")
+    for off, fg, fs in zip(offsets, f_grape, f_square):
+        print(f"{off/1e6:>15.2f} | {fg:>10.6f} | {fs:>10.6f}")
+
+    print("\n== robustness: fidelity vs. amplitude error ==")
+    scales = np.linspace(0.95, 1.05, 5)
+    a_grape = amplitude_scan(drift, controls, result.controls, dt, target, scales, subspace=iso)
+    a_square = amplitude_scan(drift, controls, square, dt, target, scales, subspace=iso)
+    print(f"{'scale':>8} | {'GRAPE':>10} | {'square':>10}")
+    for s, fg, fs in zip(scales, a_grape, a_square):
+        print(f"{s:>8.3f} | {fg:>10.6f} | {fs:>10.6f}")
+
+
+if __name__ == "__main__":
+    main()

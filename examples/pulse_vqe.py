@@ -1,0 +1,55 @@
+"""Pulse-level VQE (ctrl-VQE) vs gate-level VQE — paper §2.1.
+
+Estimates the H2 ground-state energy twice on the simulated transmon
+device: with a hardware-efficient *gate* ansatz lowered through the
+calibration tables, and with a *pulse* ansatz whose variational
+parameters are drive/coupler amplitudes built through the QPI (the
+paper's Listing 1 use case). The pulse ansatz reaches comparable energy
+with a much shorter schedule — the decoherence-mitigation argument for
+ctrl-VQE.
+
+Run:  python examples/pulse_vqe.py
+"""
+
+import time
+
+from repro.control import CtrlVQE, GateVQE, h2_hamiltonian
+from repro.control.hamiltonians import exact_ground_energy
+from repro.devices import SuperconductingDevice
+
+
+def main() -> None:
+    device = SuperconductingDevice(num_qubits=2)
+    hamiltonian = h2_hamiltonian()
+    exact = exact_ground_energy(hamiltonian)
+    print(f"H2 (STO-3G, R=0.7414 A) exact ground energy: {exact:.6f} Ha\n")
+
+    print("== gate-level VQE (rz-sx Euler ansatz + CZ) ==")
+    t0 = time.perf_counter()
+    gate = GateVQE(device, hamiltonian, layers=2).run(maxiter=400, seed=1)
+    print(f"energy     : {gate.energy:.6f} Ha  (error {gate.error:.2e})")
+    print(f"schedule   : {gate.schedule_duration_samples} samples "
+          f"({gate.schedule_duration_seconds*1e9:.0f} ns)")
+    print(f"evaluations: {gate.evaluations}  ({time.perf_counter()-t0:.1f} s)\n")
+
+    print("== ctrl-VQE (piecewise-constant pulse ansatz via QPI) ==")
+    t0 = time.perf_counter()
+    ctrl = CtrlVQE(device, hamiltonian, segments=4, segment_samples=16).run(
+        maxiter=600, seed=1
+    )
+    print(f"energy     : {ctrl.energy:.6f} Ha  (error {ctrl.error:.2e})")
+    print(f"schedule   : {ctrl.schedule_duration_samples} samples "
+          f"({ctrl.schedule_duration_seconds*1e9:.0f} ns)")
+    print(f"leakage    : {ctrl.final_leakage:.2e}")
+    print(f"evaluations: {ctrl.evaluations}  ({time.perf_counter()-t0:.1f} s)\n")
+
+    speedup = (
+        gate.schedule_duration_seconds / ctrl.schedule_duration_seconds
+        if ctrl.schedule_duration_seconds
+        else float("nan")
+    )
+    print(f"schedule-duration ratio (gate/ctrl): {speedup:.1f}x shorter at pulse level")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: pulse-level programming through the full MQSS-Pulse stack.
+
+Builds the paper's three abstractions by hand, queries the device over
+QDMI, constructs a pulse+gate kernel through the C-style QPI, and runs
+it — locally as an in-memory schedule and remotely as QIR with the
+Pulse Profile.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.client import JobRequest, MQSSClient, RemoteDeviceProxy
+from repro.devices import SuperconductingDevice
+from repro.qdmi import DeviceProperty, QDMIDriver, SiteProperty, Site
+from repro.qpi import (
+    QCircuit,
+    qCircuitBegin,
+    qCircuitEnd,
+    qFrameChange,
+    qInitClassicalRegisters,
+    qMeasure,
+    qPlayWaveform,
+    qWaveform,
+    qX,
+)
+
+
+def main() -> None:
+    # --- set up the stack: driver + devices + client (paper Fig. 2) ---
+    driver = QDMIDriver()
+    device = SuperconductingDevice(num_qubits=2)
+    driver.register_device(device)
+    driver.register_device(
+        RemoteDeviceProxy(SuperconductingDevice("sc-cloud", num_qubits=2))
+    )
+    client = MQSSClient(driver)
+
+    # --- discover the device through QDMI queries (paper Fig. 3) ---
+    print("== QDMI device discovery ==")
+    print("technology:", device.query_device_property(DeviceProperty.TECHNOLOGY))
+    print("sites:     ", device.query_device_property(DeviceProperty.NUM_SITES))
+    print("pulse:     ", device.pulse_support_level().value)
+    constraints = device.pulse_constraints()
+    print(
+        f"constraints: dt={constraints.dt:.2g}s granularity={constraints.granularity} "
+        f"max_amp={constraints.max_amplitude}"
+    )
+    q0 = Site(0)
+    print("q0 drive port:", device.query_site_property(q0, SiteProperty.DRIVE_PORT).name)
+    print(
+        "q0 frequency: ",
+        f"{device.query_site_property(q0, SiteProperty.FREQUENCY)/1e9:.3f} GHz",
+    )
+
+    # --- build a kernel through the QPI (paper Listing 1 style) ---
+    print("\n== QPI kernel (gates + pulses in one program) ==")
+    circuit = QCircuit()
+    qCircuitBegin(circuit)
+    qInitClassicalRegisters(2)
+    qX(0)  # calibrated gate
+    half_pi = np.full(16, 0.3125)  # custom pulse: ~pi/2 area at 50 MHz Rabi
+    w = qWaveform(half_pi)
+    qPlayWaveform("q1-drive-port", w)  # raw pulse on qubit 1
+    qFrameChange("q1-drive-port", 5.1e9, np.pi / 2)  # virtual frame update
+    qPlayWaveform("q1-drive-port", w)
+    qMeasure(0, 0)
+    qMeasure(1, 1)
+    qCircuitEnd()
+
+    # --- run locally (fast path: in-memory schedule) ---
+    local = client.submit(JobRequest(circuit, "sc-transmon", shots=2000, seed=7))
+    print("local counts: ", dict(sorted(local.counts.items())))
+    print(
+        "stage timings:",
+        {k: f"{v*1e3:.2f} ms" for k, v in local.timings_s.items()},
+    )
+
+    # --- run remotely (serialized as QIR with the Pulse Profile) ---
+    remote = client.submit(JobRequest(circuit, "remote:sc-cloud", shots=2000, seed=7))
+    print("remote counts:", dict(sorted(remote.counts.items())))
+    print(f"QIR payload:   {remote.qir_size_bytes} bytes over the wire")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The sandbox this repo is developed in has no ``wheel`` package, so
+PEP-660 editable installs (``pip install -e .``) cannot build; this shim
+lets ``python setup.py develop`` provide the same editable install with
+stock setuptools. With a normal toolchain, ``pip install -e .`` works
+directly off pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — a Python reproduction of *MQSS Pulse* (SC Workshops '25).
+
+This package implements, end to end, the architecture proposed in
+"Tackling the Challenges of Adding Pulse-level Support to a Heterogeneous
+HPCQC Software Stack: MQSS Pulse": the three pulse abstractions
+(*ports*, *frames*, *waveforms*), a C-style low-overhead programming
+interface (QPI), an MLIR-like multi-dialect compiler infrastructure with
+a pulse dialect, a QIR-like exchange format with a Pulse Profile, the
+QDMI backend interface, simulated heterogeneous quantum devices
+(superconducting, trapped-ion, neutral-atom), a pulse-level dynamics
+simulator, and the motivating use cases: automated calibration, optimal
+control (GRAPE) and pulse-level VQE (ctrl-VQE).
+
+Layering (bottom to top)::
+
+    core        pulse abstractions: Port, Frame, Waveform, PulseSchedule
+    sim         pulse-level Schrodinger/Lindblad dynamics simulator
+    devices     simulated QPUs exposing QDMI device interfaces
+    qdmi        backend interface: driver, sessions, queries, jobs
+    mlir        IR infrastructure, quantum + pulse dialects, passes
+    qir         exchange format: emitter, parser, profiles, linker
+    compiler    JIT pipeline gluing mlir + qdmi + qir together
+    qpi         the C-style programming interface (paper Listing 1)
+    client      MQSS client, adapters, routing (paper Fig. 2)
+    runtime     second-level scheduler and resource management
+    control     GRAPE, parametric optimization, ctrl-VQE
+    calibration Rabi/Ramsey/DRAG/readout calibration + planning
+"""
+
+from repro._version import __version__
+from repro.core import (
+    Frame,
+    MixedFrame,
+    Port,
+    PortKind,
+    PulseConstraints,
+    PulseSchedule,
+    Waveform,
+)
+
+__all__ = [
+    "__version__",
+    "Port",
+    "PortKind",
+    "Frame",
+    "MixedFrame",
+    "Waveform",
+    "PulseSchedule",
+    "PulseConstraints",
+]

@@ -1,0 +1,95 @@
+"""DRAG coefficient calibration.
+
+The DRAG quadrature correction suppresses leakage to the transmon's
+|2> level. This routine sweeps the beta coefficient, measures the
+leakage population after a leakage-amplifying pulse train (repeated X
+gates), fits a parabola near the minimum, and optionally writes the
+best beta back into the device's X/SX calibrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instructions import Play
+from repro.core.schedule import PulseSchedule
+from repro.core.waveform import drag_waveform
+from repro.errors import CalibrationError
+
+
+@dataclass
+class DragResult:
+    """Outcome of a DRAG beta sweep."""
+
+    site: int
+    betas: np.ndarray
+    leakage: np.ndarray
+    best_beta: float
+    best_leakage: float
+    written_back: bool = False
+
+
+def calibrate_drag(
+    device,
+    site: int,
+    *,
+    betas: np.ndarray | None = None,
+    repetitions: int = 4,
+    write_back: bool = True,
+) -> DragResult:
+    """Sweep DRAG beta on *site*, minimizing measured leakage.
+
+    Requires a device whose model has a third level (the
+    superconducting device); two-level devices have no leakage and
+    raise :class:`CalibrationError`.
+    """
+    dims = device.model.dims
+    if dims[site] < 3:
+        raise CalibrationError(
+            f"site {site} has only {dims[site]} levels; DRAG calibration "
+            "needs a leakage level"
+        )
+    if betas is None:
+        betas = np.linspace(-2.0, 2.0, 17)
+    drive = device.drive_port(site)
+    duration = device.X_DURATION
+    sigma = device.X_SIGMA
+    amp = device._pi_amp(1.0)
+
+    leakage = np.empty(len(betas), dtype=np.float64)
+    for i, beta in enumerate(betas):
+        sched = PulseSchedule(f"drag-{site}-{i}")
+        frame = device.default_frame(drive)
+        wf = drag_waveform(duration, amp, sigma, float(beta))
+        for _ in range(repetitions):
+            sched.append(Play(drive, frame, wf))
+        result = device.executor.execute(sched, shots=0)
+        leakage[i] = result.leakage[site]
+
+    # Parabolic refinement around the coarse minimum.
+    k = int(np.argmin(leakage))
+    if 0 < k < len(betas) - 1:
+        x = betas[k - 1 : k + 2]
+        y = leakage[k - 1 : k + 2]
+        coeffs = np.polyfit(x, y, 2)
+        if coeffs[0] > 0:
+            best = float(np.clip(-coeffs[1] / (2 * coeffs[0]), betas[0], betas[-1]))
+        else:
+            best = float(betas[k])
+    else:
+        best = float(betas[k])
+
+    written = False
+    if write_back and hasattr(device, "set_drag_beta"):
+        device.set_drag_beta(best)
+        written = True
+    return DragResult(
+        site=site,
+        betas=np.asarray(betas, dtype=np.float64),
+        leakage=leakage,
+        best_beta=best,
+        best_leakage=float(leakage[k]),
+        written_back=written,
+    )

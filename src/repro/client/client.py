@@ -1,0 +1,171 @@
+"""MQSSClient: adapter dispatch, JIT compilation, job routing.
+
+The client is the single entry point of Fig. 2: programs arrive from
+any adapter, are JIT-compiled against the selected device's QDMI
+constraints, and are routed either locally (in-memory schedule — the
+fast HPC path) or remotely (serialized QIR with the Pulse Profile).
+Per-stage timings are recorded for the architecture benchmark (E3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.client.adapters import Adapter, default_adapters
+from repro.compiler.jit import JITCompiler
+from repro.errors import ExecutionError, QDMIError
+from repro.qdmi.driver import QDMIDriver
+from repro.qdmi.job import QDMIJob
+from repro.qdmi.properties import JobStatus, ProgramFormat
+
+
+@dataclass
+class JobRequest:
+    """One client-side submission."""
+
+    program: Any
+    device: str
+    shots: int = 1024
+    adapter: str | None = None  # autodetect when None
+    priority: int = 0
+    scalar_args: dict[str, float] = field(default_factory=dict)
+    seed: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class ClientResult:
+    """What the client returns to the application."""
+
+    device: str
+    counts: dict[str, int]
+    probabilities: dict[str, float]
+    shots: int
+    duration_samples: int
+    timings_s: dict[str, float]
+    job_id: int
+    remote: bool
+    qir_size_bytes: int = 0
+
+    def expectation_z(self, slot: int = 0) -> float:
+        """``<Z>`` of the bit at *slot* from exact probabilities."""
+        total = 0.0
+        for key, p in self.probabilities.items():
+            total += p * (1.0 if key[slot] == "0" else -1.0)
+        return total
+
+
+class MQSSClient:
+    """Routes jobs from adapters to QDMI devices (paper Fig. 2)."""
+
+    def __init__(
+        self,
+        driver: QDMIDriver,
+        *,
+        compiler: JITCompiler | None = None,
+        client_name: str = "mqss-client",
+    ) -> None:
+        self.driver = driver
+        self.compiler = compiler if compiler is not None else JITCompiler()
+        self.client_name = client_name
+        self._adapters: dict[str, Adapter] = {}
+        for adapter in default_adapters():
+            self.register_adapter(adapter)
+
+    # ---- adapters ------------------------------------------------------------------
+
+    def register_adapter(self, adapter: Adapter) -> None:
+        """Register an adapter under its name."""
+        if adapter.name in self._adapters:
+            raise QDMIError(f"adapter {adapter.name!r} already registered")
+        self._adapters[adapter.name] = adapter
+
+    def adapter_names(self) -> list[str]:
+        return sorted(self._adapters)
+
+    def _select_adapter(self, request: JobRequest) -> Adapter:
+        if request.adapter is not None:
+            try:
+                return self._adapters[request.adapter]
+            except KeyError:
+                raise QDMIError(
+                    f"unknown adapter {request.adapter!r}; have "
+                    f"{self.adapter_names()}"
+                ) from None
+        for adapter in self._adapters.values():
+            if adapter.accepts(request.program):
+                return adapter
+        raise QDMIError(
+            f"no adapter accepts program of type "
+            f"{type(request.program).__name__}"
+        )
+
+    # ---- submission --------------------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> ClientResult:
+        """Adapter -> JIT -> route -> execute -> result."""
+        timings: dict[str, float] = {}
+        device = self.driver.get_device(request.device)
+        session = self.driver.open_session(request.device, self.client_name)
+        try:
+            # Remote devices hide the calibration-bearing inner device;
+            # compile against the execution target.
+            from repro.client.remote import RemoteDeviceProxy
+
+            remote = isinstance(device, RemoteDeviceProxy)
+            target = device.inner if remote else device
+
+            t0 = time.perf_counter()
+            adapter = self._select_adapter(request)
+            payload = adapter.to_payload(request.program, target)
+            timings["adapter"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            program = self.compiler.compile(
+                payload, target, scalar_args=request.scalar_args or None
+            )
+            timings["compile"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            if remote:
+                fmt, job_payload = ProgramFormat.QIR_PULSE, program.qir
+            else:
+                fmt, job_payload = ProgramFormat.PULSE_SCHEDULE, program.schedule
+            job = session.run(
+                fmt,
+                job_payload,
+                shots=request.shots,
+                metadata={"seed": request.seed} if request.seed is not None else None,
+            )
+            timings["execute"] = time.perf_counter() - t0
+
+            if job.status is not JobStatus.DONE:
+                raise ExecutionError(
+                    f"job {job.job_id} on {request.device!r} failed: {job.error}"
+                )
+            result = job.result
+            return ClientResult(
+                device=request.device,
+                counts=result.counts,
+                probabilities=result.ideal_probabilities,
+                shots=result.shots,
+                duration_samples=result.duration_samples,
+                timings_s=timings,
+                job_id=job.job_id,
+                remote=remote,
+                qir_size_bytes=len(program.qir.encode()),
+            )
+        finally:
+            session.close()
+
+    def run_batch(self, requests: list[JobRequest]) -> list[ClientResult]:
+        """Submit requests in priority order (higher first, then FIFO)."""
+        order = sorted(
+            range(len(requests)), key=lambda i: (-requests[i].priority, i)
+        )
+        results: list[ClientResult | None] = [None] * len(requests)
+        for i in order:
+            results[i] = self.submit(requests[i])
+        return [r for r in results if r is not None]

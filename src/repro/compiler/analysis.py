@@ -1,0 +1,98 @@
+"""Schedule timing analysis.
+
+Reports the quantities an HPC-side scheduler and the compiler's
+cost models need: per-port occupancy, the critical path (the port chain
+that determines total duration), achieved parallelism, and instruction
+histograms. Used by the Fig. 1 benchmark and available to users for
+profiling lowering output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.instructions import Capture, Delay, Play
+from repro.core.port import Port
+from repro.core.schedule import PulseSchedule
+
+
+@dataclass
+class ScheduleProfile:
+    """Timing profile of one pulse schedule."""
+
+    name: str
+    duration_samples: int
+    n_instructions: int
+    n_timed: int
+    n_virtual: int
+    per_port_busy: dict[str, int] = field(default_factory=dict)
+    per_port_utilization: dict[str, float] = field(default_factory=dict)
+    critical_port: str = ""
+    parallelism: float = 0.0  # total busy samples / duration
+    instruction_histogram: dict[str, int] = field(default_factory=dict)
+    total_played_samples: int = 0
+
+    def rows(self) -> list[tuple]:
+        """Table form for reports."""
+        out = [
+            ("duration (samples)", self.duration_samples),
+            ("instructions (timed/virtual)", f"{self.n_timed}/{self.n_virtual}"),
+            ("critical port", self.critical_port),
+            ("parallelism", round(self.parallelism, 2)),
+            ("played samples", self.total_played_samples),
+        ]
+        for port, util in sorted(self.per_port_utilization.items()):
+            out.append((f"utilization {port}", f"{util:.0%}"))
+        return out
+
+
+def profile_schedule(schedule: PulseSchedule) -> ScheduleProfile:
+    """Compute the timing profile of *schedule*."""
+    duration = schedule.duration
+    busy: dict[str, int] = {}
+    histogram: dict[str, int] = {}
+    n_timed = n_virtual = 0
+    played = 0
+    for item in schedule.ordered():
+        ins = item.instruction
+        kind = type(ins).__name__
+        histogram[kind] = histogram.get(kind, 0) + 1
+        if ins.duration > 0:
+            n_timed += 1
+            if not isinstance(ins, Delay):
+                for p in ins.ports:
+                    busy[p.name] = busy.get(p.name, 0) + ins.duration
+        else:
+            n_virtual += 1
+        if isinstance(ins, Play):
+            played += ins.waveform.duration
+    utilization = {
+        name: (b / duration if duration else 0.0) for name, b in busy.items()
+    }
+    critical = max(busy, key=busy.get) if busy else ""
+    parallelism = (sum(busy.values()) / duration) if duration else 0.0
+    return ScheduleProfile(
+        name=schedule.name,
+        duration_samples=duration,
+        n_instructions=len(schedule),
+        n_timed=n_timed,
+        n_virtual=n_virtual,
+        per_port_busy=busy,
+        per_port_utilization=utilization,
+        critical_port=critical,
+        parallelism=parallelism,
+        instruction_histogram=histogram,
+        total_played_samples=played,
+    )
+
+
+def compare_profiles(a: ScheduleProfile, b: ScheduleProfile) -> dict[str, float]:
+    """Relative comparison (b vs a) of the headline metrics."""
+    def ratio(x: float, y: float) -> float:
+        return y / x if x else float("inf")
+
+    return {
+        "duration_ratio": ratio(a.duration_samples, b.duration_samples),
+        "instruction_ratio": ratio(a.n_instructions, b.n_instructions),
+        "played_ratio": ratio(a.total_played_samples, b.total_played_samples),
+    }

@@ -1,0 +1,225 @@
+"""Representation conversions between the stack's layers.
+
+Three conversions, composing into the paper's "typical workflow"
+(§5.4): "MQSS Adapters produce MLIR-pulse code, MQSS's MLIR-based
+compiler will then lower it to QIR with pulse support, and QDMI will
+submit it to the target quantum device":
+
+* :func:`quantum_module_to_schedule` — gate->pulse lowering using the
+  device's calibration set ("every gate has an associated pulse
+  waveform", §5.2);
+* :func:`schedule_to_pulse_module` — lift an executable schedule into a
+  ``pulse.sequence`` module (the IR form of Listing 2), inserting
+  explicit delays so the interpreter's ASAP replay reproduces the exact
+  event times, and recording exact frame declarations;
+* :func:`mlir_pulse_to_schedule` — the inverse: parse/interpret a pulse
+  module against a device.
+
+Round-trip guarantee: ``mlir_pulse_to_schedule(schedule_to_pulse_module(s))``
+is canonically equivalent to ``s`` — the property experiment E1 rests
+on, covered by property-based tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping, Sequence
+
+from repro.core.frame import Frame
+from repro.core.instructions import (
+    Barrier,
+    Capture,
+    Delay,
+    FrameChange,
+    Play,
+    SetFrequency,
+    SetPhase,
+    ShiftFrequency,
+    ShiftPhase,
+)
+from repro.core.port import Port
+from repro.core.schedule import PulseSchedule
+from repro.errors import LoweringError
+from repro.mlir.dialects.pulse import SequenceBuilder
+from repro.mlir.interp import module_to_schedule
+from repro.mlir.ir import Module
+from repro.mlir.parser import parse_module
+
+
+# ---- gate -> schedule ---------------------------------------------------------------
+
+
+def quantum_module_to_schedule(
+    module: Module,
+    device: Any,
+    *,
+    circuit_name: str | None = None,
+    parameters: Mapping[str, Sequence[float]] | None = None,
+) -> PulseSchedule:
+    """Lower a gate-level ``quantum.circuit`` into a pulse schedule.
+
+    Every gate op is replaced by its device calibration; a missing
+    calibration raises :class:`~repro.errors.LoweringError`. Barriers
+    lower to schedule barriers over the qubits' drive ports.
+    """
+    circuits = module.ops_of("quantum.circuit")
+    if circuit_name is not None:
+        circuits = [c for c in circuits if c.attr("sym_name") == circuit_name]
+    if len(circuits) != 1:
+        raise LoweringError(
+            f"expected exactly one quantum.circuit, found {len(circuits)}"
+        )
+    circuit = circuits[0]
+    schedule = PulseSchedule(circuit.attr("sym_name") or "circuit")
+    cal = device.calibrations
+    for op in circuit.region().entry.operations:
+        if op.name in ("quantum.x", "quantum.sx"):
+            cal.get(op.opname, (op.attr("qubit"),)).apply(schedule, [])
+        elif op.name == "quantum.rz":
+            cal.get("rz", (op.attr("qubit"),)).apply(schedule, [op.attr("theta")])
+        elif op.name == "quantum.cz":
+            a, b = op.attr("qubits")
+            lo, hi = sorted((a, b))
+            cal.get("cz", (lo, hi)).apply(schedule, [])
+        elif op.name == "quantum.measure":
+            cal.get("measure", (op.attr("qubit"),)).apply(
+                schedule, [op.attr("slot")]
+            )
+        elif op.name == "quantum.barrier":
+            ports = [device.drive_port(q) for q in op.attr("qubits")]
+            schedule.barrier(*ports)
+        elif op.name == "quantum.gate":
+            qs = tuple(op.attr("qubits"))
+            cal.get(op.attr("name"), qs).apply(schedule, op.attr("params") or [])
+        else:
+            raise LoweringError(f"cannot lower operation {op.name!r}")
+    return schedule
+
+
+# ---- schedule -> pulse module -----------------------------------------------------------
+
+
+def _arg_name(port: Port, frame: Frame) -> str:
+    raw = f"{frame.name}_{port.name}" if frame.name else port.name
+    return re.sub(r"[^0-9A-Za-z_]", "_", raw)
+
+
+def schedule_to_pulse_module(
+    schedule: PulseSchedule, name: str | None = None
+) -> Module:
+    """Lift an executable schedule into a ``pulse.sequence`` module.
+
+    The lift pins every event to its absolute time by inserting
+    explicit ``pulse.delay`` ops wherever a port would otherwise run
+    ahead, and records the exact frame declarations in the
+    ``pulse.argFrames`` attribute so interpretation does not depend on
+    device defaults.
+    """
+    sb = SequenceBuilder(name or schedule.name)
+
+    # One mixed-frame argument per (port, frame) pair, sorted for
+    # deterministic output.
+    pairs: dict[tuple[str, str], tuple[Port, Frame]] = {}
+    for item in schedule.ordered():
+        ins = item.instruction
+        frame = getattr(ins, "frame", None)
+        port = getattr(ins, "port", None)
+        if port is not None and frame is not None:
+            pairs[(port.name, frame.name)] = (port, frame)
+        elif port is not None:
+            # Delay: attach to any frame on that port later; remember
+            # the bare port with an empty frame placeholder.
+            pairs.setdefault((port.name, ""), (port, Frame("__bare__", 0.0)))
+
+    # Prefer real frames: drop bare placeholders for ports that also
+    # appear with a frame.
+    ports_with_frames = {pn for (pn, fn) in pairs if fn}
+    pairs = {
+        key: val
+        for key, val in pairs.items()
+        if key[1] or key[0] not in ports_with_frames
+    }
+
+    arg_values: dict[tuple[str, str], Any] = {}
+    arg_frames_attr: list[list] = []
+    port_arg: dict[str, Any] = {}  # port name -> one representative mf value
+    for key in sorted(pairs):
+        port, frame = pairs[key]
+        v = sb.add_mixed_frame_arg(_arg_name(port, frame), port.name)
+        arg_values[key] = v
+        arg_frames_attr.append([frame.name, float(frame.frequency), float(frame.phase)])
+        port_arg.setdefault(port.name, v)
+    sb.sequence.attributes["pulse.argFrames"] = arg_frames_attr
+
+    def mf_of(ins) -> Any:
+        frame = getattr(ins, "frame", None)
+        port = ins.port
+        if frame is not None:
+            return arg_values[(port.name, frame.name)]
+        return port_arg[port.name]
+
+    # Emit in time order, inserting delays to pin absolute times.
+    port_free: dict[str, int] = {}
+    waveform_cache: dict[str, Any] = {}
+    captures: list[Any] = []
+    for item in schedule.ordered():
+        ins = item.instruction
+        if isinstance(ins, (Barrier, Delay)):
+            # Pure timing: barriers and delays carry no information once
+            # times are absolute; the gap logic below re-inserts exactly
+            # the delays needed to pin the next event, making
+            # lift(interp(lift(s))) a fixed point.
+            continue
+        pname = ins.port.name
+        free = port_free.get(pname, 0)
+        if free < item.t0:
+            sb.delay(port_arg[pname], item.t0 - free)
+        elif free > item.t0:
+            raise LoweringError(
+                f"schedule lift: port {pname!r} event at t={item.t0} "
+                f"precedes port free time {free}"
+            )
+        if isinstance(ins, Play):
+            fp = ins.waveform.fingerprint()
+            wf_value = waveform_cache.get(fp)
+            if wf_value is None:
+                wf_value = sb.waveform(ins.waveform)
+                waveform_cache[fp] = wf_value
+            sb.play(mf_of(ins), wf_value)
+        elif isinstance(ins, FrameChange):
+            sb.frame_change(mf_of(ins), ins.frequency, ins.phase)
+        elif isinstance(ins, SetFrequency):
+            sb.set_frequency(mf_of(ins), ins.frequency)
+        elif isinstance(ins, ShiftFrequency):
+            sb.shift_frequency(mf_of(ins), ins.delta)
+        elif isinstance(ins, SetPhase):
+            sb.set_phase(mf_of(ins), ins.phase)
+        elif isinstance(ins, ShiftPhase):
+            sb.shift_phase(mf_of(ins), ins.delta)
+        elif isinstance(ins, Capture):
+            captures.append(
+                sb.capture(mf_of(ins), ins.memory_slot, ins.duration_samples)
+            )
+        else:
+            raise LoweringError(f"schedule lift: unsupported instruction {ins!r}")
+        port_free[pname] = item.t0 + ins.duration
+    sb.ret(*captures)
+    return sb.module
+
+
+# ---- pulse module -> schedule ------------------------------------------------------------
+
+
+def mlir_pulse_to_schedule(
+    payload: "Module | str",
+    device: Any,
+    scalar_args: Mapping[str, float] | None = None,
+    *,
+    sequence_name: str | None = None,
+) -> PulseSchedule:
+    """Interpret an MLIR pulse payload (module object or text) into a
+    schedule bound to *device*."""
+    module = parse_module(payload) if isinstance(payload, str) else payload
+    return module_to_schedule(
+        module, device, scalar_args, sequence_name=sequence_name
+    )

@@ -1,0 +1,128 @@
+"""Schedule-level transforms: dynamical decoupling / Hahn echo.
+
+Pulse-level access "enables the implementation of a wide range of
+strategies from the field of quantum optimal control ... applying
+dynamical decoupling techniques" (paper §2.2). This transform rewrites
+long idle gaps on drive ports into echo sequences: the gap
+
+    <------------------ tau ------------------>
+
+becomes (CPMG-2, net identity)
+
+    tau/4  X  tau/2  X  tau/4
+
+Two calibrated pi pulses return the qubit to its original frame while
+refocusing phase accumulated from *static* frequency miscalibration —
+the error source our drifting devices actually exhibit between
+calibrations. The transform preserves every original event's absolute
+time (echo pulses only occupy previously-idle windows).
+"""
+
+from __future__ import annotations
+
+from repro.core.instructions import Capture, Delay, Play
+from repro.core.port import Port, PortKind
+from repro.core.schedule import PulseSchedule
+from repro.errors import PassError
+
+#: Port kinds that may receive echo pulses.
+_DRIVE_KINDS = (PortKind.DRIVE, PortKind.RF, PortKind.LASER)
+
+
+def _idle_windows(schedule: PulseSchedule, port: Port) -> list[tuple[int, int]]:
+    """Idle [start, end) windows on *port* between its timed events."""
+    busy = sorted(
+        (it.t0, it.t1)
+        for it in schedule.ordered()
+        if port in it.instruction.ports
+        and it.instruction.duration > 0
+        and not isinstance(it.instruction, Delay)  # delays ARE idle time
+    )
+    windows = []
+    cursor = 0
+    for t0, t1 in busy:
+        if t0 > cursor:
+            windows.append((cursor, t0))
+        cursor = max(cursor, t1)
+    return windows
+
+
+def insert_echo_sequences(
+    schedule: PulseSchedule,
+    device,
+    *,
+    min_gap: int | None = None,
+) -> PulseSchedule:
+    """Insert CPMG-2 echoes into long idle gaps on drive ports.
+
+    Parameters
+    ----------
+    schedule:
+        The source schedule (not mutated).
+    device:
+        Supplies the calibrated X pulse per site (``x_waveform``) and
+        the timing granularity.
+    min_gap:
+        Minimum idle length (samples) worth echoing; defaults to four
+        X-pulse durations.
+
+    Returns
+    -------
+    A new schedule with identical original events plus echo pulses.
+    """
+    constraints = device.config.constraints
+    g = constraints.granularity
+    x_duration = device.calibrations.get("x", (0,)).duration
+    if min_gap is None:
+        min_gap = 4 * x_duration
+    if min_gap < 2 * x_duration:
+        raise PassError("min_gap must fit two echo pulses")
+
+    out = PulseSchedule(schedule.name + "+dd")
+    for item in schedule.ordered():
+        if isinstance(item.instruction, Delay):
+            continue  # timing is reconstructed from absolute placement
+        out.insert(item.t0, item.instruction)
+
+    for port in schedule.ports():
+        if port.kind not in _DRIVE_KINDS or not port.targets:
+            continue
+        site = port.targets[0]
+        if not device.calibrations.has("x", (site,)):
+            continue
+        frame = device.default_frame(port)
+        wf = device.x_waveform()
+        for start, end in _idle_windows(schedule, port):
+            tau = end - start
+            if tau < min_gap:
+                continue
+            # Place two pi pulses at the 1/4 and 3/4 points of the idle
+            # window (grid-aligned), i.e. tau/4 X tau/2 X tau/4.
+            first = start + ((tau // 4) // g) * g
+            second = start + ((3 * tau // 4) // g) * g
+            if second + x_duration > end or second < first + x_duration:
+                continue
+            out.insert(first, Play(port, frame, wf))
+            out.insert(second, Play(port, frame, wf))
+    return out
+
+
+def idle_fraction(schedule: PulseSchedule, port: Port) -> float:
+    """Fraction of the schedule duration *port* spends idle."""
+    total = schedule.duration
+    if total == 0:
+        return 0.0
+    idle = sum(end - start for start, end in _idle_windows(schedule, port))
+    # Also count trailing idle time.
+    busy_end = max(
+        (
+            it.t1
+            for it in schedule.ordered()
+            if port in it.instruction.ports
+            and it.instruction.duration > 0
+            and not isinstance(it.instruction, Delay)
+        ),
+        default=0,
+    )
+    idle += total - busy_end
+    return idle / total

@@ -1,0 +1,91 @@
+"""Target Hamiltonians for the variational experiments.
+
+Provides Pauli-sum construction on qubit registers and the standard
+two-qubit reduced H2 Hamiltonian (STO-3G, equilibrium bond length)
+used by the ctrl-VQE literature the paper cites, plus the embedding of
+qubit-space operators into device dimensions (qutrits), so expectation
+values can be evaluated directly on simulator final states.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sim.operators import kron_all, pauli
+
+
+def pauli_sum(terms: Mapping[str, float], n_qubits: int) -> np.ndarray:
+    """Build ``sum_i c_i P_i`` from Pauli strings like ``"ZI"``.
+
+    String index 0 is qubit 0 (leftmost factor of the Kronecker
+    product).
+    """
+    dim = 2**n_qubits
+    out = np.zeros((dim, dim), dtype=np.complex128)
+    for label, coeff in terms.items():
+        if len(label) != n_qubits:
+            raise ValidationError(
+                f"Pauli string {label!r} has wrong length for {n_qubits} qubits"
+            )
+        out += coeff * kron_all([pauli(ch) for ch in label])
+    return out
+
+
+#: Two-qubit reduced H2 @ R=0.7414 A in the STO-3G basis (standard
+#: parity-mapped coefficients, in Hartree).
+H2_TERMS: dict[str, float] = {
+    "II": -1.052373245772859,
+    "ZI": 0.39793742484318045,
+    "IZ": -0.39793742484318045,
+    "ZZ": -0.01128010425623538,
+    "XX": 0.18093119978423156,
+}
+
+
+def h2_hamiltonian() -> np.ndarray:
+    """The 4x4 H2 Hamiltonian matrix (Hartree)."""
+    return pauli_sum(H2_TERMS, 2)
+
+
+def exact_ground_energy(hamiltonian: np.ndarray) -> float:
+    """Lowest eigenvalue of a Hermitian matrix."""
+    return float(np.linalg.eigvalsh(hamiltonian)[0])
+
+
+def qubit_subspace_isometry(dims: Sequence[int]) -> np.ndarray:
+    """Isometry (D, 2^n) from the full device space onto the qubit
+    levels {|0>, |1>} of each site (column-ordered like the qubit
+    register basis)."""
+    n = len(dims)
+    total = int(np.prod(dims))
+    cols = []
+    for bits in np.ndindex(*([2] * n)):
+        index = 0
+        for b, d in zip(bits, dims):
+            index = index * d + b
+        col = np.zeros(total, dtype=np.complex128)
+        col[index] = 1.0
+        cols.append(col)
+    return np.stack(cols, axis=1)
+
+
+def embed_qubit_operator(op: np.ndarray, dims: Sequence[int]) -> np.ndarray:
+    """Lift a 2^n x 2^n qubit operator into the full device space,
+    zero outside the computational subspace."""
+    iso = qubit_subspace_isometry(dims)
+    if op.shape != (iso.shape[1], iso.shape[1]):
+        raise ValidationError(
+            f"operator shape {op.shape} does not match qubit count of dims {tuple(dims)}"
+        )
+    return iso @ op @ iso.conj().T
+
+
+def expectation(state: np.ndarray, operator: np.ndarray) -> float:
+    """``<psi|O|psi>`` or ``tr(rho O)`` for Hermitian *operator*."""
+    state = np.asarray(state, dtype=np.complex128)
+    if state.ndim == 1:
+        return float(np.real(np.vdot(state, operator @ state)))
+    return float(np.real(np.trace(state @ operator)))

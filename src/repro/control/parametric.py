@@ -1,0 +1,84 @@
+"""Derivative-free optimization of parametric pulse shapes.
+
+The hybrid open/closed-loop approach the paper describes (§2.1):
+a parametric pulse family (amp/sigma/beta...) is tuned against a cost
+measured on the (simulated) device — no gradient, only evaluations —
+using Nelder-Mead. This is the workhorse behind DRAG tuning and the
+pulse-parameter half of ctrl-VQE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.errors import OptimizationError
+
+
+@dataclass
+class ParametricResult:
+    """Outcome of a parametric optimization."""
+
+    x: np.ndarray
+    cost: float
+    evaluations: int
+    history: list[float] = field(default_factory=list)
+    converged: bool = False
+
+
+class ParametricOptimizer:
+    """Nelder-Mead over a bounded parameter vector."""
+
+    def __init__(
+        self,
+        cost: Callable[[np.ndarray], float],
+        bounds: Sequence[tuple[float, float]] | None = None,
+    ) -> None:
+        self.cost = cost
+        self.bounds = list(bounds) if bounds is not None else None
+
+    def _clipped(self, x: np.ndarray) -> np.ndarray:
+        if self.bounds is None:
+            return x
+        lo = np.array([b[0] for b in self.bounds])
+        hi = np.array([b[1] for b in self.bounds])
+        return np.clip(x, lo, hi)
+
+    def optimize(
+        self,
+        x0: Sequence[float],
+        *,
+        maxiter: int = 200,
+        tol: float = 1e-8,
+    ) -> ParametricResult:
+        """Minimize from *x0*; bounds are enforced by clipping."""
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.ndim != 1 or x0.size == 0:
+            raise OptimizationError("x0 must be a non-empty 1-D vector")
+        history: list[float] = []
+        evals = 0
+
+        def wrapped(x: np.ndarray) -> float:
+            nonlocal evals
+            evals += 1
+            value = float(self.cost(self._clipped(x)))
+            history.append(value)
+            return value
+
+        res = minimize(
+            wrapped,
+            x0,
+            method="Nelder-Mead",
+            options={"maxiter": maxiter, "fatol": tol, "xatol": tol},
+        )
+        x_best = self._clipped(np.asarray(res.x))
+        return ParametricResult(
+            x=x_best,
+            cost=float(res.fun),
+            evaluations=evals,
+            history=history,
+            converged=bool(res.success),
+        )

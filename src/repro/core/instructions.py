@@ -1,0 +1,255 @@
+"""Pulse instructions: the atomic operations of a pulse schedule.
+
+These mirror the op vocabulary the paper adopts from IBM's MLIR pulse
+dialect (§5.2): ``play``, ``frame_change``, ``set_phase``/``shift_phase``,
+``set_frequency``/``shift_frequency``, ``delay``, ``barrier`` and
+``capture``. Every instruction names the :class:`~repro.core.port.Port`
+(and usually :class:`~repro.core.frame.Frame`) it acts on, plus a
+duration in samples; zero-duration instructions (frame updates,
+barriers) model virtual operations that consume no wall-clock time on
+the control electronics.
+
+Instructions are immutable values; the mutable object is the
+:class:`~repro.core.schedule.PulseSchedule` that sequences them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.frame import Frame
+from repro.core.port import Port
+from repro.core.waveform import Waveform
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class. ``duration`` is in samples; ``ports`` lists every
+    channel the instruction touches (used for per-channel scheduling)."""
+
+    def __post_init__(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    @property
+    def duration(self) -> int:
+        """Wall-clock length in samples (0 for virtual instructions)."""
+        return 0
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        """Channels this instruction occupies."""
+        return ()
+
+    @property
+    def is_virtual(self) -> bool:
+        """True when the instruction consumes no time."""
+        return self.duration == 0
+
+
+@dataclass(frozen=True)
+class Play(Instruction):
+    """Emit *waveform* on *port*, modulated by *frame*.
+
+    The paper's ``qPlayWaveform(port, waveform)`` / ``pulse.play`` /
+    ``__quantum__pulse__waveform_play__body``.
+    """
+
+    port: Port
+    frame: Frame
+    waveform: Waveform
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.waveform, Waveform):
+            raise ValidationError(f"Play needs a Waveform, got {self.waveform!r}")
+        if self.port.is_output:
+            raise ValidationError(
+                f"cannot play on output port {self.port.name!r}; use Capture"
+            )
+
+    @property
+    def duration(self) -> int:
+        return self.waveform.duration
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return (self.port,)
+
+
+def _check_finite(value: float, what: str) -> float:
+    v = float(value)
+    if not math.isfinite(v):
+        raise ValidationError(f"{what} must be finite, got {value!r}")
+    return v
+
+
+@dataclass(frozen=True)
+class SetFrequency(Instruction):
+    """Set the carrier frequency of *frame* on *port* (virtual)."""
+
+    port: Port
+    frame: Frame
+    frequency: float
+
+    def __post_init__(self) -> None:
+        f = _check_finite(self.frequency, "frequency")
+        if f < 0:
+            raise ValidationError(f"frequency must be >= 0, got {f}")
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return (self.port,)
+
+
+@dataclass(frozen=True)
+class ShiftFrequency(Instruction):
+    """Shift the carrier frequency of *frame* on *port* by *delta* Hz."""
+
+    port: Port
+    frame: Frame
+    delta: float
+
+    def __post_init__(self) -> None:
+        _check_finite(self.delta, "frequency shift")
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return (self.port,)
+
+
+@dataclass(frozen=True)
+class SetPhase(Instruction):
+    """Set the static phase of *frame* on *port* (virtual Z)."""
+
+    port: Port
+    frame: Frame
+    phase: float
+
+    def __post_init__(self) -> None:
+        _check_finite(self.phase, "phase")
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return (self.port,)
+
+
+@dataclass(frozen=True)
+class ShiftPhase(Instruction):
+    """Shift the static phase of *frame* on *port* by *delta* rad."""
+
+    port: Port
+    frame: Frame
+    delta: float
+
+    def __post_init__(self) -> None:
+        _check_finite(self.delta, "phase shift")
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return (self.port,)
+
+
+@dataclass(frozen=True)
+class FrameChange(Instruction):
+    """Combined frequency+phase update — the paper's
+    ``qFrameChange(port, frequency, phase)`` primitive.
+
+    Semantically equivalent to a :class:`SetFrequency` followed by a
+    :class:`SetPhase`; kept as one instruction because the QPI, the MLIR
+    dialect and the QIR intrinsic all expose it fused, and the
+    canonicalization pass may split or re-fuse it.
+    """
+
+    port: Port
+    frame: Frame
+    frequency: float
+    phase: float
+
+    def __post_init__(self) -> None:
+        f = _check_finite(self.frequency, "frequency")
+        if f < 0:
+            raise ValidationError(f"frequency must be >= 0, got {f}")
+        _check_finite(self.phase, "phase")
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return (self.port,)
+
+
+@dataclass(frozen=True)
+class Delay(Instruction):
+    """Idle *port* for ``duration_samples`` samples."""
+
+    port: Port
+    duration_samples: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.duration_samples, int) or self.duration_samples < 0:
+            raise ValidationError(
+                f"delay duration must be a non-negative int, got {self.duration_samples!r}"
+            )
+
+    @property
+    def duration(self) -> int:
+        return self.duration_samples
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return (self.port,)
+
+
+@dataclass(frozen=True)
+class Barrier(Instruction):
+    """Synchronize a set of ports: no instruction after the barrier on
+    any listed port may start before every listed port reaches it."""
+
+    barrier_ports: tuple[Port, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.barrier_ports) < 1:
+            raise ValidationError("barrier needs at least one port")
+        if len(set(self.barrier_ports)) != len(self.barrier_ports):
+            raise ValidationError("barrier ports must be distinct")
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return self.barrier_ports
+
+
+@dataclass(frozen=True)
+class Capture(Instruction):
+    """Acquire a readout result from an output *port* into classical
+    *memory_slot*, integrating for ``duration_samples`` samples.
+
+    The paper's ``pulse.capture`` / measurement step. Readout on real
+    hardware is a stimulus ``Play`` on the readout port followed by a
+    ``Capture`` on the acquire port; the gate->pulse lowering emits both.
+    """
+
+    port: Port
+    frame: Frame
+    memory_slot: int
+    duration_samples: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.port.is_output:
+            raise ValidationError(
+                f"capture requires an output port, got {self.port.name!r}"
+            )
+        if not isinstance(self.memory_slot, int) or self.memory_slot < 0:
+            raise ValidationError(
+                f"memory slot must be a non-negative int, got {self.memory_slot!r}"
+            )
+        if not isinstance(self.duration_samples, int) or self.duration_samples < 0:
+            raise ValidationError(
+                f"capture duration must be a non-negative int, got {self.duration_samples!r}"
+            )
+
+    @property
+    def duration(self) -> int:
+        return self.duration_samples
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return (self.port,)

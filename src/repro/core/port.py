@@ -1,0 +1,130 @@
+"""Ports: software handles for hardware I/O channels (paper §4).
+
+A port "exposes vendor-defined actuation knobs for targeting
+user-accessible hardware components, such as drive or acquisition
+channels, while abstracting away device-specific complexity". Ports are
+*identity* objects: two ports are the same channel iff their names are
+equal. They are deliberately cheap, hashable and immutable so that they
+can be used as dictionary keys throughout the scheduler, simulator and
+compiler without copying.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+class PortKind(enum.Enum):
+    """The physical role of a port, across all three platforms.
+
+    Superconducting devices use DRIVE/COUPLER/FLUX/READOUT/ACQUIRE,
+    trapped-ion devices use RF (global and individual addressing beams)
+    plus ACQUIRE (photon counting), and neutral-atom devices use LASER
+    (Rydberg/trap beams) plus ACQUIRE (fluorescence imaging). The kind
+    is advisory metadata used by constraint queries and lowering; the
+    scheduling semantics are identical for every kind.
+    """
+
+    DRIVE = "drive"
+    COUPLER = "coupler"
+    FLUX = "flux"
+    READOUT = "readout"
+    ACQUIRE = "acquire"
+    RF = "rf"
+    LASER = "laser"
+    TRAP = "trap"
+
+
+class PortDirection(enum.Enum):
+    """Signal direction relative to the quantum device."""
+
+    INPUT = "input"  # control signals flowing into the device
+    OUTPUT = "output"  # measurement signals flowing out
+
+
+#: Port kinds that carry signals out of the device.
+_OUTPUT_KINDS = frozenset({PortKind.ACQUIRE})
+
+
+@dataclass(frozen=True, order=True)
+class Port:
+    """A hardware input/output channel.
+
+    Parameters
+    ----------
+    name:
+        Globally unique channel identifier, e.g. ``"q0-drive-port"``.
+        Uniqueness is the device's responsibility; equality and hashing
+        use the full dataclass tuple so distinct devices may reuse names
+        without aliasing as long as kinds/targets also match.
+    kind:
+        The :class:`PortKind` describing the channel's physical role.
+    targets:
+        Site (qubit) indices the channel acts on. Drive/readout ports
+        target one site; coupler ports target two.
+    direction:
+        Input (actuation) or output (acquisition). Derived from *kind*
+        when omitted.
+    """
+
+    name: str
+    kind: PortKind = PortKind.DRIVE
+    targets: tuple[int, ...] = field(default=())
+    direction: PortDirection = field(default=PortDirection.INPUT)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("port name must be a non-empty string")
+        if not isinstance(self.kind, PortKind):
+            raise ValidationError(f"port kind must be a PortKind, got {self.kind!r}")
+        if any((not isinstance(t, int)) or t < 0 for t in self.targets):
+            raise ValidationError(
+                f"port targets must be non-negative ints, got {self.targets!r}"
+            )
+        expected = (
+            PortDirection.OUTPUT if self.kind in _OUTPUT_KINDS else PortDirection.INPUT
+        )
+        if self.direction is not expected:
+            # Allow explicit override only when it matches the kind;
+            # silently fixing it would hide configuration bugs.
+            raise ValidationError(
+                f"port {self.name!r} of kind {self.kind.value} must have "
+                f"direction {expected.value}, got {self.direction.value}"
+            )
+
+    @classmethod
+    def drive(cls, site: int, name: str | None = None) -> "Port":
+        """Convenience constructor for a single-qubit drive channel."""
+        return cls(name or f"q{site}-drive-port", PortKind.DRIVE, (site,))
+
+    @classmethod
+    def coupler(cls, site_a: int, site_b: int, name: str | None = None) -> "Port":
+        """Convenience constructor for a two-qubit coupler channel."""
+        lo, hi = sorted((site_a, site_b))
+        return cls(name or f"q{lo}q{hi}-coupler-port", PortKind.COUPLER, (lo, hi))
+
+    @classmethod
+    def readout(cls, site: int, name: str | None = None) -> "Port":
+        """Convenience constructor for a readout stimulus channel."""
+        return cls(name or f"q{site}-readout-port", PortKind.READOUT, (site,))
+
+    @classmethod
+    def acquire(cls, site: int, name: str | None = None) -> "Port":
+        """Convenience constructor for an acquisition channel."""
+        return cls(
+            name or f"q{site}-acquire-port",
+            PortKind.ACQUIRE,
+            (site,),
+            PortDirection.OUTPUT,
+        )
+
+    @property
+    def is_output(self) -> bool:
+        """Whether this port carries signals out of the device."""
+        return self.direction is PortDirection.OUTPUT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

@@ -1,0 +1,291 @@
+"""Pulse schedules: time-ordered containers of pulse instructions.
+
+A :class:`PulseSchedule` is the common currency of the stack — the QPI
+builder produces one, gate->pulse lowering produces one, the QIR linker
+reconstructs one, devices execute one. Semantics:
+
+* Time is measured in integer samples from schedule start.
+* Each port is a serial resource: two timed instructions on the same
+  port may not overlap.
+* :meth:`append` schedules as-soon-as-possible *per port* (the ASAP
+  policy used by the paper's Listing 1 builder API); :meth:`insert`
+  places an instruction at an explicit time for compiler passes that
+  re-schedule.
+* Barriers synchronize the listed ports.
+
+Schedules can be canonicalized and fingerprinted, which is how the
+Listing 1 = Listing 2 = Listing 3 equivalence experiment (E1 in
+DESIGN.md) asserts that three different front-end representations
+denote the same physical program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.core.frame import Frame
+from repro.core.instructions import (
+    Barrier,
+    Capture,
+    Delay,
+    FrameChange,
+    Instruction,
+    Play,
+    SetFrequency,
+    SetPhase,
+    ShiftFrequency,
+    ShiftPhase,
+)
+from repro.core.port import Port
+from repro.errors import ScheduleError
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledInstruction:
+    """An instruction placed at an absolute start time (samples)."""
+
+    t0: int
+    seq: int  # insertion order; breaks ties deterministically
+    instruction: Instruction = None  # type: ignore[assignment]
+
+    @property
+    def t1(self) -> int:
+        """End time (samples)."""
+        return self.t0 + self.instruction.duration
+
+
+class PulseSchedule:
+    """A mutable, per-port-serialized sequence of pulse instructions."""
+
+    def __init__(self, name: str = "schedule") -> None:
+        self.name = name
+        self._items: list[ScheduledInstruction] = []
+        self._port_free: dict[Port, int] = {}
+        self._seq = 0
+
+    # ---- construction -------------------------------------------------------
+
+    def append(self, instruction: Instruction) -> ScheduledInstruction:
+        """Schedule *instruction* as soon as every port it touches is free.
+
+        Virtual instructions (frame changes) are placed at the port's
+        current free time and do not advance it. Barriers advance all
+        listed ports to their common maximum.
+        """
+        ports = instruction.ports
+        if not ports:
+            raise ScheduleError(f"instruction {instruction!r} touches no ports")
+        t0 = max(self._port_free.get(p, 0) for p in ports)
+        return self._place(t0, instruction)
+
+    def insert(self, t0: int, instruction: Instruction) -> ScheduledInstruction:
+        """Place *instruction* at absolute time *t0* (samples).
+
+        Overlap with an already-scheduled timed instruction on the same
+        port is rejected; virtual instructions may share a time point.
+        """
+        if t0 < 0:
+            raise ScheduleError(f"start time must be >= 0, got {t0}")
+        if instruction.duration > 0:
+            t1 = t0 + instruction.duration
+            for item in self._items:
+                if item.instruction.duration == 0:
+                    continue
+                if not set(item.instruction.ports) & set(instruction.ports):
+                    continue
+                if t0 < item.t1 and item.t0 < t1:
+                    raise ScheduleError(
+                        f"instruction at [{t0}, {t1}) overlaps existing "
+                        f"[{item.t0}, {item.t1}) on a shared port"
+                    )
+        return self._place(t0, instruction)
+
+    def _place(self, t0: int, instruction: Instruction) -> ScheduledInstruction:
+        item = ScheduledInstruction(t0, self._seq, instruction)
+        self._seq += 1
+        self._items.append(item)
+        end = t0 + instruction.duration
+        for p in instruction.ports:
+            self._port_free[p] = max(self._port_free.get(p, 0), end)
+        return item
+
+    def barrier(self, *ports: Port) -> ScheduledInstruction:
+        """Append a barrier over *ports* (all known ports if empty)."""
+        targets = tuple(ports) if ports else tuple(sorted(self._port_free))
+        if not targets:
+            raise ScheduleError("barrier on an empty schedule with no ports given")
+        return self.append(Barrier(targets))
+
+    # ---- composition --------------------------------------------------------
+
+    def shifted(self, delta: int) -> "PulseSchedule":
+        """A copy with every start time shifted by *delta* >= 0 samples."""
+        if delta < 0:
+            raise ScheduleError(f"shift must be >= 0, got {delta}")
+        out = PulseSchedule(self.name)
+        for item in self._items:
+            out._place(item.t0 + delta, item.instruction)
+        return out
+
+    def then(self, other: "PulseSchedule") -> "PulseSchedule":
+        """Sequential composition: *other* starts after this ends."""
+        out = self.copy()
+        offset = self.duration
+        for item in other.ordered():
+            out._place(item.t0 + offset, item.instruction)
+        return out
+
+    def union(self, other: "PulseSchedule") -> "PulseSchedule":
+        """Parallel composition: overlay *other* at time 0.
+
+        Raises :class:`ScheduleError` on port conflicts.
+        """
+        out = self.copy()
+        for item in other.ordered():
+            out.insert(item.t0, item.instruction)
+        return out
+
+    def copy(self) -> "PulseSchedule":
+        """Deep-enough copy (instructions are immutable and shared)."""
+        out = PulseSchedule(self.name)
+        for item in self._items:
+            out._place(item.t0, item.instruction)
+        return out
+
+    # ---- inspection ----------------------------------------------------------
+
+    def ordered(self) -> list[ScheduledInstruction]:
+        """Instructions sorted by (start time, insertion order)."""
+        return sorted(self._items, key=lambda it: (it.t0, it.seq))
+
+    def __iter__(self) -> Iterator[ScheduledInstruction]:
+        return iter(self.ordered())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def duration(self) -> int:
+        """Total schedule length in samples."""
+        return max((it.t1 for it in self._items), default=0)
+
+    def ports(self) -> list[Port]:
+        """Every port referenced, sorted by name."""
+        seen: set[Port] = set()
+        for item in self._items:
+            seen.update(item.instruction.ports)
+        return sorted(seen, key=lambda p: p.name)
+
+    def frames(self) -> list[Frame]:
+        """Every frame referenced, sorted by name."""
+        seen: set[Frame] = set()
+        for item in self._items:
+            frame = getattr(item.instruction, "frame", None)
+            if frame is not None:
+                seen.add(frame)
+        return sorted(seen, key=lambda f: f.name)
+
+    def port_occupancy(self, port: Port) -> int:
+        """Total busy samples on *port* (sum of timed durations)."""
+        return sum(
+            it.instruction.duration
+            for it in self._items
+            if port in it.instruction.ports
+        )
+
+    def instructions_of(self, kind: type) -> list[ScheduledInstruction]:
+        """All scheduled instructions of the given class."""
+        return [it for it in self.ordered() if isinstance(it.instruction, kind)]
+
+    def filter(
+        self, predicate: Callable[[ScheduledInstruction], bool]
+    ) -> "PulseSchedule":
+        """New schedule keeping only items where *predicate* holds,
+        preserving absolute times."""
+        out = PulseSchedule(self.name)
+        for item in self.ordered():
+            if predicate(item):
+                out._place(item.t0, item.instruction)
+        return out
+
+    # ---- canonicalization / equality ------------------------------------------
+
+    def _instruction_key(self, ins: Instruction) -> tuple:
+        """A stable, hashable description of one instruction."""
+        if isinstance(ins, Play):
+            return ("play", ins.port.name, ins.frame.name, ins.waveform.fingerprint())
+        if isinstance(ins, Delay):
+            return ("delay", ins.port.name, ins.duration_samples)
+        if isinstance(ins, Barrier):
+            return ("barrier",) + tuple(sorted(p.name for p in ins.barrier_ports))
+        if isinstance(ins, Capture):
+            return (
+                "capture",
+                ins.port.name,
+                ins.frame.name,
+                ins.memory_slot,
+                ins.duration_samples,
+            )
+        if isinstance(ins, FrameChange):
+            return (
+                "frame_change",
+                ins.port.name,
+                ins.frame.name,
+                round(ins.frequency, 9),
+                round(ins.phase, 12),
+            )
+        if isinstance(ins, SetFrequency):
+            return ("set_frequency", ins.port.name, ins.frame.name, round(ins.frequency, 9))
+        if isinstance(ins, ShiftFrequency):
+            return ("shift_frequency", ins.port.name, ins.frame.name, round(ins.delta, 9))
+        if isinstance(ins, SetPhase):
+            return ("set_phase", ins.port.name, ins.frame.name, round(ins.phase, 12))
+        if isinstance(ins, ShiftPhase):
+            return ("shift_phase", ins.port.name, ins.frame.name, round(ins.delta, 12))
+        raise ScheduleError(f"cannot canonicalize instruction {ins!r}")
+
+    def canonical_events(self) -> list[tuple[int, tuple]]:
+        """The schedule as sorted ``(t0, instruction-key)`` events.
+
+        Barriers are synchronization directives and delays are pure
+        timing padding; once every event carries its absolute start
+        time, neither adds information, so both are dropped from the
+        canonical form. Two schedules with different barrier/delay
+        structure but identical physical events at identical times are
+        the same program.
+        """
+        events = [
+            (it.t0, self._instruction_key(it.instruction))
+            for it in self.ordered()
+            if not isinstance(it.instruction, (Barrier, Delay))
+        ]
+        events.sort()
+        return events
+
+    def fingerprint(self) -> str:
+        """Content hash of the canonical event list."""
+        h = hashlib.sha256()
+        for t0, key in self.canonical_events():
+            h.update(repr((t0, key)).encode())
+        return h.hexdigest()[:16]
+
+    def equivalent_to(self, other: "PulseSchedule") -> bool:
+        """True when both schedules denote the same physical program."""
+        return self.canonical_events() == other.canonical_events()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PulseSchedule({self.name!r}, n={len(self._items)}, "
+            f"duration={self.duration}, ports={len(self.ports())})"
+        )
+
+
+def merge_schedules(schedules: Iterable[PulseSchedule], name: str = "merged") -> PulseSchedule:
+    """Overlay multiple schedules at time zero (parallel composition)."""
+    out = PulseSchedule(name)
+    for sched in schedules:
+        out = out.union(sched)
+    out.name = name
+    return out

@@ -1,0 +1,69 @@
+"""Timing and granularity arithmetic.
+
+Control hardware accepts pulse start times and durations only on a
+fixed grid: an integer multiple of the device *granularity* (in
+samples). QDMI exposes the granularity and sample period ``dt`` as
+device properties (paper §5.3, Fig. 2 "timing/granularity and
+constraints"); the compiler's legalization pass uses these helpers to
+snap schedules onto the grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+
+
+def _check_granularity(granularity: int) -> None:
+    if not isinstance(granularity, int) or granularity <= 0:
+        raise ValidationError(
+            f"granularity must be a positive int, got {granularity!r}"
+        )
+
+
+def align_up(value: int, granularity: int) -> int:
+    """Smallest multiple of *granularity* that is >= *value*."""
+    _check_granularity(granularity)
+    if value < 0:
+        raise ValidationError(f"cannot align negative value {value}")
+    return ((value + granularity - 1) // granularity) * granularity
+
+
+def align_down(value: int, granularity: int) -> int:
+    """Largest multiple of *granularity* that is <= *value*."""
+    _check_granularity(granularity)
+    if value < 0:
+        raise ValidationError(f"cannot align negative value {value}")
+    return (value // granularity) * granularity
+
+
+def validate_granularity(value: int, granularity: int, what: str = "value") -> None:
+    """Raise :class:`ValidationError` unless *value* sits on the grid."""
+    _check_granularity(granularity)
+    if value % granularity != 0:
+        raise ValidationError(
+            f"{what} {value} is not a multiple of granularity {granularity}"
+        )
+
+
+def seconds_to_samples(seconds: float, dt: float, *, round_up: bool = True) -> int:
+    """Convert physical seconds to an integer number of samples.
+
+    Rounds up by default so requested durations are never shortened.
+    """
+    if dt <= 0 or not math.isfinite(dt):
+        raise ValidationError(f"dt must be positive and finite, got {dt!r}")
+    if seconds < 0 or not math.isfinite(seconds):
+        raise ValidationError(f"seconds must be >= 0 and finite, got {seconds!r}")
+    exact = seconds / dt
+    return int(math.ceil(exact - 1e-12)) if round_up else int(math.floor(exact + 1e-12))
+
+
+def samples_to_seconds(samples: int, dt: float) -> float:
+    """Convert a sample count to physical seconds."""
+    if dt <= 0 or not math.isfinite(dt):
+        raise ValidationError(f"dt must be positive and finite, got {dt!r}")
+    if samples < 0:
+        raise ValidationError(f"samples must be >= 0, got {samples!r}")
+    return samples * dt

@@ -1,0 +1,38 @@
+"""Simulated QDMI devices (paper Fig. 2, bottom row).
+
+The paper's architecture diagram shows QDMI devices of many kinds —
+superconducting, neutral-atom and trapped-ion accelerators, classical
+simulators, and databases. Real hardware is access-gated, so this
+package provides simulated stand-ins that implement the full
+:class:`~repro.qdmi.device.QDMIDevice` protocol and execute pulse jobs
+on the :mod:`repro.sim` dynamics engine:
+
+* :class:`SuperconductingDevice` — fixed-frequency transmons (qutrit
+  levels, DRAG calibrations, tunable couplers, minutes-scale frequency
+  drift per paper §2.1).
+* :class:`TrappedIonDevice` — ion chain with slow motional-mode drift,
+  coarse timing granularity, long coherence.
+* :class:`NeutralAtomDevice` — atom array with Rydberg-blockade
+  entangling port, laser drive channels, atom-loss readout errors.
+* :class:`CalibrationDatabaseDevice` — a query-only QDMI device backed
+  by a key-value store, demonstrating that non-QPU services speak the
+  same interface.
+"""
+
+from repro.devices.base import DeviceConfig, SimulatedDevice
+from repro.devices.calibrations import CalibrationEntry, CalibrationSet
+from repro.devices.superconducting import SuperconductingDevice
+from repro.devices.trapped_ion import TrappedIonDevice
+from repro.devices.neutral_atom import NeutralAtomDevice
+from repro.devices.database import CalibrationDatabaseDevice
+
+__all__ = [
+    "SimulatedDevice",
+    "DeviceConfig",
+    "CalibrationSet",
+    "CalibrationEntry",
+    "SuperconductingDevice",
+    "TrappedIonDevice",
+    "NeutralAtomDevice",
+    "CalibrationDatabaseDevice",
+]

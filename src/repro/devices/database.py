@@ -1,0 +1,90 @@
+"""A query-only QDMI device backed by a key-value store.
+
+Fig. 2 of the paper lists *databases* among the QDMI devices — services
+that speak the same C interface but store calibration records instead
+of running quantum jobs. This device demonstrates that diversity: it
+answers device-property queries from a stored snapshot, exposes
+arbitrary calibration records, and rejects job submission (it has no
+quantum execution capability and advertises no supported formats).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import JobError, UnsupportedQueryError
+from repro.qdmi.device import QDMIDevice
+from repro.qdmi.job import QDMIJob
+from repro.qdmi.properties import (
+    DeviceProperty,
+    DeviceStatus,
+    OperationProperty,
+    PulseSupportLevel,
+    SiteProperty,
+)
+from repro.qdmi.types import Site
+
+
+class CalibrationDatabaseDevice(QDMIDevice):
+    """Stores calibration/telemetry records; query-only."""
+
+    def __init__(self, name: str = "calibration-db") -> None:
+        self._name = name
+        self._records: dict[str, Any] = {}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    # ---- record store ---------------------------------------------------------------
+
+    def put_record(self, key: str, value: Any) -> None:
+        """Store a calibration/telemetry record."""
+        self._records[key] = value
+
+    def get_record(self, key: str) -> Any:
+        """Retrieve a stored record; raises UnsupportedQueryError when absent."""
+        try:
+            return self._records[key]
+        except KeyError:
+            raise UnsupportedQueryError(
+                f"database {self._name!r} has no record {key!r}"
+            ) from None
+
+    def keys(self) -> list[str]:
+        """All stored record keys, sorted."""
+        return sorted(self._records)
+
+    # ---- QDMI query interface ---------------------------------------------------------
+
+    def query_device_property(self, prop: DeviceProperty) -> Any:
+        if prop is DeviceProperty.NAME:
+            return self._name
+        if prop is DeviceProperty.VERSION:
+            return "1.0"
+        if prop is DeviceProperty.TECHNOLOGY:
+            return "database"
+        if prop is DeviceProperty.NUM_SITES:
+            return 0
+        if prop is DeviceProperty.STATUS:
+            return DeviceStatus.IDLE
+        if prop is DeviceProperty.SUPPORTED_FORMATS:
+            return ()
+        if prop is DeviceProperty.NATIVE_GATES:
+            return ()
+        if prop is DeviceProperty.PULSE_SUPPORT_LEVEL:
+            return PulseSupportLevel.NONE
+        raise UnsupportedQueryError(
+            f"database {self._name!r} does not answer {prop.value!r}"
+        )
+
+    def query_site_property(self, site: Site, prop: SiteProperty) -> Any:
+        raise UnsupportedQueryError(f"database {self._name!r} has no sites")
+
+    def query_operation_property(self, operation, sites, prop: OperationProperty) -> Any:
+        raise UnsupportedQueryError(f"database {self._name!r} has no operations")
+
+    # ---- job interface ------------------------------------------------------------------
+
+    def submit_job(self, job: QDMIJob) -> None:
+        raise JobError(f"database {self._name!r} does not execute jobs")

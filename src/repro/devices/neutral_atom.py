@@ -1,0 +1,238 @@
+"""Simulated neutral-atom device.
+
+Models a 1-D optical-tweezer atom array:
+
+* two-level atoms driven by per-site laser ports,
+* Rydberg-blockade entangling ports between neighboring atoms (the
+  blockade interaction compiled to an effective controlled-phase term),
+* MHz-scale Rabi rates, 2 ns samples, granularity 4,
+* minute-scale laser-stability drift (paper §2.1: neutral-atom systems
+  "are dominated by the stability of their laser control systems ...
+  which requires calibration of parameters on a minute timescale") —
+  the fastest drift of the three platforms,
+* atom-loss-dominated readout asymmetry (loss reads as bright/dark
+  misassignment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.constraints import PulseConstraints
+from repro.core.instructions import Capture, Play, ShiftPhase
+from repro.core.port import Port, PortDirection, PortKind
+from repro.core.schedule import PulseSchedule
+from repro.core.waveform import gaussian_waveform, gaussian_square_waveform
+from repro.devices.base import DeviceConfig, SimulatedDevice
+from repro.devices.calibrations import CalibrationEntry, CalibrationSet
+from repro.qdmi.types import OperationInfo
+from repro.sim.measurement import ReadoutModel
+from repro.sim.model import ChannelCoupling, SystemModel
+from repro.sim.operators import basis_state, destroy_on
+
+
+def _zz_projector(site_a: int, site_b: int, dims: tuple[int, ...]) -> np.ndarray:
+    """Projector onto |1>_a |1>_b (effective blockade phase term)."""
+    dim = int(np.prod(dims))
+    proj = np.zeros((dim, dim), dtype=np.complex128)
+    for idx in np.ndindex(*dims):
+        if idx[site_a] == 1 and idx[site_b] == 1:
+            v = basis_state(list(idx), dims)
+            proj += np.outer(v, v.conj())
+    return proj
+
+
+class NeutralAtomDevice(SimulatedDevice):
+    """An optical-tweezer atom array exposed over QDMI."""
+
+    X_DURATION = 248  # 2 ns samples -> ~500 ns pi pulse
+    X_SIGMA = 60
+    RYD_DURATION = 500  # ~1 us entangling pulse
+    RYD_SIGMA = 50
+    RYD_WIDTH = 300
+    READOUT_DURATION = 5000  # 10 us imaging window
+
+    def __init__(
+        self,
+        name: str = "atom-array",
+        num_qubits: int = 2,
+        *,
+        seed: int = 0,
+        drift_rate: float = 2e3,
+        rabi_rate: float = 2e6,
+        blockade_rate: float = 1e6,
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        dt = 2e-9
+        # Effective two-photon transition offsets.
+        base_freqs = [500e6 + 2e6 * q for q in range(num_qubits)]
+        pairs = [(q, q + 1) for q in range(num_qubits - 1)]
+        dims = tuple([2] * num_qubits)
+
+        def model_factory(offsets: np.ndarray) -> SystemModel:
+            dim = int(np.prod(dims))
+            channels: dict[str, ChannelCoupling] = {}
+            for q in range(num_qubits):
+                channels[f"atom{q}-laser-port"] = ChannelCoupling(
+                    operator=destroy_on(q, dims),
+                    reference_frequency=float(base_freqs[q] + offsets[q]),
+                    rabi_rate=rabi_rate,
+                )
+            for lo, hi in pairs:
+                channels[f"atom{lo}atom{hi}-rydberg-port"] = ChannelCoupling(
+                    operator=_zz_projector(lo, hi, dims),
+                    reference_frequency=0.0,
+                    rabi_rate=blockade_rate,
+                    hermitian=True,
+                )
+            return SystemModel(
+                dims=dims,
+                drift=np.zeros((dim, dim), dtype=np.complex128),
+                channels=channels,
+                dt=dt,
+                site_frequencies=tuple(
+                    float(f + o) for f, o in zip(base_freqs, offsets)
+                ),
+            )
+
+        ports: list[Port] = []
+        for q in range(num_qubits):
+            ports.append(Port(f"atom{q}-laser-port", PortKind.LASER, (q,)))
+            ports.append(Port(f"atom{q}-readout-port", PortKind.READOUT, (q,)))
+            ports.append(
+                Port(
+                    f"atom{q}-acquire-port",
+                    PortKind.ACQUIRE,
+                    (q,),
+                    PortDirection.OUTPUT,
+                )
+            )
+        for lo, hi in pairs:
+            ports.append(
+                Port(f"atom{lo}atom{hi}-rydberg-port", PortKind.COUPLER, (lo, hi))
+            )
+
+        operations = [
+            OperationInfo("x", 1),
+            OperationInfo("sx", 1),
+            OperationInfo("rz", 1, ("theta",), is_virtual=True),
+            OperationInfo("cz", 2),
+            OperationInfo("measure", 1),
+        ]
+
+        constraints = PulseConstraints(
+            dt=dt,
+            granularity=4,
+            min_pulse_duration=4,
+            max_pulse_duration=1 << 18,
+            max_amplitude=1.0,
+            supported_envelopes=frozenset(
+                {"gaussian", "gaussian_square", "constant", "square", "sine", "blackman"}
+            ),
+            min_frequency=0.0,
+            max_frequency=2e9,
+            num_memory_slots=max(num_qubits, 8),
+            supports_raw_samples=True,
+        )
+
+        config = DeviceConfig(
+            name=name,
+            technology="neutral-atom",
+            num_sites=num_qubits,
+            constraints=constraints,
+            drift_rate=drift_rate,
+            extra={
+                "fidelities": {"x": 0.999, "sx": 0.999, "cz": 0.995, "measure": 0.98}
+            },
+        )
+
+        # Atom loss during imaging dominates: 1 -> 0 misassignment.
+        readout = {q: ReadoutModel(p01=0.005, p10=0.03) for q in range(num_qubits)}
+
+        super().__init__(
+            config,
+            model_factory=model_factory,
+            base_frequencies=base_freqs,
+            ports=ports,
+            operations=operations,
+            calibrations=CalibrationSet(),
+            readout=readout,
+            seed=seed,
+        )
+        self._rabi = rabi_rate
+        self._blockade = blockade_rate
+        self._pairs = pairs
+        self._build_calibrations(num_qubits)
+
+    # ---- calibrated waveforms ------------------------------------------------------------
+
+    def x_waveform(self, rotation: float = 1.0):
+        """Gaussian laser pulse for a pi*rotation rotation."""
+        unit = gaussian_waveform(self.X_DURATION, 1.0, self.X_SIGMA)
+        integral = float(np.real(unit.samples()).sum()) * self.config.constraints.dt
+        amp = rotation * 0.5 / (self._rabi * integral)
+        return gaussian_waveform(self.X_DURATION, amp, self.X_SIGMA)
+
+    def rydberg_waveform(self):
+        """Effective blockade-phase pulse for CZ."""
+        unit = gaussian_square_waveform(
+            self.RYD_DURATION, 1.0, self.RYD_SIGMA, self.RYD_WIDTH
+        )
+        integral = float(np.real(unit.samples()).sum()) * self.config.constraints.dt
+        amp = 0.5 / (self._blockade * integral)
+        return gaussian_square_waveform(
+            self.RYD_DURATION, amp, self.RYD_SIGMA, self.RYD_WIDTH
+        )
+
+    def readout_waveform(self):
+        """Imaging stimulus pulse."""
+        return gaussian_square_waveform(self.READOUT_DURATION, 0.1, 100, 4600)
+
+    def _build_calibrations(self, num_qubits: int) -> None:
+        cal = self.calibrations
+        for q in range(num_qubits):
+            cal.add(self._make_x_entry("x", q, 1.0))
+            cal.add(self._make_x_entry("sx", q, 0.5))
+            cal.add(self._make_rz_entry(q))
+            cal.add(self._make_measure_entry(q))
+        for lo, hi in self._pairs:
+            cal.add(self._make_cz_entry(lo, hi))
+
+    def _make_x_entry(self, name: str, q: int, rotation: float) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            port = self.drive_port(q)
+            sched.append(Play(port, self.default_frame(port), self.x_waveform(rotation)))
+
+        return CalibrationEntry(name, (q,), builder, self.X_DURATION)
+
+    def _make_rz_entry(self, q: int) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            port = self.drive_port(q)
+            sched.append(ShiftPhase(port, self.default_frame(port), -float(params[0])))
+
+        return CalibrationEntry("rz", (q,), builder, 0, num_params=1, is_virtual=True)
+
+    def _make_cz_entry(self, lo: int, hi: int) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            dlo, dhi = self.drive_port(lo), self.drive_port(hi)
+            ryd = self.coupler_port(lo, hi)
+            sched.barrier(dlo, dhi, ryd)
+            sched.append(Play(ryd, self.default_frame(ryd), self.rydberg_waveform()))
+            sched.barrier(dlo, dhi, ryd)
+
+        return CalibrationEntry("cz", (lo, hi), builder, self.RYD_DURATION)
+
+    def _make_measure_entry(self, q: int) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            drive = self.drive_port(q)
+            ro, acq = self.readout_port(q), self.acquire_port(q)
+            sched.barrier(drive, ro, acq)
+            sched.append(Play(ro, self.default_frame(ro), self.readout_waveform()))
+            sched.append(
+                Capture(acq, self.default_frame(acq), int(params[0]), self.READOUT_DURATION)
+            )
+
+        return CalibrationEntry(
+            "measure", (q,), builder, self.READOUT_DURATION, num_params=1
+        )

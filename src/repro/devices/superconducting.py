@@ -1,0 +1,268 @@
+"""Simulated superconducting transmon device.
+
+Models a line of fixed-frequency transmons with tunable couplers:
+
+* three levels per transmon (the |2> state matters for DRAG and
+  ctrl-VQE), anharmonicity ~ -300 MHz,
+* one drive, readout and acquire port per qubit; one coupler port per
+  neighboring pair whose drive applies an effective ZZ interaction
+  (phase accumulation on |11>), giving an exact CZ at pulse area 1/2,
+* DRAG ``x``/``sx`` calibrations, virtual ``rz``, flat-top ``cz``,
+  dispersive-style ``measure``,
+* minutes-scale qubit-frequency drift (paper §2.1: superconducting
+  transition frequencies "drift on timescales of minutes to hours" and
+  need Ramsey-based tracking).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.constraints import PulseConstraints
+from repro.core.frame import Frame
+from repro.core.instructions import Capture, Play, ShiftPhase
+from repro.core.port import Port
+from repro.core.schedule import PulseSchedule
+from repro.core.waveform import (
+    drag_waveform,
+    gaussian_square_waveform,
+)
+from repro.devices.base import DeviceConfig, SimulatedDevice
+from repro.devices.calibrations import CalibrationEntry, CalibrationSet
+from repro.qdmi.types import OperationInfo
+from repro.sim.measurement import ReadoutModel
+from repro.sim.model import DecoherenceSpec, SystemModel, transmon_model
+from repro.sim.operators import basis_state
+
+
+def _zz_projector(site_a: int, site_b: int, dims: tuple[int, ...]) -> np.ndarray:
+    """Projector onto |1>_a |1>_b (identity elsewhere): the effective
+    coupler Hamiltonian. ``exp(-i*pi*P11)`` is exactly CZ."""
+    dim = int(np.prod(dims))
+    proj = np.zeros((dim, dim), dtype=np.complex128)
+    labels = [0] * len(dims)
+    # Sum |x><x| over all basis states with 1 at both sites.
+    for idx in np.ndindex(*dims):
+        if idx[site_a] == 1 and idx[site_b] == 1:
+            v = basis_state(list(idx), dims)
+            proj += np.outer(v, v.conj())
+    del labels
+    return proj
+
+
+class SuperconductingDevice(SimulatedDevice):
+    """A transmon chip exposed over QDMI."""
+
+    #: Calibrated pulse shape parameters (samples).
+    X_DURATION = 32
+    X_SIGMA = 8
+    CZ_DURATION = 64
+    CZ_SIGMA = 8
+    CZ_WIDTH = 32
+    READOUT_DURATION = 96
+
+    def __init__(
+        self,
+        name: str = "sc-transmon",
+        num_qubits: int = 2,
+        *,
+        seed: int = 0,
+        with_decoherence: bool = False,
+        t1: float = 80e-6,
+        t2: float = 60e-6,
+        drift_rate: float = 1e3,
+        rabi_rate: float = 50e6,
+        coupler_rate: float = 20e6,
+        drag_beta: float = 0.0,
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        dt = 1e-9
+        base_freqs = [5.0e9 + 0.1e9 * q for q in range(num_qubits)]
+        anharms = [-300e6] * num_qubits
+        rabis = [rabi_rate] * num_qubits
+        pairs = [(q, q + 1) for q in range(num_qubits - 1)]
+        deco = (
+            [DecoherenceSpec(t1=t1, t2=t2)] * num_qubits
+            if with_decoherence
+            else None
+        )
+
+        def model_factory(offsets: np.ndarray) -> SystemModel:
+            model = transmon_model(
+                num_qubits,
+                qubit_frequencies=[f + o for f, o in zip(base_freqs, offsets)],
+                anharmonicities=anharms,
+                rabi_rates=rabis,
+                couplings={p: coupler_rate for p in pairs},
+                dt=dt,
+                levels=3,
+                decoherence=deco,
+            )
+            # Replace exchange couplers with the effective ZZ projector
+            # (clean CZ physics; see module docstring).
+            from repro.sim.model import ChannelCoupling
+
+            for lo, hi in pairs:
+                model.channels[f"q{lo}q{hi}-coupler-port"] = ChannelCoupling(
+                    operator=_zz_projector(lo, hi, model.dims),
+                    reference_frequency=0.0,
+                    rabi_rate=coupler_rate,
+                    hermitian=True,
+                )
+            return model
+
+        ports: list[Port] = []
+        for q in range(num_qubits):
+            ports.append(Port.drive(q))
+            ports.append(Port.readout(q))
+            ports.append(Port.acquire(q))
+        for lo, hi in pairs:
+            ports.append(Port.coupler(lo, hi))
+
+        operations = [
+            OperationInfo("x", 1),
+            OperationInfo("sx", 1),
+            OperationInfo("rz", 1, ("theta",), is_virtual=True),
+            OperationInfo("cz", 2),
+            OperationInfo("measure", 1),
+        ]
+
+        constraints = PulseConstraints(
+            dt=dt,
+            granularity=8,
+            min_pulse_duration=8,
+            max_pulse_duration=65536,
+            max_amplitude=1.0,
+            supported_envelopes=frozenset(
+                {"gaussian", "drag", "gaussian_square", "constant", "square"}
+            ),
+            min_frequency=0.0,
+            max_frequency=12e9,
+            num_memory_slots=max(num_qubits, 8),
+            supports_raw_samples=True,
+        )
+
+        config = DeviceConfig(
+            name=name,
+            technology="superconducting",
+            num_sites=num_qubits,
+            constraints=constraints,
+            drift_rate=drift_rate,
+            extra={
+                "anharmonicities": anharms,
+                "fidelities": {"x": 0.9995, "sx": 0.9996, "cz": 0.993, "measure": 0.985},
+            },
+        )
+
+        readout = {
+            q: ReadoutModel(p01=0.01, p10=0.02) for q in range(num_qubits)
+        }
+
+        super().__init__(
+            config,
+            model_factory=model_factory,
+            base_frequencies=base_freqs,
+            ports=ports,
+            operations=operations,
+            calibrations=CalibrationSet(),
+            readout=readout,
+            seed=seed,
+        )
+        self._rabi = rabi_rate
+        self._coupler_rate = coupler_rate
+        self._drag_beta = drag_beta
+        self._pairs = pairs
+        self._build_calibrations(num_qubits)
+
+    # ---- calibration builders ---------------------------------------------------------
+
+    def _pi_amp(self, rotation: float) -> float:
+        """Amplitude for a DRAG pulse producing *rotation* (units of pi).
+
+        theta = 2*pi * rabi * amp * I * dt, with I the unit-amplitude
+        envelope integral in samples; theta = pi * rotation.
+        """
+        unit = drag_waveform(self.X_DURATION, 1.0, self.X_SIGMA, 0.0)
+        integral = float(np.real(unit.samples()).sum()) * self.config.constraints.dt
+        return rotation * 0.5 / (self._rabi * integral)
+
+    def x_waveform(self, rotation: float = 1.0):
+        """The calibrated DRAG waveform for a pi (or pi*rotation) pulse."""
+        return drag_waveform(
+            self.X_DURATION, self._pi_amp(rotation), self.X_SIGMA, self._drag_beta
+        )
+
+    def cz_waveform(self):
+        """The calibrated flat-top coupler waveform for CZ."""
+        unit = gaussian_square_waveform(
+            self.CZ_DURATION, 1.0, self.CZ_SIGMA, self.CZ_WIDTH
+        )
+        integral = float(np.real(unit.samples()).sum()) * self.config.constraints.dt
+        amp = 0.5 / (self._coupler_rate * integral)
+        return gaussian_square_waveform(
+            self.CZ_DURATION, amp, self.CZ_SIGMA, self.CZ_WIDTH
+        )
+
+    def readout_waveform(self):
+        """The readout stimulus pulse."""
+        return gaussian_square_waveform(self.READOUT_DURATION, 0.3, 8, 64)
+
+    def set_drag_beta(self, beta: float) -> None:
+        """Write-back hook for DRAG calibration: re-register the X/SX
+        calibrations with the new quadrature coefficient."""
+        self._drag_beta = float(beta)
+        for q in range(self.config.num_sites):
+            self.calibrations.add(self._make_x_entry("x", q, 1.0), overwrite=True)
+            self.calibrations.add(self._make_x_entry("sx", q, 0.5), overwrite=True)
+
+    def _build_calibrations(self, num_qubits: int) -> None:
+        cal = self.calibrations
+
+        for q in range(num_qubits):
+            cal.add(self._make_x_entry("x", q, rotation=1.0))
+            cal.add(self._make_x_entry("sx", q, rotation=0.5))
+            cal.add(self._make_rz_entry(q))
+            cal.add(self._make_measure_entry(q))
+        for lo, hi in self._pairs:
+            cal.add(self._make_cz_entry(lo, hi))
+
+    def _make_x_entry(self, name: str, q: int, rotation: float) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            port = self.drive_port(q)
+            sched.append(Play(port, self.default_frame(port), self.x_waveform(rotation)))
+
+        return CalibrationEntry(name, (q,), builder, self.X_DURATION)
+
+    def _make_rz_entry(self, q: int) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            port = self.drive_port(q)
+            sched.append(ShiftPhase(port, self.default_frame(port), -float(params[0])))
+
+        return CalibrationEntry("rz", (q,), builder, 0, num_params=1, is_virtual=True)
+
+    def _make_cz_entry(self, lo: int, hi: int) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            dlo, dhi = self.drive_port(lo), self.drive_port(hi)
+            coupler = self.coupler_port(lo, hi)
+            sched.barrier(dlo, dhi, coupler)
+            sched.append(Play(coupler, self.default_frame(coupler), self.cz_waveform()))
+            sched.barrier(dlo, dhi, coupler)
+
+        return CalibrationEntry("cz", (lo, hi), builder, self.CZ_DURATION)
+
+    def _make_measure_entry(self, q: int) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            drive = self.drive_port(q)
+            ro, acq = self.readout_port(q), self.acquire_port(q)
+            sched.barrier(drive, ro, acq)
+            sched.append(Play(ro, self.default_frame(ro), self.readout_waveform()))
+            sched.append(
+                Capture(acq, self.default_frame(acq), int(params[0]), self.READOUT_DURATION)
+            )
+
+        return CalibrationEntry(
+            "measure", (q,), builder, self.READOUT_DURATION, num_params=1
+        )

@@ -1,0 +1,240 @@
+"""Simulated trapped-ion device.
+
+Models a linear ion chain:
+
+* two-level optical qubits (no leakage level),
+* one RF/addressing port per ion; effective entangling ports per ion
+  pair (the shared motional bus compiled down to an effective ZZ
+  interaction, the standard Mølmer–Sørensen result after closing the
+  phase-space loop),
+* much slower gates (kHz-scale Rabi rates) with coarse 10 ns samples
+  and granularity 16 — the platform diversity that exercises the
+  constraint-aware JIT experiment (E7),
+* hour-scale trap drift (paper §2.1: "motional modes frequencies
+  experiencing hour-to-hour drifts of a few hundred hertz"), far slower
+  than the superconducting device's drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.constraints import PulseConstraints
+from repro.core.instructions import Capture, Play, ShiftPhase
+from repro.core.port import Port, PortDirection, PortKind
+from repro.core.schedule import PulseSchedule
+from repro.core.waveform import gaussian_square_waveform
+from repro.devices.base import DeviceConfig, SimulatedDevice
+from repro.devices.calibrations import CalibrationEntry, CalibrationSet
+from repro.qdmi.types import OperationInfo
+from repro.sim.measurement import ReadoutModel
+from repro.sim.model import ChannelCoupling, SystemModel
+from repro.sim.operators import basis_state, destroy_on
+
+
+def _zz_projector(site_a: int, site_b: int, dims: tuple[int, ...]) -> np.ndarray:
+    """Projector onto |1>_a |1>_b in the full space."""
+    dim = int(np.prod(dims))
+    proj = np.zeros((dim, dim), dtype=np.complex128)
+    for idx in np.ndindex(*dims):
+        if idx[site_a] == 1 and idx[site_b] == 1:
+            v = basis_state(list(idx), dims)
+            proj += np.outer(v, v.conj())
+    return proj
+
+
+class TrappedIonDevice(SimulatedDevice):
+    """An ion chain exposed over QDMI."""
+
+    X_DURATION = 512  # samples of 10 ns -> 5.12 us pi pulse
+    X_SIGMA = 64
+    X_WIDTH = 384
+    MS_DURATION = 2048  # ~20 us entangling gate
+    MS_SIGMA = 64
+    MS_WIDTH = 1792
+    READOUT_DURATION = 4096  # fluorescence collection window
+
+    def __init__(
+        self,
+        name: str = "ion-chain",
+        num_qubits: int = 2,
+        *,
+        seed: int = 0,
+        drift_rate: float = 10.0,
+        rabi_rate: float = 125e3,
+        ms_rate: float = 50e3,
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        dt = 1e-8
+        # Optical qubit transitions (order-of-magnitude: hundreds of THz
+        # would be unwieldy; we model the addressing AOM offset band).
+        base_freqs = [200e6 + 1e6 * q for q in range(num_qubits)]
+        # All-to-all connectivity through the shared motional bus.
+        pairs = [
+            (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+        ]
+        dims = tuple([2] * num_qubits)
+
+        def model_factory(offsets: np.ndarray) -> SystemModel:
+            dim = int(np.prod(dims))
+            channels: dict[str, ChannelCoupling] = {}
+            for q in range(num_qubits):
+                channels[f"ion{q}-rf-port"] = ChannelCoupling(
+                    operator=destroy_on(q, dims),
+                    reference_frequency=float(base_freqs[q] + offsets[q]),
+                    rabi_rate=rabi_rate,
+                )
+            for lo, hi in pairs:
+                channels[f"ion{lo}ion{hi}-ms-port"] = ChannelCoupling(
+                    operator=_zz_projector(lo, hi, dims),
+                    reference_frequency=0.0,
+                    rabi_rate=ms_rate,
+                    hermitian=True,
+                )
+            return SystemModel(
+                dims=dims,
+                drift=np.zeros((dim, dim), dtype=np.complex128),
+                channels=channels,
+                dt=dt,
+                site_frequencies=tuple(
+                    float(f + o) for f, o in zip(base_freqs, offsets)
+                ),
+            )
+
+        ports: list[Port] = []
+        for q in range(num_qubits):
+            ports.append(Port(f"ion{q}-rf-port", PortKind.RF, (q,)))
+            ports.append(Port(f"ion{q}-readout-port", PortKind.READOUT, (q,)))
+            ports.append(
+                Port(
+                    f"ion{q}-acquire-port",
+                    PortKind.ACQUIRE,
+                    (q,),
+                    PortDirection.OUTPUT,
+                )
+            )
+        for lo, hi in pairs:
+            ports.append(Port(f"ion{lo}ion{hi}-ms-port", PortKind.COUPLER, (lo, hi)))
+
+        operations = [
+            OperationInfo("x", 1),
+            OperationInfo("sx", 1),
+            OperationInfo("rz", 1, ("theta",), is_virtual=True),
+            OperationInfo("cz", 2),
+            OperationInfo("measure", 1),
+        ]
+
+        constraints = PulseConstraints(
+            dt=dt,
+            granularity=16,
+            min_pulse_duration=16,
+            max_pulse_duration=1 << 20,
+            max_amplitude=1.0,
+            # The ion AWG only understands parametric flat-top pulses.
+            supported_envelopes=frozenset(
+                {"gaussian_square", "constant", "square", "gaussian"}
+            ),
+            min_frequency=0.0,
+            max_frequency=1e9,
+            num_memory_slots=max(num_qubits, 8),
+            supports_raw_samples=False,
+        )
+
+        config = DeviceConfig(
+            name=name,
+            technology="trapped-ion",
+            num_sites=num_qubits,
+            constraints=constraints,
+            drift_rate=drift_rate,
+            extra={
+                "fidelities": {"x": 0.9999, "sx": 0.9999, "cz": 0.997, "measure": 0.995}
+            },
+        )
+
+        readout = {q: ReadoutModel(p01=0.002, p10=0.004) for q in range(num_qubits)}
+
+        super().__init__(
+            config,
+            model_factory=model_factory,
+            base_frequencies=base_freqs,
+            ports=ports,
+            operations=operations,
+            calibrations=CalibrationSet(),
+            readout=readout,
+            seed=seed,
+        )
+        self._rabi = rabi_rate
+        self._ms_rate = ms_rate
+        self._pairs = pairs
+        self._build_calibrations(num_qubits)
+
+    # ---- calibrated waveforms -----------------------------------------------------------
+
+    def x_waveform(self, rotation: float = 1.0):
+        """Flat-top addressing pulse for a pi*rotation rotation."""
+        unit = gaussian_square_waveform(self.X_DURATION, 1.0, self.X_SIGMA, self.X_WIDTH)
+        integral = float(np.real(unit.samples()).sum()) * self.config.constraints.dt
+        amp = rotation * 0.5 / (self._rabi * integral)
+        return gaussian_square_waveform(self.X_DURATION, amp, self.X_SIGMA, self.X_WIDTH)
+
+    def ms_waveform(self):
+        """Effective entangling (geometric-phase) pulse for CZ."""
+        unit = gaussian_square_waveform(
+            self.MS_DURATION, 1.0, self.MS_SIGMA, self.MS_WIDTH
+        )
+        integral = float(np.real(unit.samples()).sum()) * self.config.constraints.dt
+        amp = 0.5 / (self._ms_rate * integral)
+        return gaussian_square_waveform(self.MS_DURATION, amp, self.MS_SIGMA, self.MS_WIDTH)
+
+    def readout_waveform(self):
+        """Fluorescence stimulus pulse."""
+        return gaussian_square_waveform(self.READOUT_DURATION, 0.2, 64, 3840)
+
+    def _build_calibrations(self, num_qubits: int) -> None:
+        cal = self.calibrations
+        for q in range(num_qubits):
+            cal.add(self._make_x_entry("x", q, 1.0))
+            cal.add(self._make_x_entry("sx", q, 0.5))
+            cal.add(self._make_rz_entry(q))
+            cal.add(self._make_measure_entry(q))
+        for lo, hi in self._pairs:
+            cal.add(self._make_cz_entry(lo, hi))
+
+    def _make_x_entry(self, name: str, q: int, rotation: float) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            port = self.drive_port(q)
+            sched.append(Play(port, self.default_frame(port), self.x_waveform(rotation)))
+
+        return CalibrationEntry(name, (q,), builder, self.X_DURATION)
+
+    def _make_rz_entry(self, q: int) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            port = self.drive_port(q)
+            sched.append(ShiftPhase(port, self.default_frame(port), -float(params[0])))
+
+        return CalibrationEntry("rz", (q,), builder, 0, num_params=1, is_virtual=True)
+
+    def _make_cz_entry(self, lo: int, hi: int) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            dlo, dhi = self.drive_port(lo), self.drive_port(hi)
+            ms = self.coupler_port(lo, hi)
+            sched.barrier(dlo, dhi, ms)
+            sched.append(Play(ms, self.default_frame(ms), self.ms_waveform()))
+            sched.barrier(dlo, dhi, ms)
+
+        return CalibrationEntry("cz", (lo, hi), builder, self.MS_DURATION)
+
+    def _make_measure_entry(self, q: int) -> CalibrationEntry:
+        def builder(sched: PulseSchedule, params) -> None:
+            drive = self.drive_port(q)
+            ro, acq = self.readout_port(q), self.acquire_port(q)
+            sched.barrier(drive, ro, acq)
+            sched.append(Play(ro, self.default_frame(ro), self.readout_waveform()))
+            sched.append(
+                Capture(acq, self.default_frame(acq), int(params[0]), self.READOUT_DURATION)
+            )
+
+        return CalibrationEntry(
+            "measure", (q,), builder, self.READOUT_DURATION, num_params=1
+        )

@@ -1,0 +1,15 @@
+"""Measurement-error mitigation (paper §5.3).
+
+QDMI's stated consumers include "telemetry-driven error mitigation":
+services that query device calibration data and post-process results.
+This package implements the standard confusion-matrix inversion using
+the readout calibrations measured by :mod:`repro.calibration.readout`.
+"""
+
+from repro.mitigation.readout import (
+    MitigatedResult,
+    mitigate_counts,
+    mitigate_distribution,
+)
+
+__all__ = ["mitigate_counts", "mitigate_distribution", "MitigatedResult"]

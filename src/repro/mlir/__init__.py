@@ -1,0 +1,48 @@
+"""An MLIR-like multi-dialect IR infrastructure (paper §5.2).
+
+The MQSS compiler is "fully based on LLVM-IR and LLVM-MLIR, where all
+gate-based quantum circuit transformations are implemented as either
+QIR or MLIR passes", and the paper's pulse challenge is solved by
+adopting a *pulse dialect* alongside the gate dialects, orchestrated by
+a dialect-agnostic pass manager. This package is a from-scratch Python
+reproduction of exactly the slice of MLIR that architecture needs:
+
+* :mod:`repro.mlir.ir` — types, attributes, SSA values, operations,
+  regions, modules, a builder, and structural verification;
+* :mod:`repro.mlir.parser` — a textual round-trip format mirroring the
+  paper's Listing 2;
+* :mod:`repro.mlir.dialects` — the ``quantum`` gate dialect (the
+  Quake/Catalyst stand-in) and the ``pulse`` dialect (the IBM pulse
+  dialect stand-in), plus a dialect registry;
+* :mod:`repro.mlir.passes` — a dialect-agnostic pass manager and the
+  canonicalization / DCE / legalization passes;
+* :mod:`repro.mlir.interp` — the pulse-dialect interpreter that turns a
+  ``pulse.sequence`` into an executable
+  :class:`~repro.core.schedule.PulseSchedule`.
+"""
+
+from repro.mlir.ir import (
+    Block,
+    Builder,
+    Module,
+    Operation,
+    Region,
+    Type,
+    Value,
+    verify_module,
+)
+from repro.mlir.context import MLIRContext
+from repro.mlir.parser import parse_module
+
+__all__ = [
+    "Type",
+    "Value",
+    "Operation",
+    "Block",
+    "Region",
+    "Module",
+    "Builder",
+    "verify_module",
+    "MLIRContext",
+    "parse_module",
+]

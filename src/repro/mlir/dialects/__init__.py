@@ -1,0 +1,7 @@
+"""IR dialects: the gate-level ``quantum`` dialect and the ``pulse``
+dialect (paper §5.2)."""
+
+from repro.mlir.dialects.quantum import quantum_dialect
+from repro.mlir.dialects.pulse import pulse_dialect
+
+__all__ = ["quantum_dialect", "pulse_dialect"]

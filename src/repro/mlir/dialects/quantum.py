@@ -1,0 +1,166 @@
+"""The gate-level ``quantum`` dialect — the Quake/Catalyst stand-in.
+
+The paper's compiler lowers "gate-based dialects — e.g., Xanadu's
+Catalyst or NVIDIA's Quake — into a pulse-oriented dialect". This
+dialect is the gate-based source of that lowering: a deliberately small
+circuit vocabulary (``x``, ``sx``, ``rz``, ``cz``, ``measure``,
+``barrier``) whose qubits are static attributes, which matches how the
+QPI builder (paper Listing 1) references qubits by index.
+
+Ops
+---
+``quantum.circuit``
+    Region-carrying container; attrs ``sym_name`` and ``num_qubits``.
+``quantum.x/sx`` {qubit}
+``quantum.rz`` {qubit, theta}
+``quantum.cz`` {qubits = [i, j]}
+``quantum.measure`` {qubit, slot}
+``quantum.barrier`` {qubits = [...]}
+``quantum.gate`` {name, qubits, params} — escape hatch for custom
+    gates registered by their pulse waveform (paper footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import IRError
+from repro.mlir.context import Dialect, OpSpec
+from repro.mlir.ir import Block, Builder, Module, Operation, Region
+
+
+def _check_qubit_attr(op: Operation) -> None:
+    q = op.attr("qubit")
+    if not isinstance(q, int) or q < 0:
+        raise IRError(f"{op.name}: 'qubit' attribute must be a non-negative int")
+
+
+def _verify_circuit(op: Operation) -> None:
+    if not isinstance(op.attr("sym_name"), str) or not op.attr("sym_name"):
+        raise IRError("quantum.circuit: missing sym_name attribute")
+    n = op.attr("num_qubits")
+    if not isinstance(n, int) or n < 1:
+        raise IRError("quantum.circuit: num_qubits must be a positive int")
+    for inner in op.region().entry.operations:
+        for key in ("qubit",):
+            q = inner.attr(key)
+            if isinstance(q, int) and q >= n:
+                raise IRError(
+                    f"{inner.name}: qubit {q} out of range for "
+                    f"{n}-qubit circuit"
+                )
+        qs = inner.attr("qubits")
+        if isinstance(qs, list) and any(
+            isinstance(q, int) and q >= n for q in qs
+        ):
+            raise IRError(
+                f"{inner.name}: qubits {qs} out of range for {n}-qubit circuit"
+            )
+
+
+def _verify_rz(op: Operation) -> None:
+    _check_qubit_attr(op)
+    if not isinstance(op.attr("theta"), (int, float)):
+        raise IRError("quantum.rz: 'theta' attribute must be a number")
+
+
+def _verify_cz(op: Operation) -> None:
+    qs = op.attr("qubits")
+    if (
+        not isinstance(qs, list)
+        or len(qs) != 2
+        or qs[0] == qs[1]
+        or any(not isinstance(q, int) or q < 0 for q in qs)
+    ):
+        raise IRError("quantum.cz: 'qubits' must be two distinct qubit indices")
+
+
+def _verify_measure(op: Operation) -> None:
+    _check_qubit_attr(op)
+    slot = op.attr("slot")
+    if not isinstance(slot, int) or slot < 0:
+        raise IRError("quantum.measure: 'slot' attribute must be a non-negative int")
+
+
+def _verify_gate(op: Operation) -> None:
+    if not isinstance(op.attr("name"), str) or not op.attr("name"):
+        raise IRError("quantum.gate: missing 'name' attribute")
+    qs = op.attr("qubits")
+    if not isinstance(qs, list) or not qs:
+        raise IRError("quantum.gate: 'qubits' must be a non-empty list")
+
+
+def quantum_dialect() -> Dialect:
+    """Construct the quantum dialect with all op specs registered."""
+    d = Dialect("quantum")
+    d.register_op(
+        OpSpec("quantum.circuit", 0, 0, has_region=True, verifier=_verify_circuit)
+    )
+    d.register_op(OpSpec("quantum.x", 0, 0, verifier=_check_qubit_attr))
+    d.register_op(OpSpec("quantum.sx", 0, 0, verifier=_check_qubit_attr))
+    d.register_op(OpSpec("quantum.rz", 0, 0, verifier=_verify_rz))
+    d.register_op(OpSpec("quantum.cz", 0, 0, verifier=_verify_cz))
+    d.register_op(OpSpec("quantum.measure", 0, 0, verifier=_verify_measure))
+    d.register_op(OpSpec("quantum.barrier", 0, 0))
+    d.register_op(OpSpec("quantum.gate", 0, 0, verifier=_verify_gate))
+    return d
+
+
+class CircuitBuilder:
+    """Convenience builder for gate-level circuits.
+
+    Produces a module containing one ``quantum.circuit``; the methods
+    mirror the QPI adapter's gate calls so adapters can translate
+    mechanically.
+    """
+
+    def __init__(self, name: str, num_qubits: int, module: Module | None = None):
+        self.module = module if module is not None else Module()
+        self.circuit = Operation(
+            "quantum.circuit",
+            attributes={"sym_name": name, "num_qubits": num_qubits},
+            regions=[Region([Block()])],
+        )
+        self.module.append(self.circuit)
+        self._builder = Builder(self.circuit.region().entry)
+        self.num_qubits = num_qubits
+
+    def _gate(self, opname: str, **attrs) -> "CircuitBuilder":
+        self._builder.create(opname, attributes=attrs)
+        return self
+
+    def x(self, qubit: int) -> "CircuitBuilder":
+        """Append an X gate."""
+        return self._gate("quantum.x", qubit=qubit)
+
+    def sx(self, qubit: int) -> "CircuitBuilder":
+        """Append a sqrt(X) gate."""
+        return self._gate("quantum.sx", qubit=qubit)
+
+    def rz(self, qubit: int, theta: float) -> "CircuitBuilder":
+        """Append a virtual-Z rotation."""
+        return self._gate("quantum.rz", qubit=qubit, theta=float(theta))
+
+    def cz(self, a: int, b: int) -> "CircuitBuilder":
+        """Append a CZ gate."""
+        return self._gate("quantum.cz", qubits=[a, b])
+
+    def gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "CircuitBuilder":
+        """Append a custom (waveform-defined) gate by name."""
+        return self._gate(
+            "quantum.gate",
+            name=name,
+            qubits=list(qubits),
+            params=[float(p) for p in params],
+        )
+
+    def barrier(self, *qubits: int) -> "CircuitBuilder":
+        """Append a barrier over the given qubits (all when empty)."""
+        qs = list(qubits) if qubits else list(range(self.num_qubits))
+        return self._gate("quantum.barrier", qubits=qs)
+
+    def measure(self, qubit: int, slot: int | None = None) -> "CircuitBuilder":
+        """Append a measurement of *qubit* into *slot* (default: qubit)."""
+        return self._gate(
+            "quantum.measure", qubit=qubit, slot=qubit if slot is None else slot
+        )

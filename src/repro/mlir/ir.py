@@ -1,0 +1,407 @@
+"""IR core: types, values, operations, regions, modules.
+
+Deliberately small but faithful to MLIR's structure:
+
+* every :class:`Operation` has a dialect-qualified name, SSA operands,
+  SSA results, an attribute dictionary and nested regions;
+* a :class:`Region` holds blocks, a :class:`Block` holds typed
+  arguments and an ordered operation list;
+* a :class:`Module` is the top-level container;
+* printing produces a stable textual form that
+  :mod:`repro.mlir.parser` can read back (tested by round-trip
+  property tests).
+
+Attribute values are plain Python data (int, float, str, bool, lists,
+dicts) — rich enough for envelope parameters and dense sample arrays
+without reproducing MLIR's full attribute zoo.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import IRError
+
+# ---- types -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """An IR type, e.g. ``i1``, ``f64``, ``!pulse.waveform``.
+
+    Types are interned by spelling; two types are equal iff their
+    textual spelling matches.
+    """
+
+    spelling: str
+
+    def __post_init__(self) -> None:
+        if not self.spelling:
+            raise IRError("type spelling must be non-empty")
+
+    def __str__(self) -> str:
+        return self.spelling
+
+    @property
+    def dialect(self) -> str | None:
+        """Owning dialect for ``!dialect.name`` types, else None."""
+        if self.spelling.startswith("!") and "." in self.spelling:
+            return self.spelling[1:].split(".", 1)[0]
+        return None
+
+
+#: Builtin scalar types.
+I1 = Type("i1")
+I32 = Type("i32")
+I64 = Type("i64")
+F64 = Type("f64")
+INDEX = Type("index")
+
+
+# ---- values -----------------------------------------------------------------
+
+_value_ids = itertools.count()
+
+
+class Value:
+    """An SSA value: a block argument or an operation result."""
+
+    __slots__ = ("type", "name", "owner", "uid")
+
+    def __init__(self, type: Type, name: str, owner: "Operation | Block | None" = None):
+        if not name:
+            raise IRError("value name must be non-empty")
+        self.type = type
+        self.name = name  # printed as %name
+        self.owner = owner
+        self.uid = next(_value_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"%{self.name}: {self.type}"
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+# ---- operations ----------------------------------------------------------------
+
+
+class Operation:
+    """A generic operation: ``results = name(operands) {attrs} regions``."""
+
+    def __init__(
+        self,
+        name: str,
+        operands: Iterable[Value] = (),
+        result_types: Iterable[Type] = (),
+        attributes: dict[str, Any] | None = None,
+        regions: "Iterable[Region] | None" = None,
+        result_names: Iterable[str] | None = None,
+    ) -> None:
+        if "." not in name:
+            raise IRError(
+                f"operation name {name!r} must be dialect-qualified (dialect.op)"
+            )
+        self.name = name
+        self.operands: list[Value] = list(operands)
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.regions: list[Region] = list(regions or [])
+        names = list(result_names) if result_names is not None else None
+        self.results: list[Value] = []
+        for i, t in enumerate(result_types):
+            rname = names[i] if names else f"r{next(_value_ids)}"
+            self.results.append(Value(t, rname, owner=self))
+        self.parent: Block | None = None
+
+    @property
+    def dialect(self) -> str:
+        """Dialect prefix of the operation name."""
+        return self.name.split(".", 1)[0]
+
+    @property
+    def opname(self) -> str:
+        """Operation name without the dialect prefix."""
+        return self.name.split(".", 1)[1]
+
+    def result(self, index: int = 0) -> Value:
+        """The *index*-th result value."""
+        return self.results[index]
+
+    def region(self, index: int = 0) -> "Region":
+        """The *index*-th region."""
+        return self.regions[index]
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Attribute lookup with default."""
+        return self.attributes.get(key, default)
+
+    def walk(self) -> Iterator["Operation"]:
+        """This op, then every nested op, depth-first pre-order."""
+        yield self
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.operations):
+                    yield from op.walk()
+
+    def erase(self) -> None:
+        """Remove this operation from its parent block."""
+        if self.parent is None:
+            raise IRError("operation has no parent block")
+        self.parent.operations.remove(self)
+        self.parent = None
+
+    def clone(self, value_map: dict[Value, Value] | None = None) -> "Operation":
+        """Deep copy, remapping operands through *value_map*."""
+        vmap = value_map if value_map is not None else {}
+        new = Operation(
+            self.name,
+            operands=[vmap.get(v, v) for v in self.operands],
+            result_types=[r.type for r in self.results],
+            attributes=_deep_copy_attrs(self.attributes),
+            result_names=[r.name for r in self.results],
+        )
+        for old_r, new_r in zip(self.results, new.results):
+            vmap[old_r] = new_r
+        for region in self.regions:
+            new.regions.append(region.clone(vmap))
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.name} ({len(self.operands)} operands)>"
+
+
+def _deep_copy_attrs(attrs: Any) -> Any:
+    if isinstance(attrs, dict):
+        return {k: _deep_copy_attrs(v) for k, v in attrs.items()}
+    if isinstance(attrs, list):
+        return [_deep_copy_attrs(v) for v in attrs]
+    return attrs
+
+
+# ---- blocks and regions -----------------------------------------------------------
+
+
+class Block:
+    """A sequence of operations with typed block arguments."""
+
+    def __init__(self, arg_types: Iterable[Type] = (), arg_names: Iterable[str] | None = None):
+        names = list(arg_names) if arg_names is not None else None
+        self.arguments: list[Value] = []
+        for i, t in enumerate(arg_types):
+            name = names[i] if names else f"arg{i}"
+            self.arguments.append(Value(t, name, owner=self))
+        self.operations: list[Operation] = []
+
+    def append(self, op: Operation) -> Operation:
+        """Append *op*; sets its parent."""
+        if op.parent is not None:
+            raise IRError("operation already belongs to a block")
+        op.parent = self
+        self.operations.append(op)
+        return op
+
+    def insert(self, index: int, op: Operation) -> Operation:
+        """Insert *op* at position *index*."""
+        if op.parent is not None:
+            raise IRError("operation already belongs to a block")
+        op.parent = self
+        self.operations.insert(index, op)
+        return op
+
+    def clone(self, value_map: dict[Value, Value]) -> "Block":
+        new = Block(
+            [a.type for a in self.arguments], [a.name for a in self.arguments]
+        )
+        for old_a, new_a in zip(self.arguments, new.arguments):
+            value_map[old_a] = new_a
+        for op in self.operations:
+            new.append(op.clone(value_map))
+        return new
+
+
+class Region:
+    """A list of blocks (usually exactly one in this reproduction)."""
+
+    def __init__(self, blocks: Iterable[Block] = ()):
+        self.blocks: list[Block] = list(blocks)
+
+    @property
+    def entry(self) -> Block:
+        """The entry block; created on demand for empty regions."""
+        if not self.blocks:
+            self.blocks.append(Block())
+        return self.blocks[0]
+
+    def clone(self, value_map: dict[Value, Value]) -> "Region":
+        return Region([b.clone(value_map) for b in self.blocks])
+
+
+class Module:
+    """Top-level IR container (``module { ... }``)."""
+
+    def __init__(self, attributes: dict[str, Any] | None = None):
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.body = Region([Block()])
+
+    @property
+    def block(self) -> Block:
+        return self.body.entry
+
+    def append(self, op: Operation) -> Operation:
+        """Append a top-level operation."""
+        return self.block.append(op)
+
+    def walk(self) -> Iterator[Operation]:
+        """Every operation in the module, depth-first."""
+        for op in list(self.block.operations):
+            yield from op.walk()
+
+    def ops_of(self, name: str) -> list[Operation]:
+        """All operations with the given full name, anywhere."""
+        return [op for op in self.walk() if op.name == name]
+
+    def dialects_used(self) -> set[str]:
+        """Dialect prefixes appearing in the module."""
+        return {op.dialect for op in self.walk()}
+
+    def clone(self) -> "Module":
+        new = Module(_deep_copy_attrs(self.attributes))
+        vmap: dict[Value, Value] = {}
+        for op in self.block.operations:
+            new.append(op.clone(vmap))
+        return new
+
+    def __str__(self) -> str:
+        return print_module(self)
+
+
+# ---- builder -----------------------------------------------------------------------
+
+
+class Builder:
+    """Appends operations at an insertion point (a block)."""
+
+    def __init__(self, block: Block):
+        self.block = block
+
+    def create(
+        self,
+        name: str,
+        operands: Iterable[Value] = (),
+        result_types: Iterable[Type] = (),
+        attributes: dict[str, Any] | None = None,
+        regions: Iterable[Region] | None = None,
+        result_names: Iterable[str] | None = None,
+    ) -> Operation:
+        """Create and append an operation; returns it."""
+        op = Operation(name, operands, result_types, attributes, regions, result_names)
+        self.block.append(op)
+        return op
+
+
+# ---- printing -----------------------------------------------------------------------
+
+
+def _print_attr_value(v: Any) -> str:
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, int):
+        return str(v)
+    if isinstance(v, float):
+        return repr(v)
+    if isinstance(v, str):
+        return '"' + v.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    if isinstance(v, (list, tuple)):
+        return "[" + ", ".join(_print_attr_value(x) for x in v) + "]"
+    if isinstance(v, dict):
+        inner = ", ".join(f"{k} = {_print_attr_value(x)}" for k, x in v.items())
+        return "{" + inner + "}"
+    raise IRError(f"unprintable attribute value {v!r} ({type(v).__name__})")
+
+
+def _print_attrs(attrs: dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(
+        f"{k} = {_print_attr_value(v)}" for k, v in sorted(attrs.items())
+    )
+    return " {" + inner + "}"
+
+
+def _print_op(op: Operation, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    head = ""
+    if op.results:
+        head = ", ".join(f"%{r.name}" for r in op.results) + " = "
+    operands = ", ".join(f"%{v.name}" for v in op.operands)
+    sig = ""
+    if op.operands or op.results:
+        in_t = ", ".join(str(v.type) for v in op.operands)
+        out_t = ", ".join(str(r.type) for r in op.results)
+        if out_t:
+            sig = f" : ({in_t}) -> ({out_t})"
+        else:
+            sig = f" : ({in_t})" if op.operands else ""
+    line = f"{pad}{head}{op.name}({operands}){_print_attrs(op.attributes)}{sig}"
+    if op.regions:
+        line += " {"
+        lines.append(line)
+        for region in op.regions:
+            for bi, block in enumerate(region.blocks):
+                if block.arguments:
+                    args = ", ".join(
+                        f"%{a.name}: {a.type}" for a in block.arguments
+                    )
+                    lines.append("  " * (indent + 1) + f"^bb{bi}({args}):")
+                for inner in block.operations:
+                    _print_op(inner, indent + 1, lines)
+        lines.append(pad + "}")
+    else:
+        lines.append(line)
+
+
+def print_module(module: Module) -> str:
+    """Stable textual form of *module* (parseable back)."""
+    lines: list[str] = []
+    lines.append("module" + _print_attrs(module.attributes) + " {")
+    for op in module.block.operations:
+        _print_op(op, 1, lines)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---- verification -------------------------------------------------------------------
+
+
+def verify_module(module: Module, context: "Any | None" = None) -> None:
+    """Structural verification of the whole module.
+
+    Checks SSA dominance within each block (operands must be block
+    arguments or results of earlier ops in scope) and, when *context*
+    is given (an :class:`~repro.mlir.context.MLIRContext`), runs the
+    registered per-op verifiers of each dialect.
+    """
+    _verify_region(module.body, set(), context)
+
+
+def _verify_region(region: Region, outer_scope: set[Value], context) -> None:
+    for block in region.blocks:
+        scope = set(outer_scope)
+        scope.update(block.arguments)
+        for op in block.operations:
+            for v in op.operands:
+                if v not in scope:
+                    raise IRError(
+                        f"operation {op.name!r} uses value %{v.name} before "
+                        "definition (SSA dominance violation)"
+                    )
+            if context is not None:
+                context.verify_op(op)
+            for nested in op.regions:
+                _verify_region(nested, scope, context)
+            scope.update(op.results)

@@ -1,0 +1,298 @@
+"""Parser for the textual IR form produced by :func:`print_module`.
+
+A small recursive-descent parser over a regex tokenizer. The grammar is
+the subset of MLIR's generic form that the printer emits::
+
+    module    ::= 'module' attr-dict? '{' op* '}'
+    op        ::= (results '=')? NAME '(' operands? ')' attr-dict?
+                  signature? region?
+    region    ::= '{' (block-header? op*)+ '}'
+    block-hdr ::= '^bb' INT '(' typed-args ')' ':'
+    signature ::= ':' '(' types? ')' ('->' '(' types? ')')?
+
+Round-tripping (print -> parse -> print is a fixed point) is covered by
+property-based tests; it is what makes MLIR-pulse a viable on-the-wire
+format between the MQSS client and the compiler (paper §5.1/§5.2).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import ParseError
+from repro.mlir.ir import Block, Module, Operation, Region, Type, Value
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<arrow>->)
+  | (?P<number>-?\d+\.\d+(?:[eE][+-]?\d+)?|-?\d+[eE][+-]?\d+|-?\d+)
+  | (?P<caret>\^[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<percent>%[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<type>![A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[(){}\[\],=:])
+    """,
+    re.VERBOSE,
+)
+
+_SCALAR_TYPES = {"i1", "i32", "i64", "f64", "index"}
+
+
+class _Tokenizer:
+    def __init__(self, text: str) -> None:
+        self.tokens: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise ParseError(
+                    f"unexpected character {text[pos]!r} at offset {pos}"
+                )
+            kind = m.lastgroup or ""
+            if kind != "ws":
+                self.tokens.append((kind, m.group()))
+            pos = m.end()
+        self.index = 0
+
+    def peek(self) -> tuple[str, str]:
+        if self.index >= len(self.tokens):
+            return ("eof", "")
+        return self.tokens[self.index]
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        self.index += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        kind, tok = self.next()
+        if tok != value:
+            raise ParseError(f"expected {value!r}, got {tok!r}")
+
+    def accept(self, value: str) -> bool:
+        if self.peek()[1] == value:
+            self.index += 1
+            return True
+        return False
+
+
+def _unescape(s: str) -> str:
+    return s[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.toks = _Tokenizer(text)
+
+    # -- attributes ---------------------------------------------------------
+
+    def parse_attr_value(self) -> Any:
+        kind, tok = self.toks.peek()
+        if kind == "string":
+            self.toks.next()
+            return _unescape(tok)
+        if kind == "number":
+            self.toks.next()
+            if re.fullmatch(r"-?\d+", tok):
+                return int(tok)
+            return float(tok)
+        if tok == "true":
+            self.toks.next()
+            return True
+        if tok == "false":
+            self.toks.next()
+            return False
+        if tok == "[":
+            self.toks.next()
+            items: list[Any] = []
+            if not self.toks.accept("]"):
+                while True:
+                    items.append(self.parse_attr_value())
+                    if self.toks.accept("]"):
+                        break
+                    self.toks.expect(",")
+            return items
+        if tok == "{":
+            return self.parse_attr_dict()
+        raise ParseError(f"cannot parse attribute value starting at {tok!r}")
+
+    def parse_attr_dict(self) -> dict[str, Any]:
+        self.toks.expect("{")
+        out: dict[str, Any] = {}
+        if self.toks.accept("}"):
+            return out
+        while True:
+            kind, key = self.toks.next()
+            if kind not in ("ident", "string"):
+                raise ParseError(f"expected attribute key, got {key!r}")
+            if kind == "string":
+                key = _unescape(key)
+            self.toks.expect("=")
+            out[key] = self.parse_attr_value()
+            if self.toks.accept("}"):
+                return out
+            self.toks.expect(",")
+
+    def _at_attr_dict(self) -> bool:
+        """Lookahead: '{' starting an attribute dict (key '=' ...) vs a
+        region (op or block header)."""
+        if self.toks.peek()[1] != "{":
+            return False
+        i = self.toks.index + 1
+        toks = self.toks.tokens
+        if i >= len(toks):
+            return False
+        kind, tok = toks[i]
+        if tok == "}":
+            return True  # empty braces: treat as empty attr dict
+        if kind in ("ident", "string") and i + 1 < len(toks) and toks[i + 1][1] == "=":
+            return True
+        return False
+
+    # -- types ---------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        kind, tok = self.toks.next()
+        if kind == "type":
+            return Type(tok)
+        if kind == "ident" and tok in _SCALAR_TYPES:
+            return Type(tok)
+        raise ParseError(f"expected a type, got {tok!r}")
+
+    def parse_type_list(self) -> list[Type]:
+        self.toks.expect("(")
+        types: list[Type] = []
+        if self.toks.accept(")"):
+            return types
+        while True:
+            types.append(self.parse_type())
+            if self.toks.accept(")"):
+                return types
+            self.toks.expect(",")
+
+    # -- operations ------------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        kind, tok = self.toks.next()
+        if tok != "module":
+            raise ParseError(f"expected 'module', got {tok!r}")
+        attrs = self.parse_attr_dict() if self._at_attr_dict() else {}
+        module = Module(attrs)
+        self.toks.expect("{")
+        scope: dict[str, Value] = {}
+        while not self.toks.accept("}"):
+            module.append(self.parse_op(scope))
+        if self.toks.peek()[0] != "eof":
+            raise ParseError(f"trailing input after module: {self.toks.peek()[1]!r}")
+        return module
+
+    def parse_op(self, scope: dict[str, Value]) -> Operation:
+        # Optional result list.
+        result_names: list[str] = []
+        save = self.toks.index
+        while self.toks.peek()[0] == "percent":
+            result_names.append(self.toks.next()[1][1:])
+            if self.toks.accept("="):
+                break
+            if self.toks.accept(","):
+                continue
+            # Not a result list after all (can't happen in printed form).
+            self.toks.index = save
+            result_names = []
+            break
+        kind, opname = self.toks.next()
+        if kind != "ident" or "." not in opname:
+            raise ParseError(f"expected an operation name, got {opname!r}")
+        # Operand list.
+        self.toks.expect("(")
+        operand_names: list[str] = []
+        if not self.toks.accept(")"):
+            while True:
+                kind, tok = self.toks.next()
+                if kind != "percent":
+                    raise ParseError(f"expected %operand, got {tok!r}")
+                operand_names.append(tok[1:])
+                if self.toks.accept(")"):
+                    break
+                self.toks.expect(",")
+        attrs = self.parse_attr_dict() if self._at_attr_dict() else {}
+        # Optional signature.
+        result_types: list[Type] = []
+        if self.toks.accept(":"):
+            in_types = self.parse_type_list()
+            if len(in_types) != len(operand_names):
+                raise ParseError(
+                    f"{opname}: signature lists {len(in_types)} operand types "
+                    f"for {len(operand_names)} operands"
+                )
+            if self.toks.accept("->"):
+                result_types = self.parse_type_list()
+        if result_names and len(result_types) != len(result_names):
+            raise ParseError(
+                f"{opname}: {len(result_names)} results but "
+                f"{len(result_types)} result types"
+            )
+        operands = []
+        for name in operand_names:
+            if name not in scope:
+                raise ParseError(f"{opname}: use of undefined value %{name}")
+            operands.append(scope[name])
+        op = Operation(
+            opname,
+            operands=operands,
+            result_types=result_types,
+            attributes=attrs,
+            result_names=result_names or None,
+        )
+        for r in op.results:
+            scope[r.name] = r
+        # Optional region.
+        if self.toks.peek()[1] == "{":
+            self.toks.next()
+            op.regions.append(self.parse_region(dict(scope)))
+        return op
+
+    def parse_region(self, scope: dict[str, Value]) -> Region:
+        region = Region([])
+        block = Block()
+        region.blocks.append(block)
+        started = False
+        while True:
+            kind, tok = self.toks.peek()
+            if tok == "}":
+                self.toks.next()
+                return region
+            if kind == "caret":
+                self.toks.next()
+                if started:
+                    block = Block()
+                    region.blocks.append(block)
+                started = True
+                self.toks.expect("(")
+                if not self.toks.accept(")"):
+                    while True:
+                        k, argname = self.toks.next()
+                        if k != "percent":
+                            raise ParseError(
+                                f"expected %arg in block header, got {argname!r}"
+                            )
+                        self.toks.expect(":")
+                        argtype = self.parse_type()
+                        v = Value(argtype, argname[1:], owner=block)
+                        block.arguments.append(v)
+                        scope[v.name] = v
+                        if self.toks.accept(")"):
+                            break
+                        self.toks.expect(",")
+                self.toks.expect(":")
+                continue
+            started = True
+            block.append(self.parse_op(scope))
+
+
+def parse_module(text: str) -> Module:
+    """Parse the textual IR form back into a :class:`Module`."""
+    return _Parser(text).parse_module()

@@ -1,0 +1,17 @@
+"""Compiler passes and the dialect-agnostic pass manager (paper §5.2)."""
+
+from repro.mlir.passes.manager import Pass, PassManager, PassResult
+from repro.mlir.passes.canonicalize import PulseCanonicalizePass
+from repro.mlir.passes.dce import DeadWaveformEliminationPass
+from repro.mlir.passes.cse import WaveformCSEPass
+from repro.mlir.passes.legalize import PulseLegalizationPass
+
+__all__ = [
+    "Pass",
+    "PassManager",
+    "PassResult",
+    "PulseCanonicalizePass",
+    "DeadWaveformEliminationPass",
+    "WaveformCSEPass",
+    "PulseLegalizationPass",
+]

@@ -1,0 +1,113 @@
+"""Pulse canonicalization.
+
+Rewrites that normalize pulse sequences without changing semantics:
+
+* merge consecutive ``pulse.delay`` ops on the same mixed frame,
+* drop zero-length delays,
+* drop no-op frame updates (``shift_phase``/``shift_frequency`` with a
+  statically-zero delta),
+* fuse an adjacent attribute-form ``set_frequency`` + ``set_phase`` on
+  the same mixed frame into one ``frame_change`` (the fused primitive
+  all three paper listings use).
+
+The pass is local (per block) and runs to a fixed point.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.mlir.context import MLIRContext
+from repro.mlir.ir import Block, Module, Operation
+from repro.mlir.passes.manager import Pass
+
+
+def _same_mf(a: Operation, b: Operation) -> bool:
+    return bool(a.operands) and bool(b.operands) and a.operands[0] is b.operands[0]
+
+
+class PulseCanonicalizePass(Pass):
+    """Normalize pulse sequences (see module docstring)."""
+
+    name = "pulse-canonicalize"
+    dialect = "pulse"
+
+    def run(self, module: Module, context: MLIRContext) -> bool:
+        changed = False
+        for seq in module.ops_of("pulse.sequence"):
+            for block in seq.region().blocks:
+                while self._run_on_block(block):
+                    changed = True
+        return changed
+
+    def _run_on_block(self, block: Block) -> bool:
+        ops = block.operations
+        for i, op in enumerate(ops):
+            # Zero delay.
+            if op.name == "pulse.delay" and op.attr("duration") == 0:
+                op.erase()
+                return True
+            # No-op shifts (attribute form only: SSA deltas are dynamic).
+            if (
+                op.name in ("pulse.shift_phase", "pulse.shift_frequency")
+                and len(op.operands) == 1
+                and op.attr("delta") == 0.0
+            ):
+                op.erase()
+                return True
+            nxt = ops[i + 1] if i + 1 < len(ops) else None
+            if nxt is None:
+                continue
+            # Merge adjacent delays on the same mixed frame.
+            if (
+                op.name == "pulse.delay"
+                and nxt.name == "pulse.delay"
+                and _same_mf(op, nxt)
+            ):
+                total = int(op.attr("duration")) + int(nxt.attr("duration"))
+                op.attributes["duration"] = total
+                nxt.erase()
+                return True
+            # Fuse set_frequency + set_phase (attribute forms) into
+            # frame_change.
+            if (
+                op.name == "pulse.set_frequency"
+                and nxt.name == "pulse.set_phase"
+                and _same_mf(op, nxt)
+                and len(op.operands) == 1
+                and len(nxt.operands) == 1
+                and op.attr("frequency") is not None
+                and nxt.attr("phase") is not None
+            ):
+                fused = Operation(
+                    "pulse.frame_change",
+                    operands=[op.operands[0]],
+                    attributes={
+                        "frequency": float(op.attr("frequency")),
+                        "phase": float(nxt.attr("phase")),
+                    },
+                )
+                idx = ops.index(op)
+                nxt.erase()
+                op.erase()
+                block.insert(idx, fused)
+                return True
+            # Later set_frequency on the same frame with no intervening
+            # time-consuming or phase-sensitive op shadows the earlier one.
+            if (
+                op.name == "pulse.set_frequency"
+                and nxt.name == "pulse.set_frequency"
+                and _same_mf(op, nxt)
+                and len(op.operands) == 1
+            ):
+                op.erase()
+                return True
+        return False
+
+
+def count_pulse_ops(module: Module) -> dict[str, int]:
+    """Histogram of pulse-dialect op names (test/bench helper)."""
+    out: dict[str, int] = {}
+    for op in module.walk():
+        if op.dialect == "pulse":
+            out[op.name] = out.get(op.name, 0) + 1
+    return out

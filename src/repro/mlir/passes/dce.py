@@ -1,0 +1,47 @@
+"""Dead-waveform elimination.
+
+``pulse.waveform`` is the only side-effect-free, result-producing op in
+the pulse dialect; a waveform constant nobody plays is dead weight in
+the exchange payload (waveform sample tables dominate payload size), so
+this pass erases unused ones. Runs to a fixed point to handle chains.
+"""
+
+from __future__ import annotations
+
+from repro.mlir.context import MLIRContext
+from repro.mlir.ir import Module, Operation, Value
+from repro.mlir.passes.manager import Pass
+
+#: Ops safe to erase when all results are unused.
+_PURE_OPS = frozenset({"pulse.waveform"})
+
+
+def _collect_uses(module: Module) -> set[Value]:
+    used: set[Value] = set()
+    for op in module.walk():
+        used.update(op.operands)
+    return used
+
+
+class DeadWaveformEliminationPass(Pass):
+    """Erase pure ops whose results are never used."""
+
+    name = "dead-waveform-elimination"
+    dialect = "pulse"
+
+    def run(self, module: Module, context: MLIRContext) -> bool:
+        changed = False
+        while True:
+            used = _collect_uses(module)
+            dead: list[Operation] = [
+                op
+                for op in module.walk()
+                if op.name in _PURE_OPS
+                and op.results
+                and not any(r in used for r in op.results)
+            ]
+            if not dead:
+                return changed
+            for op in dead:
+                op.erase()
+            changed = True

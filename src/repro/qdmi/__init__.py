@@ -1,0 +1,55 @@
+"""QDMI — the Quantum Device Management Interface (paper §5.3, Fig. 3).
+
+QDMI is the hardware abstraction layer of MQSS: the boundary between
+software services (compilers, clients, calibration tools) and quantum
+devices. The paper's Fig. 3 defines three entities, all modeled here:
+
+* **Clients** — consumers of the interface (the MQSS client, compiler
+  passes, calibration tools). They never hold a device directly; they
+  open a :class:`QDMISession` through a driver.
+* **Driver** — :class:`QDMIDriver` orchestrates the interactions:
+  device registry, session control, job mediation.
+* **Devices** — anything implementing the :class:`QDMIDevice` protocol:
+  the simulated QPUs in :mod:`repro.devices`, simulators, databases.
+
+The pulse extension proposed by the paper is implemented exactly as
+described: pulse-specific *device*, *site* and *operation* properties
+are new enumeration values retrievable through the existing ``Query``
+interface, and pulse jobs need only one new :class:`ProgramFormat`
+enumeration value on the existing ``Job`` interface.
+"""
+
+from repro.qdmi.properties import (
+    DeviceProperty,
+    DeviceStatus,
+    FrameProperty,
+    JobStatus,
+    OperationProperty,
+    PortProperty,
+    ProgramFormat,
+    PulseSupportLevel,
+    SiteProperty,
+)
+from repro.qdmi.types import OperationInfo, Site
+from repro.qdmi.device import QDMIDevice
+from repro.qdmi.job import QDMIJob
+from repro.qdmi.driver import QDMIDriver
+from repro.qdmi.session import QDMISession
+
+__all__ = [
+    "DeviceProperty",
+    "SiteProperty",
+    "OperationProperty",
+    "PortProperty",
+    "FrameProperty",
+    "DeviceStatus",
+    "JobStatus",
+    "ProgramFormat",
+    "PulseSupportLevel",
+    "Site",
+    "OperationInfo",
+    "QDMIDevice",
+    "QDMIJob",
+    "QDMIDriver",
+    "QDMISession",
+]

@@ -1,0 +1,121 @@
+"""QDMI driver: device registry + session control.
+
+"A bespoke solution for orchestrating these interactions, managing
+available QDMI Devices and mediating client-side requests by
+implementing session and job control structures." (paper §5.3)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import QDMIError, SessionError
+from repro.qdmi.device import QDMIDevice
+from repro.qdmi.properties import DeviceProperty, PulseSupportLevel
+from repro.qdmi.session import QDMISession
+
+
+class QDMIDriver:
+    """Manages devices and hands out sessions to clients."""
+
+    def __init__(self) -> None:
+        self._devices: dict[str, QDMIDevice] = {}
+        self._sessions: list[QDMISession] = []
+
+    # ---- device registry -----------------------------------------------------------
+
+    def register_device(self, device: QDMIDevice) -> None:
+        """Add *device* to the registry; names must be unique."""
+        if device.name in self._devices:
+            raise QDMIError(f"device {device.name!r} already registered")
+        self._devices[device.name] = device
+
+    def unregister_device(self, name: str) -> None:
+        """Remove a device; open sessions on it are closed."""
+        if name not in self._devices:
+            raise QDMIError(f"device {name!r} not registered")
+        del self._devices[name]
+        for s in self._sessions:
+            if s.is_open and s.device_name == name:
+                s.close()
+
+    def device_names(self) -> list[str]:
+        """Registered device names, sorted."""
+        return sorted(self._devices)
+
+    def get_device(self, name: str) -> QDMIDevice:
+        """Direct device access (driver-internal use; clients should
+        open sessions instead)."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise QDMIError(
+                f"device {name!r} not registered; known: {self.device_names()}"
+            ) from None
+
+    # ---- session control ---------------------------------------------------------------
+
+    def open_session(self, device_name: str, client_name: str) -> QDMISession:
+        """Open a session for *client_name* on *device_name*."""
+        device = self.get_device(device_name)
+        session = QDMISession(device, client_name)
+        self._sessions.append(session)
+        return session
+
+    def close_all_sessions(self) -> int:
+        """Close every open session; returns how many were closed."""
+        n = 0
+        for s in self._sessions:
+            if s.is_open:
+                s.close()
+                n += 1
+        return n
+
+    @property
+    def open_sessions(self) -> list[QDMISession]:
+        """Currently open sessions."""
+        return [s for s in self._sessions if s.is_open]
+
+    # ---- discovery helpers ------------------------------------------------------------
+
+    def devices_with_pulse_support(
+        self, minimum: PulseSupportLevel = PulseSupportLevel.SITE
+    ) -> list[str]:
+        """Names of devices granting at least *minimum* pulse access."""
+        rank = {
+            PulseSupportLevel.NONE: 0,
+            PulseSupportLevel.SITE: 1,
+            PulseSupportLevel.PORT: 2,
+        }
+        out = []
+        for name, dev in sorted(self._devices.items()):
+            if rank[dev.pulse_support_level()] >= rank[minimum]:
+                out.append(name)
+        return out
+
+    def devices_by_technology(self, technology: str) -> list[str]:
+        """Names of devices whose TECHNOLOGY property equals *technology*."""
+        out = []
+        for name, dev in sorted(self._devices.items()):
+            try:
+                tech = dev.query_device_property(DeviceProperty.TECHNOLOGY)
+            except Exception:
+                continue
+            if tech == technology:
+                out.append(name)
+        return out
+
+    def capability_matrix(self) -> dict[str, dict[str, object]]:
+        """Summary table used by the Fig. 3 reproduction benchmark:
+        device -> {technology, sites, pulse level, formats}."""
+        out: dict[str, dict[str, object]] = {}
+        for name, dev in sorted(self._devices.items()):
+            out[name] = {
+                "technology": dev.query_device_property(DeviceProperty.TECHNOLOGY),
+                "num_sites": dev.query_device_property(DeviceProperty.NUM_SITES),
+                "pulse_support": dev.pulse_support_level().value,
+                "formats": [f.value for f in dev.supported_formats()],
+                "num_ports": len(dev.ports()),
+                "num_frames": len(dev.frames()),
+            }
+        return out

@@ -1,0 +1,137 @@
+"""Enumerations of the QDMI query and job interfaces.
+
+The real QDMI is a C header-only library keyed by enumeration values so
+that "new properties or operations can be added without breaking
+existing interfaces" (paper §5.3). The pulse extension shows up here as
+*additional enum members* — marked ``# pulse extension`` below — not as
+new interfaces, reproducing the paper's backward-compatibility claim.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DeviceStatus(enum.Enum):
+    """Operational status of a device."""
+
+    OFFLINE = "offline"
+    IDLE = "idle"
+    BUSY = "busy"
+    CALIBRATING = "calibrating"
+    MAINTENANCE = "maintenance"
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a QDMI job."""
+
+    CREATED = "created"
+    SUBMITTED = "submitted"
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+class ProgramFormat(enum.Enum):
+    """Payload formats a job submission may carry.
+
+    Pulse support needs "only ... a single enumeration value" on the job
+    interface (paper Fig. 3 caption): :attr:`QIR_PULSE`. The others are
+    the formats MQSS already routes.
+    """
+
+    QASM2 = "qasm2"
+    QASM3 = "qasm3"
+    QIR_BASE = "qir-base"
+    MLIR_QUANTUM = "mlir-quantum"
+    MLIR_PULSE = "mlir-pulse"
+    QIR_PULSE = "qir-pulse"  # pulse extension
+    PULSE_SCHEDULE = "pulse-schedule"  # in-memory schedule (local fast path)
+
+
+class PulseSupportLevel(enum.Enum):
+    """How much pulse access a device grants (paper §5.3: pulse support
+    "can be provided at two levels of abstraction: site level and port
+    level")."""
+
+    NONE = "none"
+    SITE = "site"  # pulses attached to sites; ports hidden
+    PORT = "port"  # full port-level access
+
+
+class DeviceProperty(enum.Enum):
+    """Device-scope query keys."""
+
+    NAME = "name"
+    VERSION = "version"
+    TECHNOLOGY = "technology"  # superconducting / trapped-ion / neutral-atom / ...
+    NUM_SITES = "num_sites"
+    STATUS = "status"
+    COUPLING_MAP = "coupling_map"
+    SUPPORTED_FORMATS = "supported_formats"
+    NATIVE_GATES = "native_gates"
+    # pulse extension:
+    PULSE_SUPPORT_LEVEL = "pulse_support_level"
+    PULSE_CONSTRAINTS = "pulse_constraints"
+    PORTS = "ports"
+    FRAMES = "frames"
+    SAMPLE_RATE = "sample_rate"
+    TIMING_GRANULARITY = "timing_granularity"
+    SUPPORTED_ENVELOPES = "supported_envelopes"
+
+
+class SiteProperty(enum.Enum):
+    """Site-scope query keys (a site is a physical/logical qubit slot)."""
+
+    INDEX = "index"
+    T1 = "t1"
+    T2 = "t2"
+    FREQUENCY = "frequency"
+    ANHARMONICITY = "anharmonicity"
+    READOUT_ERROR = "readout_error"
+    # pulse extension:
+    DRIVE_PORT = "drive_port"
+    READOUT_PORT = "readout_port"
+    ACQUIRE_PORT = "acquire_port"
+    DEFAULT_FRAME = "default_frame"
+    RABI_RATE = "rabi_rate"
+
+
+class OperationProperty(enum.Enum):
+    """Operation-scope query keys (gates, measurement, movement...)."""
+
+    NAME = "name"
+    NUM_QUBITS = "num_qubits"
+    DURATION = "duration"  # seconds, for the given sites
+    FIDELITY = "fidelity"
+    PARAMETERS = "parameters"
+    # pulse extension:
+    HAS_PULSE_IMPLEMENTATION = "has_pulse_implementation"
+    PULSE_SCHEDULE = "pulse_schedule"  # the default calibration, as a schedule
+    IS_VIRTUAL = "is_virtual"  # implemented as frame updates only
+
+
+class PortProperty(enum.Enum):
+    """Port-scope query keys (pulse extension)."""
+
+    NAME = "name"
+    KIND = "kind"
+    TARGETS = "targets"
+    DIRECTION = "direction"
+    MAX_AMPLITUDE = "max_amplitude"
+    FREQUENCY_RANGE = "frequency_range"
+
+
+class FrameProperty(enum.Enum):
+    """Frame-scope query keys (pulse extension)."""
+
+    NAME = "name"
+    FREQUENCY = "frequency"
+    PHASE = "phase"
+    PORT = "port"

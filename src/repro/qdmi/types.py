@@ -1,0 +1,61 @@
+"""QDMI data types: sites and operations.
+
+"In QDMI, a *site* references a physical or logical qubit location —
+e.g., a superconducting qubit, an ion-trapped qubit, or a neutral-atom
+trap. *Operations* encompass, for example, quantum gates, measurements,
+and movement primitives." (paper §5.3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True, order=True)
+class Site:
+    """A qubit location on a device."""
+
+    index: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValidationError(f"site index must be >= 0, got {self.index}")
+        if not self.name:
+            object.__setattr__(self, "name", f"site{self.index}")
+
+
+@dataclass(frozen=True)
+class OperationInfo:
+    """Description of one device operation (gate / measure / move).
+
+    Attributes
+    ----------
+    name:
+        Operation identifier, e.g. ``"x"``, ``"cz"``, ``"measure"``.
+    num_qubits:
+        Arity; 0 means "any" (e.g. global operations).
+    parameters:
+        Names of continuous parameters (e.g. ``("theta",)`` for ``rz``).
+    is_virtual:
+        True when the operation compiles to frame updates only and
+        costs zero wall-clock time (e.g. ``rz`` on most platforms).
+    has_pulse_implementation:
+        Whether the device publishes a default pulse calibration for it.
+    """
+
+    name: str
+    num_qubits: int
+    parameters: tuple[str, ...] = field(default=())
+    is_virtual: bool = False
+    has_pulse_implementation: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("operation name must be non-empty")
+        if self.num_qubits < 0:
+            raise ValidationError(
+                f"num_qubits must be >= 0, got {self.num_qubits}"
+            )

@@ -1,0 +1,47 @@
+"""QIR with a Pulse Profile — the exchange format (paper §5.4).
+
+The paper proposes "extending the QIR specification with a Pulse
+Profile to natively carry pulse-level abstractions, and using that QIR
+with pulse support as the default exchange format for pulses in MQSS".
+This package reproduces the whole mechanism:
+
+* :mod:`repro.qir.module` — the LLVM-module-like object model: opaque
+  ``%Port``/``%Frame``/``%Waveform`` types, global constants (waveform
+  sample tables, name strings), an entry function of intrinsic calls,
+  and the attribute group carrying ``qir_profiles="pulse"``;
+* :mod:`repro.qir.emitter` — pulse schedule -> QIR text (the paper's
+  Listing 3 shape);
+* :mod:`repro.qir.parser` — QIR text -> module model;
+* :mod:`repro.qir.profile` — Base/Pulse profile validation;
+* :mod:`repro.qir.linker` — resolves ``__quantum__pulse__*`` and
+  ``__quantum__qis__*`` intrinsics against a concrete device ("at
+  runtime, the hardware-specific QDMI Device layer would link these
+  calls to the actual device APIs"), producing an executable schedule.
+"""
+
+from repro.qir.module import (
+    QIRArg,
+    QIRCall,
+    QIRGlobal,
+    QIRModule,
+    PULSE_INTRINSICS,
+    QIS_INTRINSICS,
+)
+from repro.qir.emitter import schedule_to_qir
+from repro.qir.parser import parse_qir
+from repro.qir.profile import ProfileReport, validate_profile
+from repro.qir.linker import link_qir_to_schedule
+
+__all__ = [
+    "QIRModule",
+    "QIRGlobal",
+    "QIRCall",
+    "QIRArg",
+    "PULSE_INTRINSICS",
+    "QIS_INTRINSICS",
+    "schedule_to_qir",
+    "parse_qir",
+    "validate_profile",
+    "ProfileReport",
+    "link_qir_to_schedule",
+]

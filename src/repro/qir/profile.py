@@ -1,0 +1,109 @@
+"""QIR profile validation (Base vs Pulse).
+
+QIR "already defines the notion of Profiles to specialize this
+LLVM-compliant IR for certain hardware or use cases" (paper §5.4). The
+proposed Pulse Profile augments the Base Profile with the port/frame/
+waveform abstractions; validation enforces the membership rules:
+
+* a module whose attribute group says ``qir_profiles="pulse"`` may use
+  both pulse and QIS intrinsics;
+* a Base-Profile module must not call any ``__quantum__pulse__*``
+  symbol;
+* every called symbol must belong to a known vocabulary;
+* SSA discipline inside the entry function (handles defined before
+  use, no redefinition);
+* the ``required_num_ports`` / ``required_num_results`` metadata must
+  match the body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.qir.module import PULSE_INTRINSICS, QIS_INTRINSICS, QIRModule
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of profile validation."""
+
+    profile: str
+    valid: bool
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    num_pulse_calls: int = 0
+    num_qis_calls: int = 0
+    num_ports: int = 0
+    num_results: int = 0
+
+
+def validate_profile(module: QIRModule) -> ProfileReport:
+    """Validate *module* against its declared profile."""
+    profile = module.profile()
+    report = ProfileReport(profile=profile, valid=True)
+
+    known = PULSE_INTRINSICS | QIS_INTRINSICS
+    defined: set[str] = set()
+    ports: set[str] = set()
+    results = 0
+
+    for call in module.body:
+        if call.callee in PULSE_INTRINSICS:
+            report.num_pulse_calls += 1
+        elif call.callee in QIS_INTRINSICS:
+            report.num_qis_calls += 1
+        else:
+            report.errors.append(f"unknown intrinsic @{call.callee}")
+        if call.callee not in known:
+            continue
+        # SSA discipline.
+        for arg in call.args:
+            if arg.kind == "local" and arg.value not in defined:
+                report.errors.append(
+                    f"@{call.callee}: use of undefined handle %{arg.value}"
+                )
+            if arg.kind == "global" and not _has_global(module, str(arg.value)):
+                report.errors.append(
+                    f"@{call.callee}: reference to missing global @{arg.value}"
+                )
+        if call.result is not None:
+            if call.result in defined:
+                report.errors.append(f"handle %{call.result} redefined")
+            defined.add(call.result)
+        if call.callee == "__quantum__pulse__port__body":
+            ports.add(str(call.args[0].value) if call.args else "?")
+        if call.callee == "__quantum__pulse__capture__body":
+            results += 1
+        if call.callee == "__quantum__qis__mz__body":
+            results += 1
+
+    report.num_ports = len(ports)
+    report.num_results = results
+
+    if profile == "base" and report.num_pulse_calls > 0:
+        report.errors.append(
+            "base profile module calls pulse intrinsics; declare "
+            'qir_profiles="pulse"'
+        )
+    if profile == "pulse" and "entry_point" not in module.attributes:
+        report.warnings.append("pulse profile module missing entry_point attribute")
+
+    want_ports = module.attributes.get("required_num_ports")
+    if want_ports is not None and int(want_ports) != report.num_ports:
+        report.errors.append(
+            f"required_num_ports={want_ports} but body constructs "
+            f"{report.num_ports} ports"
+        )
+    want_results = module.attributes.get("required_num_results")
+    if want_results is not None and int(want_results) != report.num_results:
+        report.errors.append(
+            f"required_num_results={want_results} but body produces "
+            f"{report.num_results} results"
+        )
+
+    report.valid = not report.errors
+    return report
+
+
+def _has_global(module: QIRModule, name: str) -> bool:
+    return any(g.name == name for g in module.globals)

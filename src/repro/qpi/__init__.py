@@ -1,0 +1,66 @@
+"""QPI — the C-style Quantum Programming Interface (paper §5.1).
+
+The paper extends MQSS's native QPI — "a lightweight C-based library
+designed for HPCQC integration" — with three pulse primitives:
+
+* ``qWaveform(waveform, amps)`` — create a waveform from amplitudes,
+* ``qPlayWaveform(port, waveform)`` — emit it on a hardware port,
+* ``qFrameChange(port, frequency, phase)`` — set carrier freq/phase,
+
+alongside the existing gate calls (``qX``, ``qMeasure``...). "The new
+three QPI primitives operate at native speed due to its C
+implementation"; the HPC-relevant property is that *kernel construction
+inside the classical optimization loop is nearly free*. This package
+reproduces that call surface and that property in Python:
+:mod:`repro.qpi.qpi` is a handle-based, allocation-light builder that
+only appends small tuples per call, while :mod:`repro.qpi.pythonic` is
+the deliberately conventional object API (per-call objects, deep
+validation, string formatting) that stands in for "a scripting-language
+API" in the overhead experiment (E5).
+"""
+
+from repro.qpi.qpi import (
+    QCircuit,
+    QuantumResult,
+    qBarrier,
+    qCircuitBegin,
+    qCircuitEnd,
+    qCircuitFree,
+    qCZ,
+    qDelay,
+    qExecute,
+    qFrameChange,
+    qInitClassicalRegisters,
+    qMeasure,
+    qPlayWaveform,
+    qRead,
+    qRZ,
+    qSX,
+    qWaveform,
+    qX,
+)
+from repro.qpi.compile import qpi_to_schedule
+from repro.qpi.pythonic import PythonicCircuit
+
+__all__ = [
+    "QCircuit",
+    "QuantumResult",
+    "qCircuitBegin",
+    "qCircuitEnd",
+    "qCircuitFree",
+    "qInitClassicalRegisters",
+    "qX",
+    "qSX",
+    "qRZ",
+    "qCZ",
+    "qMeasure",
+    "qWaveform",
+    "qPlayWaveform",
+    "qFrameChange",
+    "qDelay",
+    "qBarrier",
+    "qExecute",
+    "qRead",
+    "qpi_to_schedule",
+    "PythonicCircuit",
+]

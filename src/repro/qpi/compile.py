@@ -1,0 +1,78 @@
+"""QPI op buffer -> pulse schedule (the qExecute JIT step).
+
+All the cost deferred by the QPI hot-path calls lands here, once per
+execution: waveform arrays are materialized and validated, port names
+resolved against the device, gates expanded through the calibration
+set. Plays and frame changes land on the port's *default frame*, which
+is what the paper's ``qFrameChange(port, freq, phase)`` signature
+implies (the frame is addressed through its port).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.instructions import Capture, Delay, FrameChange, Play
+from repro.core.schedule import PulseSchedule
+from repro.core.waveform import SampledWaveform
+from repro.errors import ValidationError
+from repro.qpi.qpi import (
+    OP_BARRIER,
+    OP_CZ,
+    OP_DELAY,
+    OP_FRAME_CHANGE,
+    OP_MEASURE,
+    OP_PLAY,
+    OP_RZ,
+    OP_SX,
+    OP_X,
+    QCircuit,
+)
+
+
+def qpi_to_schedule(circuit: QCircuit, device: Any, name: str = "qpi-kernel") -> PulseSchedule:
+    """Convert a QPI circuit into a device-bound pulse schedule."""
+    schedule = PulseSchedule(name)
+    cal = device.calibrations
+    # Waveform handles materialize once, deduplicated by handle.
+    materialized = [SampledWaveform(w) for w in circuit.waveforms]
+    frames: dict[str, Any] = {}
+
+    def frame_of(port):
+        f = frames.get(port.name)
+        if f is None:
+            f = device.default_frame(port)
+            frames[port.name] = f
+        return f
+
+    for op in circuit.ops:
+        code = op[0]
+        if code == OP_X:
+            cal.get("x", (op[1],)).apply(schedule, [])
+        elif code == OP_SX:
+            cal.get("sx", (op[1],)).apply(schedule, [])
+        elif code == OP_RZ:
+            cal.get("rz", (op[1],)).apply(schedule, [op[2]])
+        elif code == OP_CZ:
+            lo, hi = sorted((op[1], op[2]))
+            cal.get("cz", (lo, hi)).apply(schedule, [])
+        elif code == OP_MEASURE:
+            if circuit.num_cregs and op[2] >= circuit.num_cregs:
+                raise ValidationError(
+                    f"qMeasure into register {op[2]} but only "
+                    f"{circuit.num_cregs} declared"
+                )
+            cal.get("measure", (op[1],)).apply(schedule, [op[2]])
+        elif code == OP_PLAY:
+            port = device.port(op[1])
+            schedule.append(Play(port, frame_of(port), materialized[op[2]]))
+        elif code == OP_FRAME_CHANGE:
+            port = device.port(op[1])
+            schedule.append(FrameChange(port, frame_of(port), op[2], op[3]))
+        elif code == OP_DELAY:
+            schedule.append(Delay(device.port(op[1]), op[2]))
+        elif code == OP_BARRIER:
+            schedule.barrier(*(device.port(p) for p in op[1]))
+        else:  # pragma: no cover - opcodes are module-internal
+            raise ValidationError(f"unknown QPI opcode {code}")
+    return schedule

@@ -1,0 +1,186 @@
+"""The conventional Python object API — the overhead baseline.
+
+The paper's motivation for a compiled QPI is that "C implementations
+[have] far less overhead compared to a scripting language like Python"
+(§5.1), and that pulse interfaces exposed "via Python APIs ... limit
+suitability for low-latency, tightly integrated HPC workflows" (§7).
+
+This module is the stand-in for that conventional style: a perfectly
+reasonable-looking object API that does, per call, what dynamic
+frameworks typically do — construct an instruction object, deep-copy
+and validate parameters, normalize sample arrays, and maintain
+name-indexed metadata. Each of those steps is defensible in isolation;
+the E5 benchmark shows their sum dominating a VQE outer loop, which is
+exactly the gap the QPI design removes.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass
+class PInstruction:
+    """A fully-materialized instruction object (per-call allocation)."""
+
+    name: str
+    qubits: tuple[int, ...] = ()
+    params: dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValidationError("instruction must have a name")
+        for q in self.qubits:
+            if not isinstance(q, int) or q < 0:
+                raise ValidationError(f"bad qubit index {q!r}")
+        for key, value in self.params.items():
+            if isinstance(value, float) and not np.isfinite(value):
+                raise ValidationError(f"non-finite parameter {key}={value}")
+
+
+class PythonicCircuit:
+    """A dynamic, validating, object-rich circuit builder."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0) -> None:
+        if num_qubits < 1:
+            raise ValidationError("need at least one qubit")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.instructions: list[PInstruction] = []
+        self.metadata: dict[str, Any] = {"name": "circuit", "tags": []}
+        self._waveforms: dict[str, np.ndarray] = {}
+
+    # ---- internal per-call machinery (the overhead being measured) ---------------
+
+    def _append(self, name: str, qubits: tuple[int, ...], **params: Any) -> PInstruction:
+        for q in qubits:
+            if q >= self.num_qubits:
+                raise ValidationError(
+                    f"qubit {q} out of range for {self.num_qubits}-qubit circuit"
+                )
+        ins = PInstruction(
+            name=name,
+            qubits=qubits,
+            params=copy.deepcopy(params),
+            label=f"{name}@{','.join(map(str, qubits))}#{len(self.instructions)}",
+        )
+        ins.validate()
+        self.instructions.append(ins)
+        return ins
+
+    # ---- gate API ------------------------------------------------------------------
+
+    def x(self, qubit: int) -> "PythonicCircuit":
+        self._append("x", (qubit,))
+        return self
+
+    def sx(self, qubit: int) -> "PythonicCircuit":
+        self._append("sx", (qubit,))
+        return self
+
+    def rz(self, qubit: int, theta: float) -> "PythonicCircuit":
+        self._append("rz", (qubit,), theta=float(theta))
+        return self
+
+    def cz(self, a: int, b: int) -> "PythonicCircuit":
+        if a == b:
+            raise ValidationError("cz needs two distinct qubits")
+        self._append("cz", (a, b))
+        return self
+
+    def measure(self, qubit: int, clbit: int) -> "PythonicCircuit":
+        if self.num_clbits and clbit >= self.num_clbits:
+            raise ValidationError(f"clbit {clbit} out of range")
+        self._append("measure", (qubit,), clbit=clbit)
+        return self
+
+    # ---- pulse API --------------------------------------------------------------------
+
+    def waveform(self, name: str, samples) -> str:
+        """Register a named waveform; samples normalized + validated."""
+        arr = np.asarray(samples, dtype=np.complex128).copy()
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValidationError("waveform must be a non-empty 1-D array")
+        if not np.all(np.isfinite(arr.view(np.float64))):
+            raise ValidationError("waveform samples must be finite")
+        if float(np.abs(arr).max()) > 1.0 + 1e-9:
+            raise ValidationError("waveform amplitude exceeds 1.0")
+        self._waveforms[name] = arr
+        return name
+
+    def play(self, port: str, waveform: str) -> "PythonicCircuit":
+        if waveform not in self._waveforms:
+            raise ValidationError(f"unknown waveform {waveform!r}")
+        self._append(
+            "play",
+            (),
+            port=str(port),
+            waveform=waveform,
+            duration=int(self._waveforms[waveform].size),
+        )
+        return self
+
+    def frame_change(self, port: str, frequency: float, phase: float) -> "PythonicCircuit":
+        self._append(
+            "frame_change", (), port=str(port), frequency=float(frequency), phase=float(phase)
+        )
+        return self
+
+    def delay(self, port: str, samples: int) -> "PythonicCircuit":
+        self._append("delay", (), port=str(port), duration=int(samples))
+        return self
+
+    # ---- conversion ----------------------------------------------------------------------
+
+    def to_qpi_ops(self) -> list[tuple]:
+        """Translate into the QPI op-buffer format (for execution)."""
+        from repro.qpi import qpi as q
+
+        waveform_index = {name: i for i, name in enumerate(self._waveforms)}
+        out: list[tuple] = []
+        for ins in self.instructions:
+            if ins.name == "x":
+                out.append((q.OP_X, ins.qubits[0]))
+            elif ins.name == "sx":
+                out.append((q.OP_SX, ins.qubits[0]))
+            elif ins.name == "rz":
+                out.append((q.OP_RZ, ins.qubits[0], ins.params["theta"]))
+            elif ins.name == "cz":
+                out.append((q.OP_CZ, ins.qubits[0], ins.qubits[1]))
+            elif ins.name == "measure":
+                out.append((q.OP_MEASURE, ins.qubits[0], ins.params["clbit"]))
+            elif ins.name == "play":
+                out.append(
+                    (q.OP_PLAY, ins.params["port"], waveform_index[ins.params["waveform"]])
+                )
+            elif ins.name == "frame_change":
+                out.append(
+                    (
+                        q.OP_FRAME_CHANGE,
+                        ins.params["port"],
+                        ins.params["frequency"],
+                        ins.params["phase"],
+                    )
+                )
+            elif ins.name == "delay":
+                out.append((q.OP_DELAY, ins.params["port"], ins.params["duration"]))
+            else:  # pragma: no cover
+                raise ValidationError(f"cannot convert {ins.name!r}")
+        return out
+
+    def to_qcircuit(self):
+        """Full conversion to a QPI circuit handle."""
+        from repro.qpi.qpi import QCircuit
+
+        circuit = QCircuit()
+        circuit.ops = self.to_qpi_ops()
+        circuit.waveforms = list(self._waveforms.values())
+        circuit.num_cregs = self.num_clbits
+        return circuit

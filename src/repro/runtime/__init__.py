@@ -1,0 +1,28 @@
+"""Runtime resource management (paper Fig. 2: "MQSS's second-level
+scheduler" inside the Quantum Resource Manager & Compiler
+Infrastructure).
+
+* :mod:`repro.runtime.scheduler` — a priority/FIFO second-level
+  scheduler over multiple QDMI devices, plus the calibration-aware
+  variant that implements §2.1's "resource-aware calibration planning":
+  it watches each device's drift budget and interleaves calibration
+  runs with user jobs.
+* :mod:`repro.runtime.telemetry` — counters and wall-clock timers used
+  across the runtime benchmarks.
+"""
+
+from repro.runtime.scheduler import (
+    CalibrationAwareScheduler,
+    ScheduledJob,
+    SchedulerReport,
+    SecondLevelScheduler,
+)
+from repro.runtime.telemetry import Telemetry
+
+__all__ = [
+    "SecondLevelScheduler",
+    "CalibrationAwareScheduler",
+    "ScheduledJob",
+    "SchedulerReport",
+    "Telemetry",
+]

@@ -1,0 +1,157 @@
+"""The second-level scheduler and calibration-aware planning.
+
+MQSS's QRM&CI "encompasses MQSS's second-level scheduler" (Fig. 2); the
+pulse extension's calibration use case (§2.1) asks that "QC service
+providers, like HPC centers ... dynamically schedule calibrations based
+on anticipated demand", enabling "resource-aware calibration planning".
+
+:class:`SecondLevelScheduler` orders queued jobs by (priority, arrival)
+across devices and executes them through the :class:`MQSSClient`.
+:class:`CalibrationAwareScheduler` additionally tracks a drift budget
+per device — wall-clock since last calibration times the device's drift
+rate — and interleaves a calibration callback whenever the predicted
+frequency error crosses a threshold, amortizing it before batches
+rather than mid-stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.client.client import ClientResult, JobRequest, MQSSClient
+from repro.runtime.telemetry import Telemetry
+
+
+@dataclass(order=True)
+class ScheduledJob:
+    """A queued request with scheduling metadata."""
+
+    sort_key: tuple = field(init=False, repr=False)
+    request: JobRequest = field(compare=False)
+    arrival: int = field(compare=False, default=0)
+    result: ClientResult | None = field(compare=False, default=None)
+    wait_s: float = field(compare=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.sort_key = (-self.request.priority, self.arrival)
+
+
+@dataclass
+class SchedulerReport:
+    """Outcome of draining the queue."""
+
+    completed: int = 0
+    failed: int = 0
+    calibrations: int = 0
+    total_wall_s: float = 0.0
+    per_device_jobs: dict[str, int] = field(default_factory=dict)
+    mean_wait_s: float = 0.0
+
+
+class SecondLevelScheduler:
+    """Priority + FIFO scheduling of client requests over devices."""
+
+    def __init__(self, client: MQSSClient) -> None:
+        self.client = client
+        self.telemetry = Telemetry()
+        self._queue: list[ScheduledJob] = []
+        self._arrivals = 0
+
+    def enqueue(self, request: JobRequest) -> ScheduledJob:
+        """Queue a request; returns its scheduling handle."""
+        job = ScheduledJob(request=request, arrival=self._arrivals)
+        self._arrivals += 1
+        self._queue.append(job)
+        self.telemetry.incr("enqueued")
+        return job
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def _before_dispatch(self, job: ScheduledJob, report: SchedulerReport) -> None:
+        """Hook for subclasses (calibration interleaving)."""
+
+    def drain(self) -> SchedulerReport:
+        """Run every queued job to completion, in schedule order."""
+        report = SchedulerReport()
+        t_start = time.perf_counter()
+        queue = sorted(self._queue)
+        self._queue.clear()
+        for job in queue:
+            enqueue_to_start = time.perf_counter() - t_start
+            self._before_dispatch(job, report)
+            try:
+                with self.telemetry.timer("execute"):
+                    job.result = self.client.submit(job.request)
+                report.completed += 1
+                dev = job.request.device
+                report.per_device_jobs[dev] = report.per_device_jobs.get(dev, 0) + 1
+            except Exception:
+                report.failed += 1
+                self.telemetry.incr("failures")
+            job.wait_s = enqueue_to_start
+        report.total_wall_s = time.perf_counter() - t_start
+        waits = [j.wait_s for j in queue]
+        report.mean_wait_s = sum(waits) / len(waits) if waits else 0.0
+        return report
+
+
+class CalibrationAwareScheduler(SecondLevelScheduler):
+    """Interleaves calibrations when a device's drift budget is spent.
+
+    Parameters
+    ----------
+    client:
+        The MQSS client used for execution.
+    calibrate:
+        Callback ``calibrate(device_name) -> None`` that runs the
+        calibration routine (typically
+        :func:`repro.calibration.ramsey.track_frequency` + frame
+        write-back).
+    error_budget_hz:
+        Predicted frequency error at which calibration is triggered.
+    job_seconds:
+        Simulated wall-clock seconds of device time per user job (the
+        drift clock advanced between jobs).
+    """
+
+    def __init__(
+        self,
+        client: MQSSClient,
+        calibrate: Callable[[str], None],
+        *,
+        error_budget_hz: float = 50e3,
+        job_seconds: float = 10.0,
+    ) -> None:
+        super().__init__(client)
+        self.calibrate = calibrate
+        self.error_budget_hz = error_budget_hz
+        self.job_seconds = job_seconds
+        self._drift_clock: dict[str, float] = {}
+
+    def _predicted_error(self, device: Any, elapsed: float) -> float:
+        rate = getattr(device.config, "drift_rate", 0.0)
+        return rate * (elapsed**0.5)
+
+    def _before_dispatch(self, job: ScheduledJob, report: SchedulerReport) -> None:
+        name = job.request.device
+        device = self.client.driver.get_device(name)
+        from repro.client.remote import RemoteDeviceProxy
+
+        if isinstance(device, RemoteDeviceProxy):
+            device = device.inner
+        if not hasattr(device, "advance_time"):
+            return
+        # Device time passes (drift accumulates) between jobs.
+        device.advance_time(self.job_seconds)
+        elapsed = self._drift_clock.get(name, 0.0) + self.job_seconds
+        if self._predicted_error(device, elapsed) >= self.error_budget_hz:
+            with self.telemetry.timer("calibration"):
+                self.calibrate(name)
+            report.calibrations += 1
+            self.telemetry.incr("calibrations")
+            elapsed = 0.0
+        self._drift_clock[name] = elapsed

@@ -1,0 +1,44 @@
+"""Counters and timers for runtime observability.
+
+QDMI's stated use cases include "telemetry-driven error mitigation"
+(paper §5.3); this small module is the telemetry sink the scheduler
+and benchmarks write into.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Telemetry:
+    """Named counters + accumulated timers."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.timers: dict[str, float] = {}
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter *name* by *amount*."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of counter *name* (0 when unset)."""
+        return self.counters.get(name, 0.0)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Accumulate wall-clock time under *name*."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[name] = self.timers.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters and timers merged into one dict (timers suffixed)."""
+        out = dict(self.counters)
+        out.update({f"{k}_s": v for k, v in self.timers.items()})
+        return out

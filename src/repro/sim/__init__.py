@@ -1,0 +1,78 @@
+"""Pulse-level quantum dynamics simulator.
+
+This package is the hardware substitute mandated by the reproduction
+plan (DESIGN.md): the paper's evaluation requires real superconducting,
+trapped-ion and neutral-atom accelerators, which are access-gated, so
+every device in :mod:`repro.devices` executes its pulse schedules on
+this simulator instead. It implements:
+
+* multi-site tensor-product operator construction with per-site
+  dimensions (qubits or qutrits — the |2> level matters for DRAG and
+  ctrl-VQE experiments),
+* piecewise-constant Schrodinger evolution in the rotating frame, with
+  frame-aware carrier modulation (detuning + phase from
+  :class:`~repro.core.frame.FrameState`),
+* optional Lindblad-style decoherence via per-step Kraus channels
+  (T1 amplitude damping, T2 pure dephasing),
+* projective measurement with a configurable readout-error model and
+  seeded shot sampling,
+* fidelity metrics used by calibration and optimal control.
+"""
+
+from repro.sim.operators import (
+    annihilation,
+    basis_state,
+    destroy_on,
+    embed,
+    identity,
+    kron_all,
+    number_on,
+    pauli,
+    pauli_on,
+    projector,
+)
+from repro.sim.model import ChannelCoupling, DecoherenceSpec, SystemModel
+from repro.sim.evolve import (
+    evolve_piecewise,
+    evolve_unitary,
+    free_propagator,
+    propagator_sequence,
+    step_propagator,
+)
+from repro.sim.executor import ExecutionResult, ScheduleExecutor
+from repro.sim.measurement import ReadoutModel, sample_counts
+from repro.sim.fidelity import (
+    average_gate_fidelity,
+    process_fidelity,
+    state_fidelity,
+    unitary_fidelity,
+)
+
+__all__ = [
+    "pauli",
+    "identity",
+    "annihilation",
+    "kron_all",
+    "embed",
+    "pauli_on",
+    "destroy_on",
+    "number_on",
+    "basis_state",
+    "projector",
+    "SystemModel",
+    "ChannelCoupling",
+    "DecoherenceSpec",
+    "evolve_piecewise",
+    "evolve_unitary",
+    "step_propagator",
+    "free_propagator",
+    "propagator_sequence",
+    "ScheduleExecutor",
+    "ExecutionResult",
+    "ReadoutModel",
+    "sample_counts",
+    "state_fidelity",
+    "unitary_fidelity",
+    "average_gate_fidelity",
+    "process_fidelity",
+]

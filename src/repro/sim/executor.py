@@ -1,0 +1,383 @@
+"""Schedule execution: pulse schedules -> quantum dynamics -> shots.
+
+The :class:`ScheduleExecutor` is what a simulated QDMI device calls when
+a pulse job reaches it. It interprets a
+:class:`~repro.core.schedule.PulseSchedule` against a
+:class:`~repro.sim.model.SystemModel`:
+
+1. Frame timelines — for every (port, frame) pair the executor builds
+   per-sample carrier frequency and static-phase arrays from the
+   schedule's frame instructions, with phase-continuous frequency
+   updates (matching :class:`~repro.core.frame.FrameState` semantics).
+2. Drive synthesis — every :class:`Play` adds its envelope samples,
+   modulated by the frame's accumulated detuning phase, onto its port's
+   complex drive array (fully vectorized).
+3. Evolution — the per-sample drive matrix is split into runs of
+   constant value (:func:`~repro.sim.evolve.segment_runs`); each run
+   costs one Hermitian eigendecomposition regardless of length.
+4. Decoherence — with finite T1/T2 the state is a density matrix and
+   per-site Kraus channels are applied after each constant run (exact
+   for free segments, first-order splitting during drive).
+5. Measurement — :class:`Capture` instructions define the measured
+   sites and classical slots; outcomes include exact probabilities,
+   seeded shot counts, and per-site leakage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.frame import Frame
+from repro.core.instructions import (
+    Capture,
+    FrameChange,
+    Play,
+    SetFrequency,
+    SetPhase,
+    ShiftFrequency,
+    ShiftPhase,
+)
+from repro.core.port import Port
+from repro.core.schedule import PulseSchedule
+from repro.errors import ExecutionError
+from repro.sim.evolve import segment_runs, step_propagator
+from repro.sim.measurement import (
+    ReadoutModel,
+    apply_readout_error,
+    leakage_populations,
+    measured_bit_distribution,
+    sample_counts,
+)
+from repro.sim.model import SystemModel
+from repro.sim.operators import basis_state, identity
+
+_TWO_PI = 2.0 * math.pi
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one pulse schedule.
+
+    Attributes
+    ----------
+    counts:
+        Sampled shot counts keyed by bitstring (slot 0 leftmost).
+    probabilities:
+        Exact outcome distribution *after* readout error.
+    ideal_probabilities:
+        Exact outcome distribution *before* readout error.
+    final_state:
+        Final ket (no decoherence) or density matrix.
+    measured_sites:
+        Site index per classical slot, ascending slot order.
+    leakage:
+        Per-site population of levels >= 2 at the end.
+    duration_samples / duration_seconds:
+        Schedule length.
+    shots:
+        Number of samples drawn.
+    """
+
+    counts: dict[str, int]
+    probabilities: dict[str, float]
+    ideal_probabilities: dict[str, float]
+    final_state: np.ndarray
+    measured_sites: tuple[int, ...]
+    leakage: dict[int, float]
+    duration_samples: int
+    duration_seconds: float
+    shots: int
+    metadata: dict = field(default_factory=dict)
+
+    def expectation_z(self, slot: int = 0) -> float:
+        """``<Z>`` of the bit in *slot* from the exact probabilities."""
+        total = 0.0
+        for key, p in self.probabilities.items():
+            total += p * (1.0 if key[slot] == "0" else -1.0)
+        return total
+
+
+class _FrameTimeline:
+    """Per-sample frequency/static-phase arrays for one mixed frame."""
+
+    __slots__ = ("frequency", "static_phase")
+
+    def __init__(self, frame: Frame, duration: int) -> None:
+        self.frequency = np.full(duration, frame.frequency, dtype=np.float64)
+        self.static_phase = np.full(duration, frame.phase, dtype=np.float64)
+
+    def set_frequency(self, t0: int, value: float) -> None:
+        self.frequency[t0:] = value
+
+    def shift_frequency(self, t0: int, delta: float) -> None:
+        self.frequency[t0:] += delta
+
+    def set_phase(self, t0: int, value: float) -> None:
+        self.static_phase[t0:] = value
+
+    def shift_phase(self, t0: int, delta: float) -> None:
+        self.static_phase[t0:] += delta
+
+    def detuning_phase(self, reference_frequency: float, dt: float) -> np.ndarray:
+        """Accumulated carrier phase of the detuning, exclusive cumsum."""
+        detuning = self.frequency - reference_frequency
+        psi = np.empty_like(detuning)
+        np.cumsum(detuning, out=psi)
+        psi -= detuning  # exclusive: phase accumulated *before* sample t
+        psi *= _TWO_PI * dt
+        return psi
+
+
+class ScheduleExecutor:
+    """Executes pulse schedules against one :class:`SystemModel`."""
+
+    def __init__(
+        self,
+        model: SystemModel,
+        readout: Mapping[int, ReadoutModel] | None = None,
+    ) -> None:
+        self.model = model
+        self.readout = dict(readout or {})
+        self._drift_eig = np.linalg.eigh(model.drift)
+
+    # ---- public API ---------------------------------------------------------
+
+    def execute(
+        self,
+        schedule: PulseSchedule,
+        *,
+        shots: int = 1024,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+        initial_state: np.ndarray | None = None,
+    ) -> ExecutionResult:
+        """Run *schedule* and sample *shots* measurement outcomes."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        model = self.model
+        duration = schedule.duration
+        use_dm = model.has_decoherence()
+
+        state = self._initial_state(initial_state, use_dm)
+        if duration > 0:
+            state = self._evolve(schedule, state, use_dm)
+
+        captures = schedule.instructions_of(Capture)
+        slots = sorted(
+            (it.instruction.memory_slot, it.instruction) for it in captures
+        )
+        measured_sites = tuple(self._capture_site(ins) for _, ins in slots)
+        if measured_sites:
+            ideal = measured_bit_distribution(state, model.dims, measured_sites)
+            models = [
+                self.readout.get(site, ReadoutModel()) for site in measured_sites
+            ]
+            noisy = apply_readout_error(ideal, models)
+            counts = sample_counts(noisy, shots, rng)
+        else:
+            ideal, noisy, counts = {}, {}, {}
+
+        return ExecutionResult(
+            counts=counts,
+            probabilities=noisy,
+            ideal_probabilities=ideal,
+            final_state=state,
+            measured_sites=measured_sites,
+            leakage=leakage_populations(state, model.dims),
+            duration_samples=duration,
+            duration_seconds=duration * model.dt,
+            shots=shots if measured_sites else 0,
+        )
+
+    def unitary(self, schedule: PulseSchedule) -> np.ndarray:
+        """Total propagator of *schedule* (requires no decoherence)."""
+        if self.model.has_decoherence():
+            raise ExecutionError("unitary() is undefined with decoherence enabled")
+        duration = schedule.duration
+        dim = self.model.dimension
+        if duration == 0:
+            return identity(dim)
+        drives, channel_names = self._synthesize_drives(schedule)
+        total = identity(dim)
+        for start, length in segment_runs(drives):
+            h = self._run_hamiltonian(drives[start], channel_names)
+            total = step_propagator(h, self.model.dt, steps=length) @ total
+        return total
+
+    # ---- internals -------------------------------------------------------------
+
+    def _initial_state(
+        self, initial_state: np.ndarray | None, use_dm: bool
+    ) -> np.ndarray:
+        model = self.model
+        if initial_state is None:
+            psi = basis_state([0] * model.n_sites, model.dims)
+        else:
+            psi = np.asarray(initial_state, dtype=np.complex128)
+        if use_dm and psi.ndim == 1:
+            return np.outer(psi, psi.conj())
+        return psi.copy()
+
+    def _capture_site(self, capture: Capture) -> int:
+        targets = capture.port.targets
+        if len(targets) != 1:
+            raise ExecutionError(
+                f"capture port {capture.port.name!r} must target exactly one site"
+            )
+        site = targets[0]
+        if site >= self.model.n_sites:
+            raise ExecutionError(
+                f"capture site {site} out of range for {self.model.n_sites} sites"
+            )
+        return site
+
+    def _synthesize_drives(
+        self, schedule: PulseSchedule
+    ) -> tuple[np.ndarray, list[str]]:
+        """Build the (duration, n_channels) complex drive matrix."""
+        model = self.model
+        duration = schedule.duration
+        timelines: dict[tuple[str, str], _FrameTimeline] = {}
+
+        def timeline(port: Port, frame: Frame) -> _FrameTimeline:
+            key = (port.name, frame.name)
+            if key not in timelines:
+                timelines[key] = _FrameTimeline(frame, duration)
+            return timelines[key]
+
+        # Pass 1: frame events, in time order.
+        for item in schedule.ordered():
+            ins = item.instruction
+            if isinstance(ins, SetFrequency):
+                timeline(ins.port, ins.frame).set_frequency(item.t0, ins.frequency)
+            elif isinstance(ins, ShiftFrequency):
+                timeline(ins.port, ins.frame).shift_frequency(item.t0, ins.delta)
+            elif isinstance(ins, SetPhase):
+                timeline(ins.port, ins.frame).set_phase(item.t0, ins.phase)
+            elif isinstance(ins, ShiftPhase):
+                timeline(ins.port, ins.frame).shift_phase(item.t0, ins.delta)
+            elif isinstance(ins, FrameChange):
+                tl = timeline(ins.port, ins.frame)
+                tl.set_frequency(item.t0, ins.frequency)
+                tl.set_phase(item.t0, ins.phase)
+
+        # Pass 2: plays, modulated by their frame timeline.
+        channel_names = sorted(model.channels)
+        col = {name: j for j, name in enumerate(channel_names)}
+        drives = np.zeros((duration, len(channel_names)), dtype=np.complex128)
+        from repro.core.port import PortKind
+
+        for item in schedule.instructions_of(Play):
+            ins = item.instruction
+            if ins.port.name not in model.channels:
+                if ins.port.kind is PortKind.READOUT:
+                    # Readout stimulus tones do not enter the qubit
+                    # Hamiltonian; their effect is the measurement model.
+                    continue
+                raise ExecutionError(
+                    f"schedule plays on port {ins.port.name!r} which has no "
+                    f"channel coupling in the system model"
+                )
+            ch = model.channels[ins.port.name]
+            tl = timeline(ins.port, ins.frame)
+            t0, t1 = item.t0, item.t1
+            psi = tl.detuning_phase(ch.reference_frequency, model.dt)[t0:t1]
+            phase = psi + tl.static_phase[t0:t1]
+            drives[t0:t1, col[ins.port.name]] += ins.waveform.samples() * np.exp(
+                1j * phase
+            )
+        return drives, channel_names
+
+    def _run_hamiltonian(
+        self, drive_row: np.ndarray, channel_names: list[str]
+    ) -> np.ndarray:
+        """Total Hamiltonian (Hz units) for one constant-drive run."""
+        model = self.model
+        h = model.drift.copy()
+        for j, name in enumerate(channel_names):
+            a = drive_row[j]
+            if a == 0:
+                continue
+            ch = model.channels[name]
+            if ch.hermitian:
+                h += ch.rabi_rate * a.real * ch.operator
+            else:
+                half = 0.5 * ch.rabi_rate
+                h += half * (
+                    np.conj(a) * ch.operator + a * ch.operator.conj().T
+                )
+        return h
+
+    def _evolve(
+        self, schedule: PulseSchedule, state: np.ndarray, use_dm: bool
+    ) -> np.ndarray:
+        model = self.model
+        drives, channel_names = self._synthesize_drives(schedule)
+        for start, length in segment_runs(drives):
+            row = drives[start]
+            if np.all(row == 0):
+                evals, evecs = self._drift_eig
+                phases = np.exp(-1j * _TWO_PI * evals * model.dt * length)
+                u = (evecs * phases) @ evecs.conj().T
+            else:
+                h = self._run_hamiltonian(row, channel_names)
+                u = step_propagator(h, model.dt, steps=length)
+            if use_dm:
+                state = u @ state @ u.conj().T
+                state = self._apply_decoherence(state, length)
+            else:
+                state = u @ state
+        return state
+
+    def _apply_decoherence(self, rho: np.ndarray, steps: int) -> np.ndarray:
+        """Apply per-site T1/T2 Kraus channels for ``steps * dt``."""
+        model = self.model
+        tau = steps * model.dt
+        for site, spec in enumerate(model.decoherence):
+            if not spec.has_decoherence:
+                continue
+            kraus = self._kraus_ops(site, spec, tau)
+            rho = sum(k @ rho @ k.conj().T for k in kraus)
+        return rho
+
+    def _kraus_ops(self, site: int, spec, tau: float) -> list[np.ndarray]:
+        """Full-space Kraus operators for one site over time *tau*."""
+        from repro.sim.operators import embed
+
+        d = self.model.dims[site]
+        ops: list[np.ndarray] = []
+        # Amplitude damping: decay n -> n-1 at rate n / T1.
+        if np.isfinite(spec.t1):
+            gammas = [1.0 - math.exp(-n * tau / spec.t1) for n in range(1, d)]
+            k0 = np.diag(
+                [1.0] + [math.sqrt(1.0 - g) for g in gammas]
+            ).astype(np.complex128)
+            ops.append(k0)
+            for n, g in enumerate(gammas, start=1):
+                k = np.zeros((d, d), dtype=np.complex128)
+                k[n - 1, n] = math.sqrt(g)
+                ops.append(k)
+        else:
+            ops.append(np.eye(d, dtype=np.complex128))
+        # Pure dephasing from T2 (remove the T1 contribution).
+        rate_phi = 0.0
+        if np.isfinite(spec.t2):
+            rate_phi = 1.0 / spec.t2 - (
+                0.5 / spec.t1 if np.isfinite(spec.t1) else 0.0
+            )
+        if rate_phi > 1e-15:
+            p = 0.5 * (1.0 - math.exp(-2.0 * rate_phi * tau))
+            z = np.eye(d, dtype=np.complex128)
+            z[1, 1] = -1.0
+            if d > 2:
+                z[2, 2] = -1.0
+            damp_ops = ops
+            ops = []
+            for k in damp_ops:
+                ops.append(math.sqrt(1.0 - p) * k)
+                ops.append(math.sqrt(p) * (z @ k))
+        return [embed(k, site, self.model.dims) for k in ops]

@@ -1,0 +1,73 @@
+"""Fidelity metrics used by calibration, optimal control and tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def state_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Fidelity between two states (kets and/or density matrices).
+
+    For two kets: ``|<a|b>|^2``. For a ket and a density matrix:
+    ``<a| rho |a>``. For two density matrices the Uhlmann fidelity
+    ``(tr sqrt(sqrt(r1) r2 sqrt(r1)))^2`` via eigendecomposition.
+    """
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    if a.ndim == 1 and b.ndim == 1:
+        na, nb = np.linalg.norm(a), np.linalg.norm(b)
+        if na == 0 or nb == 0:
+            raise ValidationError("cannot compute fidelity of a zero state")
+        return float(np.abs(np.vdot(a, b) / (na * nb)) ** 2)
+    if a.ndim == 1:
+        return float(np.real(np.vdot(a, b @ a)) / np.real(np.vdot(a, a)))
+    if b.ndim == 1:
+        return state_fidelity(b, a)
+    # Two density matrices.
+    evals, evecs = np.linalg.eigh(a)
+    evals = np.clip(evals, 0.0, None)
+    sqrt_a = (evecs * np.sqrt(evals)) @ evecs.conj().T
+    inner = sqrt_a @ b @ sqrt_a
+    ev = np.clip(np.linalg.eigvalsh(inner), 0.0, None)
+    return float(np.sqrt(ev).sum() ** 2)
+
+
+def unitary_fidelity(u: np.ndarray, target: np.ndarray) -> float:
+    """Phase-insensitive unitary overlap ``|tr(target† u)|^2 / D^2``."""
+    u = np.asarray(u, dtype=np.complex128)
+    target = np.asarray(target, dtype=np.complex128)
+    if u.shape != target.shape or u.ndim != 2 or u.shape[0] != u.shape[1]:
+        raise ValidationError(
+            f"unitaries must be square and same shape, got {u.shape} vs {target.shape}"
+        )
+    d = u.shape[0]
+    return float(np.abs(np.trace(target.conj().T @ u)) ** 2 / d**2)
+
+
+def average_gate_fidelity(u: np.ndarray, target: np.ndarray) -> float:
+    """Average gate fidelity ``(d*F_pro + 1) / (d + 1)`` for unitaries."""
+    d = u.shape[0]
+    f_pro = unitary_fidelity(u, target)
+    return float((d * f_pro + 1.0) / (d + 1.0))
+
+
+def process_fidelity(
+    u: np.ndarray, target: np.ndarray, subspace: np.ndarray | None = None
+) -> float:
+    """Process fidelity, optionally restricted to a computational subspace.
+
+    *subspace* is an isometry ``(D, d)`` projecting onto the logical
+    subspace (e.g. the qubit levels of a qutrit system); when provided,
+    both unitaries are compressed before comparison — leakage then shows
+    up as fidelity loss because the compressed operator is subunitary.
+    """
+    if subspace is not None:
+        p = np.asarray(subspace, dtype=np.complex128)
+        u = p.conj().T @ u @ p
+        if target.shape[0] == p.shape[0]:
+            # Target given in the full space: compress it too.
+            target = p.conj().T @ target @ p
+    d = u.shape[0]
+    return float(np.abs(np.trace(target.conj().T @ u)) ** 2 / d**2)

@@ -1,0 +1,173 @@
+"""Measurement: projective readout, assignment errors, shot sampling.
+
+Captures in a pulse schedule mark which sites are read out and into
+which classical memory slot. This module turns a final quantum state
+into (a) exact outcome probabilities over the measured sites and (b)
+seeded shot counts after applying a per-site readout (assignment) error
+model. Leakage levels (|2> on qutrits) are reported as ``1`` by the
+discriminator — the standard behaviour of threshold-based dispersive
+readout — but their exact populations are preserved separately so the
+ctrl-VQE and DRAG experiments can track leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ReadoutModel:
+    """Per-site symmetric-or-not assignment error.
+
+    ``p01`` is the probability of reading 1 when the qubit is 0;
+    ``p10`` of reading 0 when it is 1.
+    """
+
+    p01: float = 0.0
+    p10: float = 0.0
+
+    def __post_init__(self) -> None:
+        for p in (self.p01, self.p10):
+            if not 0.0 <= p <= 1.0:
+                raise ValidationError(f"readout error probability {p} not in [0,1]")
+
+    def confusion_matrix(self) -> np.ndarray:
+        """2x2 matrix ``M[observed, actual]``."""
+        return np.array(
+            [[1.0 - self.p01, self.p10], [self.p01, 1.0 - self.p10]],
+            dtype=np.float64,
+        )
+
+
+def state_probabilities(state: np.ndarray, dims: Sequence[int]) -> np.ndarray:
+    """Probability of each full product-basis label, shape ``dims``.
+
+    *state* may be a ket or a density matrix.
+    """
+    state = np.asarray(state, dtype=np.complex128)
+    total = int(np.prod(dims))
+    if state.ndim == 1:
+        if state.shape != (total,):
+            raise ValidationError(
+                f"ket length {state.shape} does not match dims {tuple(dims)}"
+            )
+        probs = np.abs(state) ** 2
+    elif state.ndim == 2:
+        if state.shape != (total, total):
+            raise ValidationError(
+                f"density matrix shape {state.shape} does not match dims {tuple(dims)}"
+            )
+        probs = np.real(np.diag(state)).copy()
+    else:
+        raise ValidationError("state must be a ket or a density matrix")
+    probs = np.clip(probs, 0.0, None)
+    s = probs.sum()
+    if s <= 0:
+        raise ValidationError("state has zero norm")
+    return (probs / s).reshape(tuple(dims))
+
+
+def measured_bit_distribution(
+    state: np.ndarray,
+    dims: Sequence[int],
+    measured_sites: Sequence[int],
+) -> dict[str, float]:
+    """Joint distribution of *bit* outcomes over *measured_sites*.
+
+    Levels >= 1 on a site are discriminated as bit 1. Unmeasured sites
+    are traced out. Keys are bitstrings ordered like *measured_sites*
+    (first listed site = leftmost character).
+    """
+    if len(set(measured_sites)) != len(measured_sites):
+        raise ValidationError("measured sites must be distinct")
+    probs = state_probabilities(state, dims)
+    n = len(dims)
+    # Trace out unmeasured sites.
+    keep = list(measured_sites)
+    others = [s for s in range(n) if s not in keep]
+    marg = probs.sum(axis=tuple(others)) if others else probs
+    # Axes of marg follow ascending site index; enumerate in that order
+    # and assemble keys in the caller's measured-site order.
+    sorted_keep = sorted(keep)
+    out: dict[str, float] = {}
+    it = np.ndindex(*[dims[s] for s in sorted_keep])
+    for labels in it:
+        p = float(marg[labels])
+        if p == 0.0:
+            continue
+        bits = {site: ("1" if lbl >= 1 else "0") for site, lbl in zip(sorted_keep, labels)}
+        key = "".join(bits[s] for s in keep)
+        out[key] = out.get(key, 0.0) + p
+    return out
+
+
+def apply_readout_error(
+    distribution: Mapping[str, float],
+    models: Sequence[ReadoutModel],
+) -> dict[str, float]:
+    """Push a joint bit distribution through per-site confusion matrices.
+
+    *models* must align with the bit positions of the keys.
+    """
+    if not distribution:
+        return {}
+    n_bits = len(next(iter(distribution)))
+    if len(models) != n_bits:
+        raise ValidationError(
+            f"{len(models)} readout models for {n_bits}-bit outcomes"
+        )
+    mats = [m.confusion_matrix() for m in models]
+    out: dict[str, float] = {}
+    for actual, p in distribution.items():
+        if len(actual) != n_bits:
+            raise ValidationError("inconsistent bitstring lengths in distribution")
+        # Enumerate observed strings; n_bits is small (<= 4 in this repo).
+        for observed_idx in range(2**n_bits):
+            observed = format(observed_idx, f"0{n_bits}b")
+            weight = p
+            for mat, o, a in zip(mats, observed, actual):
+                weight *= mat[int(o), int(a)]
+                if weight == 0.0:
+                    break
+            if weight > 0.0:
+                out[observed] = out.get(observed, 0.0) + weight
+    return out
+
+
+def sample_counts(
+    distribution: Mapping[str, float],
+    shots: int,
+    rng: np.random.Generator,
+) -> dict[str, int]:
+    """Draw *shots* samples from a bitstring distribution (multinomial)."""
+    if shots < 0:
+        raise ValidationError(f"shots must be >= 0, got {shots}")
+    if shots == 0 or not distribution:
+        return {}
+    keys = sorted(distribution)
+    probs = np.array([distribution[k] for k in keys], dtype=np.float64)
+    probs = np.clip(probs, 0.0, None)
+    probs /= probs.sum()
+    draws = rng.multinomial(shots, probs)
+    return {k: int(c) for k, c in zip(keys, draws) if c > 0}
+
+
+def leakage_populations(
+    state: np.ndarray, dims: Sequence[int]
+) -> dict[int, float]:
+    """Per-site probability of occupying levels >= 2 (leakage)."""
+    probs = state_probabilities(state, dims)
+    out: dict[int, float] = {}
+    for site, d in enumerate(dims):
+        if d <= 2:
+            out[site] = 0.0
+            continue
+        axes = tuple(a for a in range(len(dims)) if a != site)
+        marginal = probs.sum(axis=axes)
+        out[site] = float(marginal[2:].sum())
+    return out

@@ -1,0 +1,231 @@
+"""System models: how pulse channels couple into the Hamiltonian.
+
+A :class:`SystemModel` describes one simulated device's physics in the
+rotating frame:
+
+* per-site dimensions (2 or 3 levels),
+* a static drift Hamiltonian ``H0`` (anharmonicities, residual ZZ,
+  always-on couplings),
+* one :class:`ChannelCoupling` per controllable port, giving the
+  operator the port's complex drive amplitude multiplies, the channel's
+  reference (resonance) frequency used to compute detunings, and the
+  Rabi rate calibrating amplitude-1.0 drive strength,
+* optional :class:`DecoherenceSpec` per site (T1/T2).
+
+Frequencies are stored in Hz and converted to angular units inside the
+evolution code; times are in seconds (sample counts x ``dt``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sim.operators import destroy_on
+
+
+@dataclass(frozen=True)
+class ChannelCoupling:
+    """Coupling of one drive port into the system Hamiltonian.
+
+    The instantaneous control Hamiltonian contributed by the channel is
+
+    ``H_c(t) = 2*pi*rabi_rate/2 * ( a(t) * op + conj(a(t)) * op_dagger )``
+
+    where ``a(t)`` is the frame-modulated complex drive amplitude
+    (envelope x carrier detuning x frame phase). For a drive channel
+    ``op`` is the site's lowering operator; for a coupler channel it is
+    an exchange term between two sites.
+
+    Attributes
+    ----------
+    operator:
+        The (non-Hermitian half of the) coupling operator in the full
+        Hilbert space.
+    reference_frequency:
+        The channel's resonance frequency in Hz. A frame running at
+        frequency ``f`` drives this channel with detuning
+        ``f - reference_frequency``.
+    rabi_rate:
+        Rotation rate in Hz produced by unit-amplitude resonant drive.
+    hermitian:
+        When True, ``operator`` is already Hermitian and the drive's
+        *real part* scales it directly (flux/coupler channels).
+    """
+
+    operator: np.ndarray
+    reference_frequency: float
+    rabi_rate: float
+    hermitian: bool = False
+
+    def __post_init__(self) -> None:
+        op = np.asarray(self.operator)
+        if op.ndim != 2 or op.shape[0] != op.shape[1]:
+            raise ValidationError(f"channel operator must be square, got {op.shape}")
+        if self.rabi_rate <= 0:
+            raise ValidationError(f"rabi_rate must be > 0, got {self.rabi_rate}")
+        if self.reference_frequency < 0:
+            raise ValidationError(
+                f"reference_frequency must be >= 0, got {self.reference_frequency}"
+            )
+
+
+@dataclass(frozen=True)
+class DecoherenceSpec:
+    """T1/T2 times for one site, in seconds. ``inf`` disables a channel."""
+
+    t1: float = float("inf")
+    t2: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise ValidationError("T1/T2 must be positive (use inf to disable)")
+        # Physicality: T2 <= 2*T1.
+        if self.t2 > 2 * self.t1 * (1 + 1e-12):
+            raise ValidationError(f"unphysical T2 {self.t2} > 2*T1 {2 * self.t1}")
+
+    @property
+    def has_decoherence(self) -> bool:
+        return np.isfinite(self.t1) or np.isfinite(self.t2)
+
+
+@dataclass
+class SystemModel:
+    """Physics of one simulated device.
+
+    Attributes
+    ----------
+    dims:
+        Per-site Hilbert-space dimensions.
+    drift:
+        Static Hamiltonian in Hz units (it is multiplied by ``2*pi``
+        internally), shape ``(D, D)`` with ``D = prod(dims)``.
+    channels:
+        Mapping of port name -> :class:`ChannelCoupling`.
+    dt:
+        Sample period in seconds.
+    decoherence:
+        Optional per-site T1/T2.
+    site_frequencies:
+        Qubit transition frequencies in Hz, used by devices to publish
+        default frame frequencies and by calibration experiments.
+    """
+
+    dims: tuple[int, ...]
+    drift: np.ndarray
+    channels: dict[str, ChannelCoupling]
+    dt: float = 1e-9
+    decoherence: tuple[DecoherenceSpec, ...] = field(default=())
+    site_frequencies: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 2 for d in self.dims):
+            raise ValidationError(f"invalid dims {self.dims!r}")
+        dim = self.dimension
+        drift = np.asarray(self.drift, dtype=np.complex128)
+        if drift.shape != (dim, dim):
+            raise ValidationError(
+                f"drift shape {drift.shape} does not match dims {self.dims} (D={dim})"
+            )
+        if not np.allclose(drift, drift.conj().T, atol=1e-10):
+            raise ValidationError("drift Hamiltonian must be Hermitian")
+        self.drift = drift
+        for name, ch in self.channels.items():
+            if ch.operator.shape != (dim, dim):
+                raise ValidationError(
+                    f"channel {name!r} operator shape {ch.operator.shape} "
+                    f"does not match system dimension {dim}"
+                )
+        if self.decoherence and len(self.decoherence) != len(self.dims):
+            raise ValidationError(
+                "decoherence must list one spec per site when provided"
+            )
+        if self.site_frequencies and len(self.site_frequencies) != len(self.dims):
+            raise ValidationError(
+                "site_frequencies must list one frequency per site when provided"
+            )
+        if self.dt <= 0:
+            raise ValidationError(f"dt must be > 0, got {self.dt}")
+
+    @property
+    def dimension(self) -> int:
+        """Total Hilbert-space dimension."""
+        return int(np.prod(self.dims))
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites."""
+        return len(self.dims)
+
+    def channel(self, port_name: str) -> ChannelCoupling:
+        """Coupling for *port_name*; raises for unknown ports."""
+        try:
+            return self.channels[port_name]
+        except KeyError:
+            raise ValidationError(
+                f"port {port_name!r} has no channel coupling; known: "
+                f"{sorted(self.channels)}"
+            ) from None
+
+    def has_decoherence(self) -> bool:
+        """Whether any site has finite T1 or T2."""
+        return any(spec.has_decoherence for spec in self.decoherence)
+
+
+def transmon_model(
+    n_qubits: int,
+    *,
+    qubit_frequencies: Sequence[float],
+    anharmonicities: Sequence[float],
+    rabi_rates: Sequence[float],
+    couplings: Mapping[tuple[int, int], float] | None = None,
+    coupler_rabi: float = 20e6,
+    dt: float = 1e-9,
+    levels: int = 3,
+    decoherence: Sequence[DecoherenceSpec] | None = None,
+) -> SystemModel:
+    """Standard fixed-frequency transmon chip model, rotating frame.
+
+    The drift keeps the anharmonicity term ``alpha/2 * n(n-1)`` per site
+    (zero detuning in each qubit's own rotating frame); drive channels
+    couple through the lowering operator; coupler channels implement a
+    tunable exchange ``g(t) (a_i a_j† + a_i† a_j)`` between qubit pairs.
+    """
+    if not (len(qubit_frequencies) == len(anharmonicities) == len(rabi_rates) == n_qubits):
+        raise ValidationError("per-qubit parameter lists must match n_qubits")
+    dims = tuple([levels] * n_qubits)
+    dim = int(np.prod(dims))
+    drift = np.zeros((dim, dim), dtype=np.complex128)
+    for q in range(n_qubits):
+        a = destroy_on(q, dims)
+        n_op = a.conj().T @ a
+        # alpha/2 * n (n - 1): zero on |0>,|1>, alpha on |2>.
+        drift += 0.5 * anharmonicities[q] * (n_op @ n_op - n_op)
+    channels: dict[str, ChannelCoupling] = {}
+    for q in range(n_qubits):
+        channels[f"q{q}-drive-port"] = ChannelCoupling(
+            operator=destroy_on(q, dims),
+            reference_frequency=float(qubit_frequencies[q]),
+            rabi_rate=float(rabi_rates[q]),
+        )
+    for (i, j), g in (couplings or {}).items():
+        lo, hi = sorted((i, j))
+        ai, aj = destroy_on(lo, dims), destroy_on(hi, dims)
+        exchange = ai @ aj.conj().T + ai.conj().T @ aj
+        channels[f"q{lo}q{hi}-coupler-port"] = ChannelCoupling(
+            operator=exchange,
+            reference_frequency=0.0,
+            rabi_rate=float(g) if g else coupler_rabi,
+            hermitian=True,
+        )
+    return SystemModel(
+        dims=dims,
+        drift=drift,
+        channels=channels,
+        dt=dt,
+        decoherence=tuple(decoherence) if decoherence else (),
+        site_frequencies=tuple(float(f) for f in qubit_frequencies),
+    )

@@ -1,0 +1,134 @@
+"""Operator construction for multi-site systems with mixed dimensions.
+
+Sites may be qubits (dim 2) or qutrits (dim 3 — transmons where the
+|2> leakage level is modeled). All constructors return dense complex
+``float64`` arrays; system sizes in this reproduction are small (<= 4
+sites), where dense linear algebra beats sparse bookkeeping.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+_PAULI = {
+    "i": np.eye(2, dtype=np.complex128),
+    "x": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+def pauli(name: str) -> np.ndarray:
+    """The 2x2 Pauli matrix ``i/x/y/z`` (case-insensitive), as a copy."""
+    try:
+        return _PAULI[name.lower()].copy()
+    except KeyError:
+        raise ValidationError(f"unknown Pauli {name!r}; want one of i,x,y,z") from None
+
+
+def identity(dim: int) -> np.ndarray:
+    """Identity on one site of dimension *dim*."""
+    if dim < 2:
+        raise ValidationError(f"site dimension must be >= 2, got {dim}")
+    return np.eye(dim, dtype=np.complex128)
+
+
+def annihilation(dim: int) -> np.ndarray:
+    """Truncated bosonic annihilation operator ``a`` on *dim* levels.
+
+    For dim=2 this is ``sigma_minus``; for dim=3 it couples 0<->1 and
+    1<->2 with the sqrt(n) matrix elements of a transmon.
+    """
+    if dim < 2:
+        raise ValidationError(f"site dimension must be >= 2, got {dim}")
+    a = np.zeros((dim, dim), dtype=np.complex128)
+    ns = np.sqrt(np.arange(1, dim, dtype=np.float64))
+    a[np.arange(dim - 1), np.arange(1, dim)] = ns
+    return a
+
+
+def kron_all(ops: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of operators, left to right."""
+    mats = list(ops)
+    if not mats:
+        raise ValidationError("kron_all needs at least one operator")
+    return reduce(np.kron, mats)
+
+
+def embed(op: np.ndarray, site: int, dims: Sequence[int]) -> np.ndarray:
+    """Lift a single-site operator to the full tensor-product space.
+
+    Parameters
+    ----------
+    op:
+        Square matrix whose dimension must equal ``dims[site]``.
+    site:
+        Index of the site the operator acts on.
+    dims:
+        Per-site dimensions of the whole system.
+    """
+    if not 0 <= site < len(dims):
+        raise ValidationError(f"site {site} out of range for dims {tuple(dims)}")
+    if op.shape != (dims[site], dims[site]):
+        raise ValidationError(
+            f"operator shape {op.shape} does not match site dim {dims[site]}"
+        )
+    factors = [identity(d) for d in dims]
+    factors[site] = np.asarray(op, dtype=np.complex128)
+    return kron_all(factors)
+
+
+def pauli_on(name: str, site: int, dims: Sequence[int]) -> np.ndarray:
+    """Pauli *name* on *site*, embedded in the full space.
+
+    On a qutrit site the Pauli acts on the {|0>, |1>} subspace and is
+    zero on |2> (except identity, which is the true identity).
+    """
+    d = dims[site]
+    if d == 2:
+        local = pauli(name)
+    else:
+        local = np.zeros((d, d), dtype=np.complex128)
+        local[:2, :2] = pauli(name)
+        if name.lower() == "i":
+            local = identity(d)
+    return embed(local, site, dims)
+
+
+def destroy_on(site: int, dims: Sequence[int]) -> np.ndarray:
+    """Annihilation operator on *site*, embedded in the full space."""
+    return embed(annihilation(dims[site]), site, dims)
+
+
+def number_on(site: int, dims: Sequence[int]) -> np.ndarray:
+    """Number operator ``a† a`` on *site*, embedded in the full space."""
+    a = annihilation(dims[site])
+    return embed(a.conj().T @ a, site, dims)
+
+
+def basis_state(labels: Sequence[int], dims: Sequence[int]) -> np.ndarray:
+    """The product state ``|labels[0], labels[1], ...>`` as a ket."""
+    if len(labels) != len(dims):
+        raise ValidationError(
+            f"{len(labels)} labels for {len(dims)} sites"
+        )
+    index = 0
+    for lbl, d in zip(labels, dims):
+        if not 0 <= lbl < d:
+            raise ValidationError(f"label {lbl} out of range for dim {d}")
+        index = index * d + lbl
+    total = int(np.prod(dims))
+    psi = np.zeros(total, dtype=np.complex128)
+    psi[index] = 1.0
+    return psi
+
+
+def projector(labels: Sequence[int], dims: Sequence[int]) -> np.ndarray:
+    """Projector onto the product basis state ``|labels>``."""
+    psi = basis_state(labels, dims)
+    return np.outer(psi, psi.conj())

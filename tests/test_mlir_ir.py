@@ -1,0 +1,265 @@
+"""Unit tests: IR core, dialects, verification, parsing."""
+
+import pytest
+
+from repro.core import gaussian_waveform
+from repro.errors import IRError, ParseError
+from repro.mlir import Builder, Module, Operation, parse_module, verify_module
+from repro.mlir.context import MLIRContext, default_context
+from repro.mlir.dialects.pulse import (
+    MIXED_FRAME,
+    SequenceBuilder,
+    attrs_to_waveform,
+    find_sequence,
+    waveform_to_attrs,
+)
+from repro.mlir.dialects.quantum import CircuitBuilder
+from repro.mlir.ir import F64, I1, Block, Region, Type, print_module
+
+
+class TestIRCore:
+    def test_type_interning_by_spelling(self):
+        assert Type("!pulse.port") == Type("!pulse.port")
+        assert Type("!pulse.port").dialect == "pulse"
+        assert Type("i1").dialect is None
+
+    def test_op_requires_qualified_name(self):
+        with pytest.raises(IRError):
+            Operation("play")
+
+    def test_results_and_operands(self):
+        op = Operation("t.make", result_types=[F64], result_names=["x"])
+        assert op.result().name == "x"
+        use = Operation("t.use", operands=[op.result()])
+        assert use.operands[0] is op.result()
+
+    def test_walk_depth_first(self):
+        m = Module()
+        outer = Operation("t.outer", regions=[Region([Block()])])
+        m.append(outer)
+        inner = Operation("t.inner")
+        outer.region().entry.append(inner)
+        names = [op.name for op in m.walk()]
+        assert names == ["t.outer", "t.inner"]
+
+    def test_erase(self):
+        m = Module()
+        op = m.append(Operation("t.a"))
+        op.erase()
+        assert m.ops_of("t.a") == []
+        with pytest.raises(IRError):
+            op.erase()
+
+    def test_clone_remaps_values(self):
+        m = Module()
+        a = m.append(Operation("t.make", result_types=[F64], result_names=["v"]))
+        m.append(Operation("t.use", operands=[a.result()]))
+        m2 = m.clone()
+        make2, use2 = m2.block.operations
+        assert use2.operands[0] is make2.result()
+        assert use2.operands[0] is not a.result()
+
+    def test_dialects_used(self):
+        m = Module()
+        m.append(Operation("quantum.x", attributes={"qubit": 0}))
+        assert m.dialects_used() == {"quantum"}
+
+    def test_double_append_rejected(self):
+        b1, b2 = Block(), Block()
+        op = Operation("t.a")
+        b1.append(op)
+        with pytest.raises(IRError):
+            b2.append(op)
+
+
+class TestVerification:
+    def test_ssa_dominance(self):
+        m = Module()
+        late = Operation("t.make", result_types=[F64], result_names=["v"])
+        m.append(Operation("t.use", operands=[late.result()]))
+        m.append(late)
+        with pytest.raises(IRError):
+            verify_module(m)
+
+    def test_unknown_op_in_loaded_dialect(self):
+        ctx = default_context()
+        m = Module()
+        m.append(Operation("pulse.whatever"))
+        with pytest.raises(IRError):
+            verify_module(m, ctx)
+
+    def test_unloaded_dialect_tolerated(self):
+        ctx = default_context()
+        m = Module()
+        m.append(Operation("mystery.op"))
+        verify_module(m, ctx)  # no error
+
+    def test_arity_checked(self):
+        ctx = default_context()
+        m = Module()
+        m.append(Operation("pulse.play"))  # needs 2 operands
+        with pytest.raises(IRError):
+            verify_module(m, ctx)
+
+    def test_context_load_twice(self):
+        from repro.mlir.dialects.pulse import pulse_dialect
+
+        ctx = MLIRContext()
+        d = pulse_dialect()
+        ctx.load_dialect(d)
+        ctx.load_dialect(d)  # same object: fine
+        with pytest.raises(IRError):
+            ctx.load_dialect(pulse_dialect())  # different object: error
+
+
+class TestQuantumDialect:
+    def test_builder_produces_valid_module(self):
+        cb = CircuitBuilder("c", 2)
+        cb.x(0).sx(1).rz(0, 0.1).cz(0, 1).barrier().measure(0, 0)
+        verify_module(cb.module, default_context())
+
+    def test_qubit_range_checked(self):
+        cb = CircuitBuilder("c", 2)
+        cb.x(5)
+        with pytest.raises(IRError):
+            verify_module(cb.module, default_context())
+
+    def test_cz_distinct_qubits(self):
+        cb = CircuitBuilder("c", 2)
+        cb.cz(1, 1)
+        with pytest.raises(IRError):
+            verify_module(cb.module, default_context())
+
+    def test_custom_gate_op(self):
+        cb = CircuitBuilder("c", 2)
+        cb.gate("my_gate", [0], [0.5])
+        verify_module(cb.module, default_context())
+
+    def test_measure_default_slot(self):
+        cb = CircuitBuilder("c", 2)
+        cb.measure(1)
+        op = cb.module.ops_of("quantum.measure")[0]
+        assert op.attr("slot") == 1
+
+
+class TestPulseDialect:
+    def test_sequence_builder_valid(self):
+        sb = SequenceBuilder("k")
+        mf = sb.add_mixed_frame_arg("d0", "q0-drive-port")
+        w = sb.waveform(gaussian_waveform(32, 0.4, 8))
+        sb.play(mf, w)
+        sb.delay(mf, 16)
+        sb.shift_phase(mf, 0.5)
+        m = sb.capture(mf, 0, 8)
+        sb.ret(m)
+        verify_module(sb.module, default_context())
+
+    def test_mixed_frame_arg_needs_port(self):
+        sb = SequenceBuilder("k")
+        sb.add_mixed_frame_arg("d0", "")
+        with pytest.raises(IRError):
+            verify_module(sb.module, default_context())
+
+    def test_waveform_attrs_roundtrip_parametric(self):
+        w = gaussian_waveform(32, 0.4, 8)
+        attrs = waveform_to_attrs(w)
+        assert attrs["envelope"] == "gaussian"
+        back = attrs_to_waveform(attrs)
+        assert back == w
+
+    def test_waveform_attrs_roundtrip_sampled(self):
+        import numpy as np
+
+        from repro.core import SampledWaveform
+
+        w = SampledWaveform(np.array([0.1 + 0.2j, -0.3]))
+        back = attrs_to_waveform(waveform_to_attrs(w))
+        assert back == w
+
+    def test_waveform_op_requires_exactly_one_form(self):
+        sb = SequenceBuilder("k")
+        op = sb.waveform(gaussian_waveform(16, 0.1, 4)).owner
+        op.attributes["samples"] = [[0.0, 0.0]]
+        with pytest.raises(IRError):
+            verify_module(sb.module, default_context())
+
+    def test_frame_change_requires_inputs(self):
+        sb = SequenceBuilder("k")
+        mf = sb.add_mixed_frame_arg("d0", "q0-drive-port")
+        op = sb.frame_change(mf, 5e9, 0.1)
+        del op.attributes["phase"]
+        with pytest.raises(IRError):
+            verify_module(sb.module, default_context())
+
+    def test_find_sequence(self):
+        sb = SequenceBuilder("kernel_a")
+        assert find_sequence(sb.module, "kernel_a") is sb.sequence
+        with pytest.raises(IRError):
+            find_sequence(sb.module, "kernel_b")
+
+    def test_scalar_args_typed_f64(self):
+        sb = SequenceBuilder("k")
+        v = sb.add_scalar_arg("freq")
+        assert v.type == F64
+        mf = sb.add_mixed_frame_arg("d0", "p")
+        assert mf.type == MIXED_FRAME
+
+
+class TestTextualRoundTrip:
+    def _pulse_module(self):
+        sb = SequenceBuilder("pulse_vqe_quantum_kernel")
+        d0 = sb.add_mixed_frame_arg("drive0", "q0-drive-port")
+        freq = sb.add_scalar_arg("freq")
+        w = sb.waveform(gaussian_waveform(32, 0.4, 8))
+        sb.standard_x(d0)
+        sb.play(d0, w)
+        sb.frame_change(d0, freq, 0.3)
+        m = sb.capture(d0, 0, 96)
+        sb.ret(m)
+        return sb.module
+
+    def test_print_parse_fixed_point(self):
+        text = print_module(self._pulse_module())
+        assert print_module(parse_module(text)) == text
+
+    def test_parse_verifies(self):
+        m = parse_module(print_module(self._pulse_module()))
+        verify_module(m, default_context())
+
+    def test_quantum_roundtrip(self):
+        cb = CircuitBuilder("bell", 2)
+        cb.x(0).cz(0, 1).measure(0, 0).measure(1, 1)
+        text = print_module(cb.module)
+        assert print_module(parse_module(text)) == text
+
+    def test_string_escaping(self):
+        m = Module({"note": 'a "quoted" \\ string'})
+        text = print_module(m)
+        assert parse_module(text).attributes["note"] == 'a "quoted" \\ string'
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_module("this is not IR")
+
+    def test_parse_rejects_undefined_value(self):
+        bad = 'module {\n  pulse.play(%ghost, %ghost2) : (!pulse.mixed_frame, !pulse.waveform)\n}\n'
+        with pytest.raises(ParseError):
+            parse_module(bad)
+
+    def test_parse_rejects_unterminated(self):
+        with pytest.raises(ParseError):
+            parse_module("module {")
+
+    def test_attr_value_types_roundtrip(self):
+        m = Module(
+            {
+                "i": 3,
+                "f": 2.5,
+                "s": "x",
+                "b": True,
+                "lst": [1, 2.0, "y"],
+                "nested": {"a": 1},
+            }
+        )
+        m2 = parse_module(print_module(m))
+        assert m2.attributes == m.attributes

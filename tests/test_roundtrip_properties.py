@@ -1,0 +1,130 @@
+"""Property-based round-trip tests: random schedules must survive
+schedule -> MLIR -> schedule and schedule -> QIR -> schedule intact.
+
+These are the load-bearing invariants behind the paper's consistency
+claim (§5.5): port/frame/waveform "mean the same thing at every layer".
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import mlir_pulse_to_schedule, schedule_to_pulse_module
+from repro.core import (
+    Capture,
+    Delay,
+    FrameChange,
+    Play,
+    PulseSchedule,
+    SampledWaveform,
+    ShiftPhase,
+)
+from repro.devices import SuperconductingDevice
+from repro.mlir.ir import print_module
+from repro.mlir.parser import parse_module
+from repro.qir import link_qir_to_schedule, parse_qir, schedule_to_qir
+
+# One shared device: schedules bind to its ports.
+DEVICE = SuperconductingDevice(num_qubits=2, drift_rate=0.0)
+
+amplitudes = st.floats(min_value=-0.9, max_value=0.9, allow_nan=False)
+
+
+@st.composite
+def device_schedules(draw):
+    """Random but device-valid pulse schedules."""
+    s = PulseSchedule("prop")
+    ports = [DEVICE.drive_port(0), DEVICE.drive_port(1), DEVICE.coupler_port(0, 1)]
+    n_ops = draw(st.integers(1, 12))
+    used_slots: set[int] = set()
+    for _ in range(n_ops):
+        kind = draw(st.integers(0, 3))
+        port = ports[draw(st.integers(0, 2))]
+        frame = DEVICE.default_frame(port)
+        if kind == 0:
+            dur = 8 * draw(st.integers(1, 6))
+            re = draw(amplitudes)
+            im = draw(amplitudes)
+            mag = max(1e-6, (re * re + im * im) ** 0.5)
+            scale = min(1.0, 0.95 / mag)
+            s.append(
+                Play(
+                    port,
+                    frame,
+                    SampledWaveform(np.full(dur, (re + 1j * im) * scale)),
+                )
+            )
+        elif kind == 1:
+            s.append(Delay(port, 8 * draw(st.integers(0, 8))))
+        elif kind == 2:
+            s.append(ShiftPhase(port, frame, draw(amplitudes)))
+        else:
+            s.append(
+                FrameChange(
+                    port,
+                    frame,
+                    max(0.0, frame.frequency + draw(st.integers(-10, 10)) * 1e4),
+                    draw(amplitudes),
+                )
+            )
+    if draw(st.booleans()):
+        slot = draw(st.integers(0, 3))
+        if slot not in used_slots:
+            used_slots.add(slot)
+            acq = DEVICE.acquire_port(slot % 2)
+            s.append(Capture(acq, DEVICE.default_frame(acq), slot, 96))
+    return s
+
+
+class TestMLIRRoundTripProperty:
+    @given(device_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_lift_interp_identity(self, schedule):
+        module = schedule_to_pulse_module(schedule)
+        back = mlir_pulse_to_schedule(module, DEVICE)
+        assert schedule.equivalent_to(back)
+
+    @given(device_schedules())
+    @settings(max_examples=25, deadline=None)
+    def test_textual_form_survives(self, schedule):
+        module = schedule_to_pulse_module(schedule)
+        text = print_module(module)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+        back = mlir_pulse_to_schedule(reparsed, DEVICE)
+        assert schedule.equivalent_to(back)
+
+
+class TestQIRRoundTripProperty:
+    @given(device_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_emit_link_identity(self, schedule):
+        qir = schedule_to_qir(schedule)
+        back = link_qir_to_schedule(qir, DEVICE)
+        assert schedule.equivalent_to(back)
+
+    @given(device_schedules())
+    @settings(max_examples=25, deadline=None)
+    def test_emit_parse_render_fixed_point(self, schedule):
+        qir = schedule_to_qir(schedule)
+        assert parse_qir(qir).render() == qir
+
+    @given(device_schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_double_roundtrip_stable(self, schedule):
+        qir1 = schedule_to_qir(schedule)
+        s2 = link_qir_to_schedule(qir1, DEVICE)
+        qir2 = schedule_to_qir(s2)
+        assert qir1 == qir2
+
+
+class TestCrossFormatAgreement:
+    @given(device_schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_mlir_and_qir_agree(self, schedule):
+        via_mlir = mlir_pulse_to_schedule(
+            schedule_to_pulse_module(schedule), DEVICE
+        )
+        via_qir = link_qir_to_schedule(schedule_to_qir(schedule), DEVICE)
+        assert via_mlir.equivalent_to(via_qir)

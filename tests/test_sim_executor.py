@@ -1,0 +1,299 @@
+"""Physics tests for the schedule executor: the simulator must get the
+textbook experiments right, because the calibration layer depends on
+exactly these behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Capture,
+    Delay,
+    Frame,
+    FrameChange,
+    Play,
+    Port,
+    PulseSchedule,
+    SetFrequency,
+    ShiftPhase,
+    constant_waveform,
+)
+from repro.errors import ExecutionError
+from repro.sim import DecoherenceSpec, ReadoutModel, ScheduleExecutor
+from repro.sim.evolve import segment_runs
+from repro.sim.model import transmon_model
+
+RABI = 50e6  # Hz
+DT = 1e-9
+
+
+def make_model(levels=2, n=1, decoherence=None, **kw):
+    return transmon_model(
+        n,
+        qubit_frequencies=[5e9 + 0.1e9 * q for q in range(n)],
+        anharmonicities=[-300e6] * n,
+        rabi_rates=[RABI] * n,
+        dt=DT,
+        levels=levels,
+        decoherence=decoherence,
+        **kw,
+    )
+
+
+def drive_frame(q=0):
+    return Frame(f"q{q}-drive-frame", 5e9 + 0.1e9 * q)
+
+
+def pi_pulse(fraction=1.0):
+    # amp * rabi * T = fraction/2 with T = 10 samples.
+    n = 10
+    amp = fraction * 0.5 / (RABI * n * DT)
+    return constant_waveform(n, amp)
+
+
+class TestSingleQubitPhysics:
+    def test_pi_pulse_flips(self):
+        ex = ScheduleExecutor(make_model())
+        s = PulseSchedule()
+        s.append(Play(Port.drive(0), drive_frame(), pi_pulse()))
+        psi = ex.execute(s, shots=0).final_state
+        assert abs(psi[1]) ** 2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_half_pi_superposition(self):
+        ex = ScheduleExecutor(make_model())
+        s = PulseSchedule()
+        s.append(Play(Port.drive(0), drive_frame(), pi_pulse(0.5)))
+        psi = ex.execute(s, shots=0).final_state
+        assert abs(psi[0]) ** 2 == pytest.approx(0.5, abs=1e-9)
+
+    def test_two_pi_identity(self):
+        ex = ScheduleExecutor(make_model())
+        s = PulseSchedule()
+        s.append(Play(Port.drive(0), drive_frame(), pi_pulse(2.0)))
+        psi = ex.execute(s, shots=0).final_state
+        assert abs(psi[0]) ** 2 == pytest.approx(1.0, abs=1e-8)
+
+    def test_phase_shift_rotates_axis(self):
+        """pi/2, virtual Z by pi, pi/2 == identity (echo)."""
+        ex = ScheduleExecutor(make_model())
+        s = PulseSchedule()
+        p, f = Port.drive(0), drive_frame()
+        s.append(Play(p, f, pi_pulse(0.5)))
+        s.append(ShiftPhase(p, f, np.pi))
+        s.append(Play(p, f, pi_pulse(0.5)))
+        psi = ex.execute(s, shots=0).final_state
+        assert abs(psi[0]) ** 2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_two_half_pis_make_pi(self):
+        ex = ScheduleExecutor(make_model())
+        s = PulseSchedule()
+        p, f = Port.drive(0), drive_frame()
+        s.append(Play(p, f, pi_pulse(0.5)))
+        s.append(Play(p, f, pi_pulse(0.5)))
+        psi = ex.execute(s, shots=0).final_state
+        assert abs(psi[1]) ** 2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_ramsey_fringe_phase(self):
+        """Detuned frame + delay gives the predicted fringe."""
+        detuning = 10e6
+        delay = 50  # 2*pi*10e6*50e-9 = pi -> P1 minimum (up to pulse-time effects)
+        ex = ScheduleExecutor(make_model())
+        p = Port.drive(0)
+        f = Frame("q0-drive-frame", 5e9 + detuning)
+
+        def p1(tau):
+            s = PulseSchedule()
+            s.append(Play(p, f, pi_pulse(0.5)))
+            if tau:
+                s.append(Delay(p, tau))
+            s.append(Play(p, f, pi_pulse(0.5)))
+            psi = ex.execute(s, shots=0).final_state
+            return abs(psi[1]) ** 2
+
+    # One full fringe period: 1/10 MHz = 100 samples.
+        values = [p1(tau) for tau in (0, 25, 50, 75, 100)]
+        assert values[2] < values[0]  # half period: inverted
+        assert values[4] == pytest.approx(values[0], abs=0.05)  # full period
+
+    def test_resonant_frame_no_fringe(self):
+        ex = ScheduleExecutor(make_model())
+        p, f = Port.drive(0), drive_frame()
+        s = PulseSchedule()
+        s.append(Play(p, f, pi_pulse(0.5)))
+        s.append(Delay(p, 500))
+        s.append(Play(p, f, pi_pulse(0.5)))
+        psi = ex.execute(s, shots=0).final_state
+        assert abs(psi[1]) ** 2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_set_frequency_changes_detuning(self):
+        ex = ScheduleExecutor(make_model())
+        p, f = Port.drive(0), drive_frame()
+        s = PulseSchedule()
+        s.append(SetFrequency(p, f, 5e9 + 50e6))  # drive far off resonance
+        s.append(Play(p, f, pi_pulse()))
+        psi = ex.execute(s, shots=0).final_state
+        assert abs(psi[1]) ** 2 < 0.6  # detuned Rabi is incomplete
+
+    def test_frame_change_sets_freq_and_phase(self):
+        ex = ScheduleExecutor(make_model())
+        p, f = Port.drive(0), drive_frame()
+        s = PulseSchedule()
+        s.append(Play(p, f, pi_pulse(0.5)))
+        s.append(FrameChange(p, f, 5e9, np.pi))
+        s.append(Play(p, f, pi_pulse(0.5)))
+        psi = ex.execute(s, shots=0).final_state
+        assert abs(psi[0]) ** 2 == pytest.approx(1.0, abs=1e-9)
+
+
+class TestQutritLeakage:
+    def test_strong_square_pulse_leaks(self):
+        ex = ScheduleExecutor(make_model(levels=3))
+        s = PulseSchedule()
+        # Fast, strong square pulse: significant |2> occupation.
+        s.append(Play(Port.drive(0), drive_frame(), constant_waveform(4, 1.0)))
+        r = ex.execute(s, shots=0)
+        assert r.leakage[0] > 1e-3
+
+    def test_slow_pulse_leaks_less(self):
+        ex = ScheduleExecutor(make_model(levels=3))
+        fast = PulseSchedule()
+        fast.append(Play(Port.drive(0), drive_frame(), constant_waveform(4, 1.0)))
+        slow = PulseSchedule()
+        slow.append(Play(Port.drive(0), drive_frame(), constant_waveform(40, 0.1)))
+        leak_fast = ex.execute(fast, shots=0).leakage[0]
+        leak_slow = ex.execute(slow, shots=0).leakage[0]
+        assert leak_slow < leak_fast
+
+
+class TestMeasurement:
+    def _measured(self, model, schedule, shots=0, **kw):
+        return ScheduleExecutor(model, **kw).execute(schedule, shots=shots, seed=1)
+
+    def test_capture_produces_distribution(self):
+        model = make_model()
+        s = PulseSchedule()
+        s.append(Play(Port.drive(0), drive_frame(), pi_pulse()))
+        s.append(Capture(Port.acquire(0), Frame("acq", 0.0), 0))
+        r = self._measured(model, s)
+        assert r.ideal_probabilities["1"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_no_capture_no_counts(self):
+        model = make_model()
+        s = PulseSchedule()
+        s.append(Play(Port.drive(0), drive_frame(), pi_pulse()))
+        r = self._measured(model, s, shots=100)
+        assert r.counts == {}
+        assert r.shots == 0
+
+    def test_readout_error_applied(self):
+        model = make_model()
+        s = PulseSchedule()
+        s.append(Play(Port.drive(0), drive_frame(), pi_pulse()))
+        s.append(Capture(Port.acquire(0), Frame("acq", 0.0), 0))
+        r = ScheduleExecutor(model, readout={0: ReadoutModel(p10=0.1)}).execute(
+            s, shots=0
+        )
+        assert r.probabilities["0"] == pytest.approx(0.1, abs=1e-6)
+
+    def test_shots_reproducible(self):
+        model = make_model()
+        s = PulseSchedule()
+        s.append(Play(Port.drive(0), drive_frame(), pi_pulse(0.5)))
+        s.append(Capture(Port.acquire(0), Frame("acq", 0.0), 0))
+        ex = ScheduleExecutor(model)
+        c1 = ex.execute(s, shots=500, seed=42).counts
+        c2 = ex.execute(s, shots=500, seed=42).counts
+        assert c1 == c2
+
+    def test_slot_order_defines_bit_order(self):
+        model = make_model(n=2)
+        s = PulseSchedule()
+        s.append(Play(Port.drive(1), drive_frame(1), pi_pulse()))
+        s.append(Capture(Port.acquire(0), Frame("a0", 0.0), 0))
+        s.append(Capture(Port.acquire(1), Frame("a1", 0.0), 1))
+        r = self._measured(model, s)
+        assert r.ideal_probabilities["01"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_unknown_drive_port_rejected(self):
+        model = make_model()
+        s = PulseSchedule()
+        s.append(Play(Port.drive(7), drive_frame(), pi_pulse()))
+        with pytest.raises(ExecutionError):
+            ScheduleExecutor(model).execute(s, shots=0)
+
+    def test_readout_stimulus_play_ignored(self):
+        model = make_model()
+        s = PulseSchedule()
+        s.append(Play(Port.readout(0), Frame("ro", 0.0), constant_waveform(16, 0.3)))
+        r = self._measured(model, s)
+        assert abs(r.final_state[0]) ** 2 == pytest.approx(1.0)
+
+
+class TestDecoherence:
+    def test_t1_decay(self):
+        t1 = 10e-6
+        model = make_model(decoherence=[DecoherenceSpec(t1=t1, t2=2 * t1)])
+        ex = ScheduleExecutor(model)
+        s = PulseSchedule()
+        p, f = Port.drive(0), drive_frame()
+        s.append(Play(p, f, pi_pulse()))
+        s.append(Delay(p, 10000))  # 10 us = one T1
+        rho = ex.execute(s, shots=0).final_state
+        assert rho.ndim == 2
+        p1 = float(np.real(rho[1, 1]))
+        assert p1 == pytest.approx(np.exp(-1.0), abs=0.05)
+
+    def test_t2_dephasing_kills_coherence(self):
+        model = make_model(
+            decoherence=[DecoherenceSpec(t1=float("inf"), t2=5e-6)]
+        )
+        ex = ScheduleExecutor(model)
+        s = PulseSchedule()
+        p, f = Port.drive(0), drive_frame()
+        s.append(Play(p, f, pi_pulse(0.5)))
+        s.append(Delay(p, 20000))  # 4 T2
+        rho = ex.execute(s, shots=0).final_state
+        assert abs(rho[0, 1]) < 0.05
+        # Populations untouched by pure dephasing.
+        assert float(np.real(rho[1, 1])) == pytest.approx(0.5, abs=1e-6)
+
+    def test_unitary_raises_with_decoherence(self):
+        model = make_model(decoherence=[DecoherenceSpec(t1=1e-5, t2=1e-5)])
+        with pytest.raises(ExecutionError):
+            ScheduleExecutor(model).unitary(PulseSchedule())
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(Exception):
+            DecoherenceSpec(t1=1e-6, t2=3e-6)
+
+
+class TestSegmentRuns:
+    def test_constant_collapses(self):
+        drives = np.ones((100, 2), dtype=complex)
+        assert segment_runs(drives) == [(0, 100)]
+
+    def test_change_points(self):
+        drives = np.zeros((10, 1), dtype=complex)
+        drives[4:7] = 0.5
+        assert segment_runs(drives) == [(0, 4), (4, 3), (7, 3)]
+
+    def test_empty(self):
+        assert segment_runs(np.zeros((0, 1), dtype=complex)) == []
+
+    def test_covers_everything(self):
+        rng = np.random.default_rng(0)
+        drives = rng.integers(0, 2, size=(57, 3)).astype(complex)
+        runs = segment_runs(drives)
+        assert sum(n for _, n in runs) == 57
+        assert runs[0][0] == 0
+
+
+class TestUnitaryExtraction:
+    def test_unitary_matches_state_path(self):
+        model = make_model()
+        ex = ScheduleExecutor(model)
+        s = PulseSchedule()
+        s.append(Play(Port.drive(0), drive_frame(), pi_pulse(0.37)))
+        u = ex.unitary(s)
+        assert np.allclose(u @ u.conj().T, np.eye(2), atol=1e-10)
+        psi = ex.execute(s, shots=0).final_state
+        assert np.allclose(u[:, 0], psi, atol=1e-10)

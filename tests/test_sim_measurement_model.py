@@ -1,0 +1,201 @@
+"""Unit tests: measurement machinery and system models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim import ChannelCoupling, DecoherenceSpec, ReadoutModel, SystemModel
+from repro.sim.measurement import (
+    apply_readout_error,
+    leakage_populations,
+    measured_bit_distribution,
+    sample_counts,
+    state_probabilities,
+)
+from repro.sim.model import transmon_model
+from repro.sim.operators import basis_state
+
+
+class TestStateProbabilities:
+    def test_ket(self):
+        psi = np.array([1, 1j], dtype=complex) / np.sqrt(2)
+        p = state_probabilities(psi, (2,))
+        assert np.allclose(p, [0.5, 0.5])
+
+    def test_density_matrix(self):
+        rho = np.diag([0.3, 0.7]).astype(complex)
+        assert np.allclose(state_probabilities(rho, (2,)), [0.3, 0.7])
+
+    def test_normalizes(self):
+        psi = np.array([2.0, 0.0], dtype=complex)
+        assert np.allclose(state_probabilities(psi, (2,)), [1.0, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            state_probabilities(np.zeros(3) + 1, (2,))
+
+    def test_zero_norm(self):
+        with pytest.raises(ValidationError):
+            state_probabilities(np.zeros(2), (2,))
+
+
+class TestBitDistribution:
+    def test_marginalizes_unmeasured(self):
+        psi = basis_state([1, 0], (2, 2))
+        d = measured_bit_distribution(psi, (2, 2), [0])
+        assert d == {"1": pytest.approx(1.0)}
+
+    def test_measured_order_defines_key_order(self):
+        psi = basis_state([1, 0], (2, 2))
+        d01 = measured_bit_distribution(psi, (2, 2), [0, 1])
+        d10 = measured_bit_distribution(psi, (2, 2), [1, 0])
+        assert d01 == {"10": pytest.approx(1.0)}
+        assert d10 == {"01": pytest.approx(1.0)}
+
+    def test_leakage_reads_as_one(self):
+        psi = basis_state([2], (3,))
+        d = measured_bit_distribution(psi, (3,), [0])
+        assert d == {"1": pytest.approx(1.0)}
+
+    def test_entangled_correlations(self):
+        psi = (basis_state([0, 0], (2, 2)) + basis_state([1, 1], (2, 2))) / np.sqrt(2)
+        d = measured_bit_distribution(psi, (2, 2), [0, 1])
+        assert d["00"] == pytest.approx(0.5)
+        assert d["11"] == pytest.approx(0.5)
+        assert "01" not in d
+
+    def test_duplicate_sites_rejected(self):
+        with pytest.raises(ValidationError):
+            measured_bit_distribution(basis_state([0], (2,)), (2,), [0, 0])
+
+
+class TestReadoutError:
+    def test_single_bit_confusion(self):
+        d = apply_readout_error({"0": 1.0}, [ReadoutModel(p01=0.1)])
+        assert d["1"] == pytest.approx(0.1)
+        assert d["0"] == pytest.approx(0.9)
+
+    def test_two_bit_independent(self):
+        d = apply_readout_error(
+            {"00": 1.0}, [ReadoutModel(p01=0.1), ReadoutModel(p01=0.2)]
+        )
+        assert d["00"] == pytest.approx(0.9 * 0.8)
+        assert d["11"] == pytest.approx(0.1 * 0.2)
+
+    def test_probability_conserved(self):
+        d = apply_readout_error(
+            {"01": 0.6, "10": 0.4},
+            [ReadoutModel(p01=0.05, p10=0.03)] * 2,
+        )
+        assert sum(d.values()) == pytest.approx(1.0)
+
+    def test_model_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            apply_readout_error({"00": 1.0}, [ReadoutModel()])
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            ReadoutModel(p01=1.5)
+
+
+class TestSampling:
+    def test_total_shots(self, rng):
+        counts = sample_counts({"0": 0.5, "1": 0.5}, 1000, rng)
+        assert sum(counts.values()) == 1000
+
+    def test_deterministic_for_seed(self):
+        d = {"0": 0.3, "1": 0.7}
+        c1 = sample_counts(d, 500, np.random.default_rng(1))
+        c2 = sample_counts(d, 500, np.random.default_rng(1))
+        assert c1 == c2
+
+    def test_zero_shots(self, rng):
+        assert sample_counts({"0": 1.0}, 0, rng) == {}
+
+    def test_negative_shots(self, rng):
+        with pytest.raises(ValidationError):
+            sample_counts({"0": 1.0}, -1, rng)
+
+    def test_statistics_converge(self):
+        rng = np.random.default_rng(7)
+        counts = sample_counts({"0": 0.25, "1": 0.75}, 100_000, rng)
+        assert counts["1"] / 100_000 == pytest.approx(0.75, abs=0.01)
+
+
+class TestLeakage:
+    def test_qutrit_leakage(self):
+        psi = basis_state([2, 0], (3, 2))
+        leak = leakage_populations(psi, (3, 2))
+        assert leak[0] == pytest.approx(1.0)
+        assert leak[1] == 0.0
+
+    def test_qubit_has_none(self):
+        psi = basis_state([1], (2,))
+        assert leakage_populations(psi, (2,))[0] == 0.0
+
+
+class TestSystemModel:
+    def test_transmon_model_shapes(self):
+        m = transmon_model(
+            2,
+            qubit_frequencies=[5e9, 5.1e9],
+            anharmonicities=[-300e6, -300e6],
+            rabi_rates=[50e6, 50e6],
+            couplings={(0, 1): 20e6},
+            levels=3,
+        )
+        assert m.dimension == 9
+        assert m.n_sites == 2
+        assert "q0-drive-port" in m.channels
+        assert "q0q1-coupler-port" in m.channels
+        assert not m.has_decoherence()
+
+    def test_anharmonicity_in_drift(self):
+        m = transmon_model(
+            1,
+            qubit_frequencies=[5e9],
+            anharmonicities=[-300e6],
+            rabi_rates=[50e6],
+            levels=3,
+        )
+        # Drift diagonal: 0 for |0>,|1>; alpha for |2>.
+        d = np.real(np.diag(m.drift))
+        assert d[0] == pytest.approx(0.0)
+        assert d[1] == pytest.approx(0.0)
+        assert d[2] == pytest.approx(-300e6)
+
+    def test_non_hermitian_drift_rejected(self):
+        with pytest.raises(ValidationError):
+            SystemModel(
+                dims=(2,),
+                drift=np.array([[0, 1], [0, 0]], dtype=complex),
+                channels={},
+            )
+
+    def test_channel_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            SystemModel(
+                dims=(2,),
+                drift=np.zeros((2, 2), dtype=complex),
+                channels={
+                    "p": ChannelCoupling(np.zeros((3, 3)), 5e9, 1e6)
+                },
+            )
+
+    def test_channel_lookup_error_message(self):
+        m = transmon_model(
+            1, qubit_frequencies=[5e9], anharmonicities=[-3e8], rabi_rates=[5e7]
+        )
+        with pytest.raises(ValidationError):
+            m.channel("missing-port")
+
+    def test_decoherence_spec_validation(self):
+        with pytest.raises(ValidationError):
+            DecoherenceSpec(t1=-1.0)
+        spec = DecoherenceSpec()
+        assert not spec.has_decoherence
+        assert DecoherenceSpec(t1=1e-5, t2=1e-5).has_decoherence
+
+    def test_bad_rabi_rate(self):
+        with pytest.raises(ValidationError):
+            ChannelCoupling(np.zeros((2, 2)), 5e9, 0.0)

@@ -1,0 +1,157 @@
+"""Unit tests: operator construction and fidelity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim import (
+    annihilation,
+    average_gate_fidelity,
+    basis_state,
+    destroy_on,
+    embed,
+    identity,
+    kron_all,
+    number_on,
+    pauli,
+    pauli_on,
+    process_fidelity,
+    projector,
+    state_fidelity,
+    unitary_fidelity,
+)
+
+
+class TestOperators:
+    def test_pauli_algebra(self):
+        x, y, z = pauli("x"), pauli("y"), pauli("z")
+        assert np.allclose(x @ y - y @ x, 2j * z)
+        assert np.allclose(x @ x, np.eye(2))
+
+    def test_unknown_pauli(self):
+        with pytest.raises(ValidationError):
+            pauli("w")
+
+    def test_annihilation_qubit(self):
+        a = annihilation(2)
+        assert np.allclose(a, [[0, 1], [0, 0]])
+
+    def test_annihilation_qutrit_matrix_elements(self):
+        a = annihilation(3)
+        assert a[0, 1] == pytest.approx(1.0)
+        assert a[1, 2] == pytest.approx(np.sqrt(2))
+
+    def test_commutator_truncated(self):
+        # [a, a+] = 1 holds only off the top level for truncated spaces.
+        a = annihilation(4)
+        comm = a @ a.conj().T - a.conj().T @ a
+        assert np.allclose(np.diag(comm)[:-1], 1.0)
+
+    def test_embed_identity_elsewhere(self):
+        dims = (2, 3)
+        op = embed(pauli("z"), 0, dims)
+        assert op.shape == (6, 6)
+        # Acting on |0,k> gives +1 for any k.
+        for k in range(3):
+            v = basis_state([0, k], dims)
+            assert np.allclose(op @ v, v)
+
+    def test_embed_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            embed(pauli("z"), 0, (3, 2))
+
+    def test_embed_bad_site(self):
+        with pytest.raises(ValidationError):
+            embed(pauli("z"), 2, (2, 2))
+
+    def test_pauli_on_qutrit_subspace(self):
+        dims = (3,)
+        x = pauli_on("x", 0, dims)
+        # |2> is untouched (zero row/column).
+        v2 = basis_state([2], dims)
+        assert np.allclose(x @ v2, 0)
+
+    def test_pauli_on_identity_full(self):
+        dims = (3,)
+        assert np.allclose(pauli_on("i", 0, dims), np.eye(3))
+
+    def test_number_operator(self):
+        n = number_on(0, (3,))
+        assert np.allclose(np.diag(n), [0, 1, 2])
+
+    def test_basis_state_indexing(self):
+        v = basis_state([1, 2], (2, 3))
+        assert v[1 * 3 + 2] == 1.0
+        assert np.vdot(v, v) == pytest.approx(1.0)
+
+    def test_basis_state_bounds(self):
+        with pytest.raises(ValidationError):
+            basis_state([2], (2,))
+        with pytest.raises(ValidationError):
+            basis_state([0], (2, 2))
+
+    def test_projector(self):
+        p = projector([1], (2,))
+        assert np.allclose(p @ p, p)
+        assert np.trace(p) == pytest.approx(1.0)
+
+    def test_kron_all_empty(self):
+        with pytest.raises(ValidationError):
+            kron_all([])
+
+
+class TestFidelities:
+    def test_state_fidelity_kets(self):
+        a = np.array([1, 0], dtype=complex)
+        b = np.array([1, 1], dtype=complex) / np.sqrt(2)
+        assert state_fidelity(a, a) == pytest.approx(1.0)
+        assert state_fidelity(a, b) == pytest.approx(0.5)
+
+    def test_state_fidelity_phase_invariant(self):
+        a = np.array([1, 0], dtype=complex)
+        assert state_fidelity(a, np.exp(0.7j) * a) == pytest.approx(1.0)
+
+    def test_state_fidelity_ket_dm(self):
+        a = np.array([1, 0], dtype=complex)
+        rho = 0.5 * np.eye(2, dtype=complex)
+        assert state_fidelity(a, rho) == pytest.approx(0.5)
+        assert state_fidelity(rho, a) == pytest.approx(0.5)
+
+    def test_state_fidelity_dm_dm(self):
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        sig = np.diag([0.5, 0.5]).astype(complex)
+        assert state_fidelity(rho, sig) == pytest.approx(0.5)
+        assert state_fidelity(rho, rho) == pytest.approx(1.0)
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(ValidationError):
+            state_fidelity(np.zeros(2), np.array([1, 0]))
+
+    def test_unitary_fidelity_global_phase(self):
+        u = pauli("x")
+        assert unitary_fidelity(u, np.exp(1j * 0.3) * u) == pytest.approx(1.0)
+
+    def test_unitary_fidelity_orthogonal(self):
+        assert unitary_fidelity(pauli("x"), pauli("z")) == pytest.approx(0.0)
+
+    def test_average_gate_fidelity_range(self):
+        f = average_gate_fidelity(pauli("x"), pauli("x"))
+        assert f == pytest.approx(1.0)
+        f2 = average_gate_fidelity(pauli("x"), pauli("z"))
+        assert f2 == pytest.approx(1.0 / 3.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            unitary_fidelity(np.eye(2), np.eye(3))
+
+    def test_process_fidelity_subspace_sees_leakage(self):
+        # A qutrit "X" that leaks everything into |2> has zero subspace
+        # fidelity.
+        u = np.zeros((3, 3), dtype=complex)
+        u[2, 0] = 1.0
+        u[0, 2] = 1.0
+        u[1, 1] = 1.0
+        iso = np.zeros((3, 2), dtype=complex)
+        iso[0, 0] = iso[1, 1] = 1.0
+        f = process_fidelity(u, pauli("x"), subspace=iso)
+        assert f < 0.3
