@@ -1,0 +1,163 @@
+"""Serving throughput: PulseService vs. serial run_batch.
+
+The serving PR's acceptance experiment: a 4-device mixed workload
+(two transmon devices, an ion chain, an atom array) with the repeat
+traffic a multi-tenant service actually sees — many requests carrying
+the same few programs. The serial baseline executes every request
+individually through ``MQSSClient.run_batch``; the service coalesces
+identical programs per device, serves compiles from the warm
+content-addressed cache, and drains the four device queues with
+concurrent workers. Required: >= 4x throughput with a warm cache.
+
+Run directly (the CI smoke mode):
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --quick
+
+This file is intentionally named ``bench_*`` so tier-1 pytest does not
+collect it; the speedup assertion lives in :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.client import JobRequest, MQSSClient
+from repro.devices import (
+    NeutralAtomDevice,
+    SuperconductingDevice,
+    TrappedIonDevice,
+)
+from repro.qdmi import QDMIDriver
+from repro.qpi import PythonicCircuit
+from repro.serving import CompileCache, PulseService
+
+DEVICES = ("sc-a", "sc-b", "ion-chain", "atom-array")
+
+
+def make_driver() -> QDMIDriver:
+    driver = QDMIDriver()
+    driver.register_device(SuperconductingDevice("sc-a", num_qubits=2))
+    driver.register_device(SuperconductingDevice("sc-b", num_qubits=2))
+    driver.register_device(TrappedIonDevice("ion-chain", num_qubits=2))
+    driver.register_device(NeutralAtomDevice("atom-array", num_qubits=2))
+    return driver
+
+
+def programs() -> list[PythonicCircuit]:
+    flip = PythonicCircuit(2, 2).x(0).measure(0, 0).measure(1, 1)
+    flip_both = PythonicCircuit(2, 2).x(0).x(1).measure(0, 0).measure(1, 1)
+    return [flip, flip_both]
+
+
+def workload(per_device: int, shots: int) -> list[JobRequest]:
+    progs = programs()
+    requests = []
+    for device in DEVICES:
+        for i in range(per_device):
+            requests.append(
+                JobRequest(
+                    progs[i % len(progs)],
+                    device,
+                    shots=shots,
+                    priority=i % 3,
+                    seed=11,
+                )
+            )
+    return requests
+
+
+def unique_requests(shots: int) -> list[JobRequest]:
+    return [
+        JobRequest(prog, device, shots=shots, seed=11)
+        for device in DEVICES
+        for prog in programs()
+    ]
+
+
+def bench_serial(per_device: int, shots: int) -> tuple[float, int]:
+    driver = make_driver()
+    client = MQSSClient(driver)
+    for request in unique_requests(shots):  # warm the JIT memo
+        client.submit(request)
+    requests = workload(per_device, shots)
+    t0 = time.perf_counter()
+    results = client.run_batch(requests, raise_on_error=True)
+    wall = time.perf_counter() - t0
+    executions = len(results)
+    return wall, executions
+
+
+def bench_service(per_device: int, shots: int):
+    driver = make_driver()
+    cache = CompileCache()
+    client = MQSSClient(driver, persistent_sessions=True)
+    with PulseService(client, compile_cache=cache) as warmup:
+        for ticket in warmup.run(unique_requests(shots), timeout=120):
+            ticket.result()
+
+    requests = workload(per_device, shots)
+    service = PulseService(client, compile_cache=cache, start=False)
+    t0 = time.perf_counter()
+    tickets = service.submit_many(requests)
+    service.start()
+    if not service.flush(timeout=600):
+        raise RuntimeError("service did not drain")
+    wall = time.perf_counter() - t0
+    service.stop()
+    for ticket, request in zip(tickets, requests):
+        result = ticket.result()
+        assert sum(result.counts.values()) == request.shots
+    executions = int(service.metrics.get("coalesced_executions")) + sum(
+        1 for t in tickets if t.group_size == 1
+    )
+    stats = service.metrics.snapshot()
+    client.close()
+    return wall, executions, stats, service
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke workload (CI); relaxes the speedup assertion",
+    )
+    parser.add_argument("--per-device", type=int, default=None)
+    parser.add_argument("--shots", type=int, default=256)
+    args = parser.parse_args(argv)
+
+    per_device = args.per_device or (6 if args.quick else 32)
+    n_requests = per_device * len(DEVICES)
+
+    serial_s, serial_execs = bench_serial(per_device, args.shots)
+    service_s, service_execs, stats, service = bench_service(
+        per_device, args.shots
+    )
+    speedup = serial_s / service_s
+
+    print(f"\n--- serving throughput ({n_requests} requests, 4 devices) ---")
+    print(f"    serial run_batch : {serial_s:.3f} s  ({serial_execs} executions)")
+    print(f"    PulseService     : {service_s:.3f} s  ({service_execs} executions)")
+    print(f"    speedup          : {speedup:.2f}x")
+    print(
+        f"    cache hit rate   : {service.cache.hit_rate:.2f}  "
+        f"(hits={service.cache.stats['hits']}, "
+        f"misses={service.cache.stats['misses']})"
+    )
+    print(
+        f"    latency p50/p99  : "
+        f"{stats.get('total_p50_s', 0) * 1e3:.1f} / "
+        f"{stats.get('total_p99_s', 0) * 1e3:.1f} ms"
+    )
+
+    required = 1.5 if args.quick else 4.0
+    if speedup < required:
+        print(f"FAIL: speedup {speedup:.2f}x below required {required}x")
+        return 1
+    print(f"PASS: speedup {speedup:.2f}x >= {required}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,8 +23,18 @@ Layering (bottom to top)::
     qpi         the C-style programming interface (paper Listing 1)
     client      MQSS client, adapters, routing (paper Fig. 2)
     runtime     second-level scheduler and resource management
+    serving     asynchronous execution service over client + runtime:
+                per-device worker pools, content-addressed compile
+                cache, identical-program coalescing with
+                shot-splitting, capability failover, latency metrics
     control     GRAPE, parametric optimization, ctrl-VQE
     calibration Rabi/Ramsey/DRAG/readout calibration + planning
+
+The serving layer sits above ``client`` and beside ``runtime``: the
+scheduler's :meth:`~repro.runtime.scheduler.SecondLevelScheduler.drain`
+executes through a :class:`~repro.serving.service.PulseService`, while
+applications needing asynchronous submission talk to the service
+directly (see ``examples/serving_quickstart.py``).
 """
 
 from repro._version import __version__

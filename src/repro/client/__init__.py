@@ -22,7 +22,7 @@ from repro.client.adapters import (
     QASM3Adapter,
     QPIAdapter,
 )
-from repro.client.client import ClientResult, JobRequest, MQSSClient
+from repro.client.client import BatchFailure, ClientResult, JobRequest, MQSSClient
 from repro.client.remote import RemoteDeviceProxy
 
 __all__ = [
@@ -33,5 +33,6 @@ __all__ = [
     "MQSSClient",
     "JobRequest",
     "ClientResult",
+    "BatchFailure",
     "RemoteDeviceProxy",
 ]

@@ -5,20 +5,34 @@ any adapter, are JIT-compiled against the selected device's QDMI
 constraints, and are routed either locally (in-memory schedule — the
 fast HPC path) or remotely (serialized QIR with the Pulse Profile).
 Per-stage timings are recorded for the architecture benchmark (E3).
+
+The submission pipeline is split into two reusable halves so the
+serving layer (:mod:`repro.serving`) can interpose between them:
+
+* :meth:`MQSSClient.compile_request` — adapter selection + JIT
+  compilation (optionally through a shared
+  :class:`~repro.serving.cache.CompileCache`);
+* :meth:`MQSSClient.execute_compiled` — session lease + format routing
+  + execution + result assembly.
+
+:meth:`MQSSClient.submit` composes the two; :class:`PulseService`
+workers call them separately to insert caching, request coalescing and
+failover in the middle.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.client.adapters import Adapter, default_adapters
-from repro.compiler.jit import JITCompiler
+from repro.compiler.jit import CompiledProgram, JITCompiler
 from repro.errors import ExecutionError, QDMIError
 from repro.qdmi.driver import QDMIDriver
-from repro.qdmi.job import QDMIJob
 from repro.qdmi.properties import JobStatus, ProgramFormat
+from repro.qdmi.session import QDMISession
 
 
 @dataclass
@@ -57,8 +71,40 @@ class ClientResult:
         return total
 
 
+@dataclass
+class BatchFailure:
+    """A failed entry in :meth:`MQSSClient.run_batch` output.
+
+    Occupies the failed request's slot so the returned list stays
+    aligned with the input order instead of silently dropping (or
+    aborting) completed work.
+    """
+
+    request: JobRequest
+    error: Exception
+    index: int
+
+
 class MQSSClient:
-    """Routes jobs from adapters to QDMI devices (paper Fig. 2)."""
+    """Routes jobs from adapters to QDMI devices (paper Fig. 2).
+
+    Parameters
+    ----------
+    driver:
+        The QDMI driver owning the device registry.
+    compiler:
+        JIT compiler instance; a fresh one when omitted.
+    compile_cache:
+        Optional :class:`repro.serving.cache.CompileCache`. When set,
+        compilation goes through the shared content-addressed cache
+        (thread-safe, bounded) instead of the compiler's internal one.
+    persistent_sessions:
+        When true, the client keeps one QDMI session open per device
+        and reuses it across submissions instead of opening and
+        closing a session per job — the serving layer's workers use
+        this to avoid per-request session churn. Call :meth:`close`
+        (or use the client as a context manager) to release them.
+    """
 
     def __init__(
         self,
@@ -66,11 +112,17 @@ class MQSSClient:
         *,
         compiler: JITCompiler | None = None,
         client_name: str = "mqss-client",
+        compile_cache: Any | None = None,
+        persistent_sessions: bool = False,
     ) -> None:
         self.driver = driver
         self.compiler = compiler if compiler is not None else JITCompiler()
         self.client_name = client_name
+        self.compile_cache = compile_cache
+        self.persistent_sessions = persistent_sessions
         self._adapters: dict[str, Adapter] = {}
+        self._session_pool: dict[str, QDMISession] = {}
+        self._session_lock = threading.Lock()
         for adapter in default_adapters():
             self.register_adapter(adapter)
 
@@ -85,7 +137,8 @@ class MQSSClient:
     def adapter_names(self) -> list[str]:
         return sorted(self._adapters)
 
-    def _select_adapter(self, request: JobRequest) -> Adapter:
+    def select_adapter(self, request: JobRequest) -> Adapter:
+        """The adapter serving *request* (explicit name or autodetect)."""
         if request.adapter is not None:
             try:
                 return self._adapters[request.adapter]
@@ -102,32 +155,95 @@ class MQSSClient:
             f"{type(request.program).__name__}"
         )
 
+    # ---- device / session plumbing -----------------------------------------------
+
+    def resolve_target(self, device_name: str) -> tuple[Any, Any, bool]:
+        """``(device, compile_target, remote)`` for *device_name*.
+
+        Remote devices hide the calibration-bearing inner device;
+        compilation happens against the execution target.
+        """
+        from repro.client.remote import RemoteDeviceProxy
+
+        device = self.driver.get_device(device_name)
+        remote = isinstance(device, RemoteDeviceProxy)
+        return device, (device.inner if remote else device), remote
+
+    def _lease_session(self, device_name: str) -> tuple[QDMISession, bool]:
+        """A session on *device_name* plus whether the caller must close it."""
+        if not self.persistent_sessions:
+            return self.driver.open_session(device_name, self.client_name), True
+        with self._session_lock:
+            session = self._session_pool.get(device_name)
+            if session is None or not session.is_open:
+                session = self.driver.open_session(device_name, self.client_name)
+                self._session_pool[device_name] = session
+            return session, False
+
+    def close(self) -> None:
+        """Close any persistent sessions held by this client."""
+        with self._session_lock:
+            for session in self._session_pool.values():
+                if session.is_open:
+                    session.close()
+            self._session_pool.clear()
+
+    def __enter__(self) -> "MQSSClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     # ---- submission --------------------------------------------------------------------
 
-    def submit(self, request: JobRequest) -> ClientResult:
-        """Adapter -> JIT -> route -> execute -> result."""
-        timings: dict[str, float] = {}
-        device = self.driver.get_device(request.device)
-        session = self.driver.open_session(request.device, self.client_name)
-        try:
-            # Remote devices hide the calibration-bearing inner device;
-            # compile against the execution target.
-            from repro.client.remote import RemoteDeviceProxy
+    def compile_request(
+        self,
+        request: JobRequest,
+        *,
+        device_name: str | None = None,
+        timings: dict[str, float] | None = None,
+    ) -> CompiledProgram:
+        """Adapter -> JIT compile *request* for a device (default: its own)."""
+        _, target, _ = self.resolve_target(device_name or request.device)
 
-            remote = isinstance(device, RemoteDeviceProxy)
-            target = device.inner if remote else device
-
-            t0 = time.perf_counter()
-            adapter = self._select_adapter(request)
-            payload = adapter.to_payload(request.program, target)
+        t0 = time.perf_counter()
+        adapter = self.select_adapter(request)
+        payload = adapter.to_payload(request.program, target)
+        if timings is not None:
             timings["adapter"] = time.perf_counter() - t0
 
-            t0 = time.perf_counter()
-            program = self.compiler.compile(
-                payload, target, scalar_args=request.scalar_args or None
+        t0 = time.perf_counter()
+        scalar_args = request.scalar_args or None
+        if self.compile_cache is not None:
+            program = self.compile_cache.get_or_compile(
+                self.compiler, payload, target, scalar_args=scalar_args
             )
+        else:
+            program = self.compiler.compile(
+                payload, target, scalar_args=scalar_args
+            )
+        if timings is not None:
             timings["compile"] = time.perf_counter() - t0
+        return program
 
+    def execute_compiled(
+        self,
+        request: JobRequest,
+        program: CompiledProgram,
+        *,
+        device_name: str | None = None,
+        shots: int | None = None,
+        timings: dict[str, float] | None = None,
+    ) -> ClientResult:
+        """Route *program* to a device and execute it.
+
+        *device_name* overrides the request's device (failover path);
+        *shots* overrides the request's shot count (coalesced batches).
+        """
+        name = device_name or request.device
+        _, _, remote = self.resolve_target(name)
+        session, close_after = self._lease_session(name)
+        try:
             t0 = time.perf_counter()
             if remote:
                 fmt, job_payload = ProgramFormat.QIR_PULSE, program.qir
@@ -136,36 +252,69 @@ class MQSSClient:
             job = session.run(
                 fmt,
                 job_payload,
-                shots=request.shots,
+                shots=shots if shots is not None else request.shots,
                 metadata={"seed": request.seed} if request.seed is not None else None,
             )
-            timings["execute"] = time.perf_counter() - t0
+            if timings is not None:
+                timings["execute"] = time.perf_counter() - t0
 
             if job.status is not JobStatus.DONE:
                 raise ExecutionError(
-                    f"job {job.job_id} on {request.device!r} failed: {job.error}"
+                    f"job {job.job_id} on {name!r} failed: {job.error}"
                 )
             result = job.result
             return ClientResult(
-                device=request.device,
+                device=name,
                 counts=result.counts,
                 probabilities=result.ideal_probabilities,
                 shots=result.shots,
                 duration_samples=result.duration_samples,
-                timings_s=timings,
+                timings_s=timings if timings is not None else {},
                 job_id=job.job_id,
                 remote=remote,
-                qir_size_bytes=len(program.qir.encode()),
+                # Serialization cost is only paid (and only meaningful)
+                # on the remote path; the local fast path skips it.
+                qir_size_bytes=len(program.qir.encode()) if remote else 0,
             )
         finally:
-            session.close()
+            if close_after:
+                session.close()
 
-    def run_batch(self, requests: list[JobRequest]) -> list[ClientResult]:
-        """Submit requests in priority order (higher first, then FIFO)."""
+    def submit(self, request: JobRequest) -> ClientResult:
+        """Adapter -> JIT -> route -> execute -> result."""
+        timings: dict[str, float] = {}
+        program = self.compile_request(request, timings=timings)
+        return self.execute_compiled(request, program, timings=timings)
+
+    def run_batch(
+        self, requests: list[JobRequest], *, raise_on_error: bool = False
+    ) -> list[ClientResult | BatchFailure]:
+        """Submit requests in priority order (higher first, then FIFO).
+
+        The returned list is aligned with the input order. A failed
+        submission does not abort the batch or drop earlier results:
+        its slot holds a :class:`BatchFailure` carrying the request and
+        the exception. With ``raise_on_error=True`` an
+        :class:`~repro.errors.ExecutionError` summarizing all failures
+        is raised after every request has been attempted.
+        """
         order = sorted(
             range(len(requests)), key=lambda i: (-requests[i].priority, i)
         )
-        results: list[ClientResult | None] = [None] * len(requests)
+        results: list[ClientResult | BatchFailure] = [None] * len(requests)  # type: ignore[list-item]
+        failures: list[BatchFailure] = []
         for i in order:
-            results[i] = self.submit(requests[i])
-        return [r for r in results if r is not None]
+            try:
+                results[i] = self.submit(requests[i])
+            except Exception as exc:
+                failure = BatchFailure(request=requests[i], error=exc, index=i)
+                results[i] = failure
+                failures.append(failure)
+        if failures and raise_on_error:
+            summary = "; ".join(
+                f"[{f.index}] {f.request.device}: {f.error}" for f in failures
+            )
+            raise ExecutionError(
+                f"{len(failures)}/{len(requests)} batch requests failed: {summary}"
+            )
+        return results

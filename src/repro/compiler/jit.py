@@ -70,12 +70,19 @@ class JITCompiler:
 
     def __init__(self, context: MLIRContext | None = None) -> None:
         self.context = context if context is not None else default_context()
-        self._cache: dict[tuple, CompiledProgram] = {}
+        self._cache: dict[str, CompiledProgram] = {}
         self.stats = {"compilations": 0, "cache_hits": 0}
 
     # ---- cache keys ---------------------------------------------------------------
 
-    def _payload_fingerprint(self, payload: Any, scalar_args: Mapping | None) -> str:
+    def payload_fingerprint(
+        self, payload: Any, scalar_args: Mapping | None = None
+    ) -> str:
+        """Stable content hash of a payload (+ bound scalar arguments).
+
+        Device-independent half of :meth:`cache_key`; the serving
+        layer's request coalescing also keys on it.
+        """
         if isinstance(payload, PulseSchedule):
             base = payload.fingerprint()
         elif isinstance(payload, Module):
@@ -91,13 +98,32 @@ class JITCompiler:
             base += hashlib.sha256(extra.encode()).hexdigest()[:8]
         return base
 
-    def _device_state_key(self, device: Any) -> str:
-        """Device identity + calibration state (believed frequencies)."""
+    def device_state_key(self, device: Any) -> str:
+        """Device identity + calibration state (believed frequencies).
+
+        Recalibration (a frame-frequency write-back) changes the key,
+        so stale compilations are never served after a calibration.
+        """
         freqs = tuple(
             round(device.believed_frequency(s), 3)
             for s in range(device.config.num_sites)
         )
-        return f"{device.name}:{hash(freqs) & 0xFFFFFFFF:x}"
+        digest = hashlib.sha256(repr(freqs).encode()).hexdigest()[:8]
+        return f"{device.name}:{digest}"
+
+    def cache_key(
+        self, payload: Any, device: Any, scalar_args: Mapping | None = None
+    ) -> str:
+        """Content-addressed compilation key: payload x device state.
+
+        This is the public cache-key surface consumed by
+        :class:`repro.serving.cache.CompileCache`; two requests with
+        equal keys are guaranteed to compile to the same program.
+        """
+        return (
+            f"{self.payload_fingerprint(payload, scalar_args)}"
+            f"@{self.device_state_key(device)}"
+        )
 
     # ---- compilation ------------------------------------------------------------------
 
@@ -114,10 +140,7 @@ class JITCompiler:
         Payload kinds: a gate-level MLIR module (``quantum.circuit``),
         a pulse MLIR module or its text, or a :class:`PulseSchedule`.
         """
-        key = (
-            self._payload_fingerprint(payload, scalar_args),
-            self._device_state_key(device),
-        )
+        key = self.cache_key(payload, device, scalar_args)
         if use_cache and key in self._cache:
             self.stats["cache_hits"] += 1
             cached = self._cache[key]

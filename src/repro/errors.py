@@ -70,6 +70,18 @@ class ExecutionError(ReproError):
     """Runtime execution failure on a device or simulator."""
 
 
+class ServiceError(ReproError):
+    """Failure inside the serving layer (:mod:`repro.serving`)."""
+
+
+class BackpressureError(ServiceError):
+    """Admission control refused a request: the service queue is full."""
+
+
+class RoutingError(ServiceError):
+    """No capable device is available to execute a request."""
+
+
 class CalibrationError(ReproError):
     """A calibration routine failed to converge or was misconfigured."""
 

@@ -3,12 +3,14 @@ scheduler" inside the Quantum Resource Manager & Compiler
 Infrastructure).
 
 * :mod:`repro.runtime.scheduler` — a priority/FIFO second-level
-  scheduler over multiple QDMI devices, plus the calibration-aware
-  variant that implements §2.1's "resource-aware calibration planning":
-  it watches each device's drift budget and interleaves calibration
-  runs with user jobs.
-* :mod:`repro.runtime.telemetry` — counters and wall-clock timers used
-  across the runtime benchmarks.
+  scheduler over multiple QDMI devices (drained through the
+  :mod:`repro.serving` worker pools, so independent devices execute
+  concurrently), plus the calibration-aware variant that implements
+  §2.1's "resource-aware calibration planning": it watches each
+  device's drift budget and interleaves calibration runs with user
+  jobs.
+* :mod:`repro.runtime.telemetry` — thread-safe counters and wall-clock
+  timers used across the runtime benchmarks and the serving metrics.
 """
 
 from repro.runtime.scheduler import (

@@ -6,16 +6,25 @@ providers, like HPC centers ... dynamically schedule calibrations based
 on anticipated demand", enabling "resource-aware calibration planning".
 
 :class:`SecondLevelScheduler` orders queued jobs by (priority, arrival)
-across devices and executes them through the :class:`MQSSClient`.
+and drains them through the serving layer: :meth:`drain` builds a
+:class:`~repro.serving.service.PulseService` over the client, so
+independent devices execute concurrently while each device's queue
+keeps priority+FIFO order. Request coalescing and failover are
+disabled in this mode — the scheduler promises one device execution
+per queued job, in schedule order, which the calibration-aware
+subclass depends on.
+
 :class:`CalibrationAwareScheduler` additionally tracks a drift budget
 per device — wall-clock since last calibration times the device's drift
 rate — and interleaves a calibration callback whenever the predicted
 frequency error crosses a threshold, amortizing it before batches
-rather than mid-stream.
+rather than mid-stream. The hook runs on the device's worker thread,
+serialized per device by the worker pool.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -32,6 +41,10 @@ class ScheduledJob:
     request: JobRequest = field(compare=False)
     arrival: int = field(compare=False, default=0)
     result: ClientResult | None = field(compare=False, default=None)
+    #: Stamped when the job enters the queue; the wait clock starts here.
+    enqueued_at: float = field(compare=False, default=0.0)
+    #: Time from enqueue to dispatch-start (pure queueing delay; it does
+    #: not include the job's own execution).
     wait_s: float = field(compare=False, default=0.0)
 
     def __post_init__(self) -> None:
@@ -61,7 +74,11 @@ class SecondLevelScheduler:
 
     def enqueue(self, request: JobRequest) -> ScheduledJob:
         """Queue a request; returns its scheduling handle."""
-        job = ScheduledJob(request=request, arrival=self._arrivals)
+        job = ScheduledJob(
+            request=request,
+            arrival=self._arrivals,
+            enqueued_at=time.perf_counter(),
+        )
         self._arrivals += 1
         self._queue.append(job)
         self.telemetry.incr("enqueued")
@@ -72,7 +89,32 @@ class SecondLevelScheduler:
         return len(self._queue)
 
     def _before_dispatch(self, job: ScheduledJob, report: SchedulerReport) -> None:
-        """Hook for subclasses (calibration interleaving)."""
+        """Hook for subclasses (calibration interleaving).
+
+        Called on the worker thread of the job's device, immediately
+        before the job executes; calls are serialized per device (and
+        globally serialized by the drain-wide hook lock)."""
+
+    def _make_service(self, capacity: int):
+        """The PulseService drain() executes through (one per drain)."""
+        from repro.serving import (
+            CapabilityRouter,
+            PulseService,
+            RequestBatcher,
+        )
+
+        return PulseService(
+            self.client,
+            router=CapabilityRouter(self.client.driver, allow_failover=False),
+            batcher=RequestBatcher(enabled=False),
+            max_pending=max(1, capacity),
+            per_device_pending=None,
+            # One worker per device: the _before_dispatch contract
+            # (hook + execution serialized per device, schedule order
+            # preserved) requires it.
+            workers_per_device=1,
+            start=False,
+        )
 
     def drain(self) -> SchedulerReport:
         """Run every queued job to completion, in schedule order."""
@@ -80,20 +122,47 @@ class SecondLevelScheduler:
         t_start = time.perf_counter()
         queue = sorted(self._queue)
         self._queue.clear()
+
+        service = self._make_service(len(queue))
+        jobs_by_ticket: dict[Any, ScheduledJob] = {}
+        hook_lock = threading.Lock()
+
+        def hook(entry) -> None:
+            job = jobs_by_ticket[entry.ticket]
+            with hook_lock:
+                self._before_dispatch(job, report)
+
+        service.before_execute = hook
+
+        # Queue everything before the workers start, so each device
+        # pool sees the full (priority, arrival) order up front.
+        pairs = []
         for job in queue:
-            enqueue_to_start = time.perf_counter() - t_start
-            self._before_dispatch(job, report)
-            try:
-                with self.telemetry.timer("execute"):
-                    job.result = self.client.submit(job.request)
-                report.completed += 1
-                dev = job.request.device
-                report.per_device_jobs[dev] = report.per_device_jobs.get(dev, 0) + 1
-            except Exception:
-                report.failed += 1
-                self.telemetry.incr("failures")
-            job.wait_s = enqueue_to_start
+            ticket = service.submit(job.request)
+            jobs_by_ticket[ticket] = job
+            pairs.append((job, ticket))
+        service.start()
+        try:
+            for job, ticket in pairs:
+                error = ticket.exception()
+                if error is None:
+                    job.result = ticket.result()
+                    report.completed += 1
+                    dev = job.result.device
+                    report.per_device_jobs[dev] = (
+                        report.per_device_jobs.get(dev, 0) + 1
+                    )
+                    self.telemetry.incr("completed")
+                else:
+                    report.failed += 1
+                    self.telemetry.incr("failures")
+                if ticket.dispatched_at is not None:
+                    job.wait_s = max(0.0, ticket.dispatched_at - job.enqueued_at)
+        finally:
+            service.stop()
+
         report.total_wall_s = time.perf_counter() - t_start
+        self.telemetry.add_time("drain", report.total_wall_s)
         waits = [j.wait_s for j in queue]
         report.mean_wait_s = sum(waits) / len(waits) if waits else 0.0
         return report

@@ -3,28 +3,43 @@
 QDMI's stated use cases include "telemetry-driven error mitigation"
 (paper §5.3); this small module is the telemetry sink the scheduler
 and benchmarks write into.
+
+:class:`Telemetry` is thread-safe: the serving layer
+(:mod:`repro.serving`) writes into one instance from every device
+worker thread, so all counter/timer mutation happens under a lock.
+Richer aggregation (latency histograms, text exposition) lives in
+:mod:`repro.serving.metrics`, layered on top of this class.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
 
 class Telemetry:
-    """Named counters + accumulated timers."""
+    """Named counters + accumulated timers (thread-safe)."""
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self.counters: dict[str, float] = {}
         self.timers: dict[str, float] = {}
 
     def incr(self, name: str, amount: float = 1.0) -> None:
         """Increment counter *name* by *amount*."""
-        self.counters[name] = self.counters.get(name, 0.0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + amount
 
     def get(self, name: str) -> float:
         """Current value of counter *name* (0 when unset)."""
-        return self.counters.get(name, 0.0)
+        with self._lock:
+            return self.counters.get(name, 0.0)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall-clock time under *name*."""
+        with self._lock:
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
 
     @contextmanager
     def timer(self, name: str):
@@ -33,12 +48,11 @@ class Telemetry:
         try:
             yield
         finally:
-            self.timers[name] = self.timers.get(name, 0.0) + (
-                time.perf_counter() - t0
-            )
+            self.add_time(name, time.perf_counter() - t0)
 
     def snapshot(self) -> dict[str, float]:
         """Counters and timers merged into one dict (timers suffixed)."""
-        out = dict(self.counters)
-        out.update({f"{k}_s": v for k, v in self.timers.items()})
+        with self._lock:
+            out = dict(self.counters)
+            out.update({f"{k}_s": v for k, v in self.timers.items()})
         return out

@@ -1,0 +1,46 @@
+"""The serving layer: an asynchronous multi-device execution service.
+
+The paper's Fig. 2 places the MQSS client and second-level scheduler
+between many user frontends and heterogeneous QDMI devices, and its
+calibration use case (§2.1) assumes HPC centers operating quantum
+services under sustained multi-tenant demand. This package turns the
+synchronous client stack into that service:
+
+* :mod:`repro.serving.service` — :class:`PulseService`: accepts
+  :class:`~repro.client.client.JobRequest`\\ s, returns future-like
+  :class:`JobTicket`\\ s, enforces bounded admission (backpressure);
+* :mod:`repro.serving.workers` — per-device worker pools so
+  independent devices execute in parallel while each device's queue
+  drains FIFO-within-priority;
+* :mod:`repro.serving.cache` — a content-addressed
+  :class:`CompileCache` keyed on payload x device calibration state,
+  letting repeat programs skip the adapter+JIT pipeline;
+* :mod:`repro.serving.routing` — :class:`CapabilityRouter`: failover
+  and load-spill onto capability-equivalent devices;
+* :mod:`repro.serving.batching` — :class:`RequestBatcher`: coalesces
+  identical-program requests into one execution and splits the
+  sampled shots back per request;
+* :mod:`repro.serving.metrics` — :class:`ServingMetrics`: thread-safe
+  counters + per-stage latency histograms with a Prometheus-style
+  text exposition.
+"""
+
+from repro.serving.batching import RequestBatcher
+from repro.serving.cache import CompileCache
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.routing import CapabilityRouter
+from repro.serving.service import JobTicket, PulseService, TicketState
+from repro.serving.workers import DevicePool, ServiceEntry
+
+__all__ = [
+    "PulseService",
+    "JobTicket",
+    "TicketState",
+    "DevicePool",
+    "ServiceEntry",
+    "CompileCache",
+    "CapabilityRouter",
+    "RequestBatcher",
+    "ServingMetrics",
+    "LatencyHistogram",
+]

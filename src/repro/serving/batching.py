@@ -1,0 +1,85 @@
+"""Request coalescing: identical programs share one device execution.
+
+Under multi-tenant load many requests carry the *same* program — every
+tenant's calibration check, the same benchmark circuit, a variational
+loop re-evaluating one ansatz point. Executing each copy separately
+repeats the expensive part (state evolution) for an identical answer.
+The batcher groups queue entries whose (device, payload fingerprint)
+match, executes the program once with the summed shot count, and
+splits the sampled shots back per request with a multivariate
+hypergeometric draw — statistically identical to each request having
+drawn its own shots from the single execution's distribution.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+
+class RequestBatcher:
+    """Coalescing policy + shot-splitting for identical-program requests.
+
+    Parameters
+    ----------
+    enabled:
+        When false, every request executes individually (the scheduler
+        compatibility mode).
+    max_batch:
+        Largest number of requests coalesced into one execution.
+    seed:
+        Seed for the shot-splitting RNG (deterministic splits).
+    """
+
+    def __init__(
+        self, *, enabled: bool = True, max_batch: int = 32, seed: int = 0
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.enabled = enabled
+        self.max_batch = max_batch
+        self._rng = np.random.default_rng(seed)
+        self._rng_lock = threading.Lock()
+
+    @staticmethod
+    def coalesce_key(
+        device_name: str, fingerprint: str, seed: int | None = None
+    ) -> str:
+        """Grouping key: same device + same payload content + same seed.
+
+        The seed is part of the key because a coalesced group executes
+        once with the group's (shared) seed — merging requests that
+        asked for different seeds would silently change their
+        documented deterministic counts.
+        """
+        return f"{device_name}/{fingerprint}/s{seed}"
+
+    def split_counts(
+        self, counts: dict[str, int], shots_per_request: list[int]
+    ) -> list[dict[str, int]]:
+        """Partition sampled *counts* into per-request count dicts.
+
+        ``sum(shots_per_request)`` must not exceed the total shots in
+        *counts*; each request receives exactly its shot count, drawn
+        without replacement from the combined sample.
+        """
+        total_requested = sum(shots_per_request)
+        pool_total = sum(counts.values())
+        if total_requested > pool_total:
+            raise ValueError(
+                f"cannot split {pool_total} sampled shots into "
+                f"{total_requested} requested shots"
+            )
+        keys = sorted(counts)
+        pool = np.array([counts[k] for k in keys], dtype=np.int64)
+        out: list[dict[str, int]] = []
+        for shots in shots_per_request:
+            if shots == 0 or not keys:
+                out.append({})
+                continue
+            with self._rng_lock:
+                draw = self._rng.multivariate_hypergeometric(pool, shots)
+            pool = pool - draw
+            out.append({k: int(n) for k, n in zip(keys, draw) if n})
+        return out

@@ -1,0 +1,115 @@
+"""Content-addressed compilation cache for the serving layer.
+
+Repeat programs dominate sustained service traffic (calibration
+sweeps, variational loops, benchmark suites re-run per tenant), yet
+the synchronous client recompiles every submission. This cache keys
+compiled programs by :meth:`JITCompiler.cache_key` — a content hash of
+the payload, its bound scalar arguments, and the target device's
+calibration state — so a warm request skips the adapter+compile
+pipeline entirely, and a recalibrated device (new believed
+frequencies) naturally misses instead of serving stale pulses.
+
+Unlike the compiler's internal memo dict, this cache is shared across
+worker threads, bounded (LRU eviction), and instrumented.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Mapping
+
+from repro.compiler.jit import CompiledProgram, JITCompiler
+
+
+class CompileCache:
+    """Bounded, thread-safe, content-addressed compile cache.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; the least-recently-used program is evicted when
+        a new one would exceed it.
+    """
+
+    def __init__(self, *, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, CompiledProgram] = OrderedDict()
+        self._lock = threading.RLock()
+        # Cold compiles are serialized: the MLIR context and pass
+        # pipeline are shared mutable state not audited for concurrent
+        # use, and cold-path latency is dominated by execution anyway.
+        self._compile_lock = threading.Lock()
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    # ---- core API ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> CompiledProgram | None:
+        """The cached program for *key*, marked as a cache hit; None on miss."""
+        with self._lock:
+            program = self._entries.get(key)
+            if program is None:
+                self.stats["misses"] += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats["hits"] += 1
+        return replace(program, cache_hit=True, metadata=dict(program.metadata))
+
+    def store(self, key: str, program: CompiledProgram) -> None:
+        """Insert *program* under *key*, evicting LRU entries as needed."""
+        with self._lock:
+            self._entries[key] = program
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats["evictions"] += 1
+
+    def get_or_compile(
+        self,
+        compiler: JITCompiler,
+        payload: Any,
+        device: Any,
+        *,
+        scalar_args: Mapping[str, float] | None = None,
+    ) -> CompiledProgram:
+        """Serve *payload* from cache, or compile and remember it."""
+        key = compiler.cache_key(payload, device, scalar_args)
+        program = self.lookup(key)
+        if program is not None:
+            return program
+        with self._compile_lock:
+            # Another worker may have compiled the same key while this
+            # one waited on the lock.
+            with self._lock:
+                cached = self._entries.get(key)
+            if cached is not None:
+                with self._lock:
+                    self.stats["hits"] += 1
+                    self.stats["misses"] -= 1
+                return replace(cached, cache_hit=True, metadata=dict(cached.metadata))
+            program = compiler.compile(
+                payload, device, scalar_args=scalar_args, use_cache=False
+            )
+            self.store(key, program)
+            return program
+
+    # ---- introspection -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, 0.0 before any traffic."""
+        with self._lock:
+            total = self.stats["hits"] + self.stats["misses"]
+            return self.stats["hits"] / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every cached program (stats are kept)."""
+        with self._lock:
+            self._entries.clear()

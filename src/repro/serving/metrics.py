@@ -1,0 +1,165 @@
+"""Thread-safe serving telemetry: per-stage latency histograms.
+
+The paper's calibration use case assumes HPC centers operating QC
+services under sustained multi-tenant demand (§2.1); operating such a
+service requires observability. :class:`ServingMetrics` aggregates the
+counters every worker thread emits plus a latency histogram per
+pipeline stage (queue wait, compile, execute, end-to-end), and renders
+a Prometheus-style text exposition for scrapers and humans alike.
+
+Built on the (also thread-safe) :class:`repro.runtime.telemetry.Telemetry`
+counter/timer sink so scheduler-level and service-level telemetry share
+one vocabulary.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+import time
+
+from repro.runtime.telemetry import Telemetry
+
+#: Histogram bucket upper bounds in seconds: log-spaced from 2 us to
+#: ~134 s (powers of four), plus the implicit +Inf overflow bucket.
+BUCKET_BOUNDS_S: tuple[float, ...] = tuple(2e-6 * 4**i for i in range(14))
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (thread-safe)."""
+
+    __slots__ = ("_lock", "_counts", "_overflow", "_sum", "_count", "_max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * len(BUCKET_BOUNDS_S)
+        self._overflow = 0
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample."""
+        with self._lock:
+            self._sum += seconds
+            self._count += 1
+            if seconds > self._max:
+                self._max = seconds
+            for i, bound in enumerate(BUCKET_BOUNDS_S):
+                if seconds <= bound:
+                    self._counts[i] += 1
+                    return
+            self._overflow += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum_s(self) -> float:
+        return self._sum
+
+    @property
+    def max_s(self) -> float:
+        return self._max
+
+    def mean_s(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate *q*-quantile (bucket upper bound), q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            running = 0
+            for i, bound in enumerate(BUCKET_BOUNDS_S):
+                running += self._counts[i]
+                if running >= target:
+                    return bound
+            return self._max
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound_s, cumulative_count)`` rows, +Inf last."""
+        with self._lock:
+            rows: list[tuple[float, int]] = []
+            running = 0
+            for bound, n in zip(BUCKET_BOUNDS_S, self._counts):
+                running += n
+                rows.append((bound, running))
+            rows.append((float("inf"), running + self._overflow))
+            return rows
+
+
+class ServingMetrics:
+    """Counters + per-stage latency histograms for a :class:`PulseService`."""
+
+    def __init__(self) -> None:
+        self.telemetry = Telemetry()
+        self._lock = threading.Lock()
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    # ---- recording -----------------------------------------------------------------
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self.telemetry.incr(name, amount)
+
+    def get(self, name: str) -> float:
+        return self.telemetry.get(name)
+
+    def histogram(self, stage: str) -> LatencyHistogram:
+        """The histogram for *stage*, created on first use."""
+        with self._lock:
+            hist = self._histograms.get(stage)
+            if hist is None:
+                hist = self._histograms[stage] = LatencyHistogram()
+            return hist
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record a latency sample for *stage* (histogram + timer sum)."""
+        self.histogram(stage).observe(seconds)
+        self.telemetry.add_time(stage, seconds)
+
+    @contextmanager
+    def timer(self, stage: str):
+        """Time a block and :meth:`observe` it under *stage*."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(stage, time.perf_counter() - t0)
+
+    # ---- export --------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters/timers plus ``<stage>_p50_s``/``_p99_s``/``_count``."""
+        out = self.telemetry.snapshot()
+        with self._lock:
+            stages = dict(self._histograms)
+        for stage, hist in stages.items():
+            out[f"{stage}_count"] = float(hist.count)
+            out[f"{stage}_p50_s"] = hist.quantile(0.5)
+            out[f"{stage}_p99_s"] = hist.quantile(0.99)
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition of counters and histograms."""
+        lines: list[str] = []
+        snap = self.telemetry.snapshot()
+        for name in sorted(snap):
+            lines.append(f"serving_{name} {snap[name]:.9g}")
+        with self._lock:
+            stages = sorted(self._histograms.items())
+        for stage, hist in stages:
+            metric = "serving_latency_seconds"
+            for bound, cumulative in hist.cumulative_buckets():
+                le = "+Inf" if bound == float("inf") else f"{bound:.9g}"
+                lines.append(
+                    f'{metric}_bucket{{stage="{stage}",le="{le}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_sum{{stage="{stage}"}} {hist.sum_s:.9g}')
+            lines.append(f'{metric}_count{{stage="{stage}"}} {hist.count}')
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,496 @@
+"""The asynchronous multi-device execution service.
+
+:class:`PulseService` is the serving front door the paper's
+architecture implies but the synchronous stack lacked: many frontends
+submit :class:`~repro.client.client.JobRequest`\\ s, get future-like
+:class:`JobTicket`\\ s back immediately, and the service drains the
+per-device queues concurrently with compile caching, identical-program
+coalescing, and capability failover.
+
+Pipeline per request::
+
+    submit ──▶ admission control (bounded in-flight total)
+           ──▶ routing (capability candidates, load spill)
+           ──▶ device queue (priority + FIFO)
+    worker ──▶ coalesce mates ──▶ compile cache ──▶ execute (serialized
+               per device) ──▶ shot split ──▶ resolve tickets
+    failure ──▶ failover to the next equivalent device, else fail ticket
+
+Failure semantics: *flow control* problems (service or device queue
+full and not asked to block) raise
+:class:`~repro.errors.BackpressureError` at ``submit``; *request*
+problems (unknown device/adapter, execution failure after failover is
+exhausted) are carried by the ticket and re-raised from
+``ticket.result()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from enum import Enum
+from typing import Callable, Iterable
+
+from repro.client.client import ClientResult, JobRequest, MQSSClient
+from repro.errors import BackpressureError, ServiceError
+from repro.serving.batching import RequestBatcher
+from repro.serving.cache import CompileCache
+from repro.serving.metrics import ServingMetrics
+from repro.serving.routing import CapabilityRouter
+from repro.serving.workers import DevicePool, ServiceEntry
+
+
+class TicketState(Enum):
+    PENDING = "pending"
+    DISPATCHED = "dispatched"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class JobTicket:
+    """Future-like handle for one request accepted by the service."""
+
+    def __init__(self, request: JobRequest) -> None:
+        self.request = request
+        self.state = TicketState.PENDING
+        self.device: str | None = None  # device that actually executed
+        self.attempts = 0  # failover hops taken
+        self.group_size = 0  # requests sharing the execution (1 = alone)
+        self.enqueued_at = time.perf_counter()
+        self.dispatched_at: float | None = None
+        self.completed_at: float | None = None
+        self._event = threading.Event()
+        self._result: ClientResult | None = None
+        self._error: Exception | None = None
+
+    # ---- caller API ----------------------------------------------------------------
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> ClientResult:
+        """The execution result; blocks, re-raises the failure if any."""
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"ticket for device {self.request.device!r} not done "
+                f"within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> Exception | None:
+        """The failure, or None on success; blocks like :meth:`result`."""
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"ticket for device {self.request.device!r} not done "
+                f"within {timeout}s"
+            )
+        return self._error
+
+    @property
+    def wait_s(self) -> float | None:
+        """Queue wait: admission to dispatch-start (None while queued)."""
+        if self.dispatched_at is None:
+            return None
+        return self.dispatched_at - self.enqueued_at
+
+    # ---- service internals ---------------------------------------------------------
+
+    def _mark_dispatched(self) -> bool:
+        """First dispatch stamps the ticket; re-dispatches return False."""
+        if self.dispatched_at is not None:
+            return False
+        self.dispatched_at = time.perf_counter()
+        self.state = TicketState.DISPATCHED
+        return True
+
+    def _resolve(self, result: ClientResult) -> None:
+        self._result = result
+        self.device = result.device
+        self.completed_at = time.perf_counter()
+        self.state = TicketState.DONE
+        self._event.set()
+
+    def _fail(self, error: Exception) -> None:
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self.state = TicketState.FAILED
+        self._event.set()
+
+
+class PulseService:
+    """Concurrent job service over an :class:`MQSSClient`.
+
+    Parameters
+    ----------
+    client:
+        The client whose compile/execute halves do the actual work.
+        Give it ``persistent_sessions=True`` to avoid per-job session
+        churn under load.
+    router / compile_cache / batcher / metrics:
+        Policy objects; sensible defaults are constructed when omitted
+        (the client's own ``compile_cache`` is adopted if it has one).
+    max_pending:
+        Bound on requests in flight service-wide — admission control.
+    per_device_pending:
+        Bound per device queue (None = unbounded). A full device queue
+        spills to an equivalent device when failover is allowed.
+    workers_per_device:
+        Threads per device pool. Device execution is serialized by the
+        pool's exec lock regardless; extra workers overlap compilation
+        with execution.
+    start:
+        Start worker threads immediately. With ``start=False``,
+        requests queue up until :meth:`start` — useful to maximize
+        coalescing for a known batch.
+    """
+
+    def __init__(
+        self,
+        client: MQSSClient,
+        *,
+        router: CapabilityRouter | None = None,
+        compile_cache: CompileCache | None = None,
+        batcher: RequestBatcher | None = None,
+        metrics: ServingMetrics | None = None,
+        max_pending: int = 1024,
+        per_device_pending: int | None = 64,
+        workers_per_device: int = 1,
+        start: bool = True,
+    ) -> None:
+        if max_pending < 1:
+            raise ServiceError(f"max_pending must be >= 1, got {max_pending}")
+        self.client = client
+        self.router = router if router is not None else CapabilityRouter(client.driver)
+        if compile_cache is None:
+            compile_cache = client.compile_cache or CompileCache()
+        self.cache = compile_cache
+        self.batcher = batcher if batcher is not None else RequestBatcher()
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.max_pending = max_pending
+        self.per_device_pending = per_device_pending
+        self.workers_per_device = workers_per_device
+        #: Optional hook called in the worker thread right before each
+        #: entry executes (serialized per device) — the calibration-
+        #: aware scheduler interleaves drift tracking through it.
+        self.before_execute: Callable[[ServiceEntry], None] | None = None
+        self._pools: dict[str, DevicePool] = {}
+        self._pools_lock = threading.RLock()
+        self._admit = threading.Condition()
+        self._in_flight = 0
+        self._arrivals = itertools.count()
+        self._started = False
+        if start:
+            self.start()
+
+    # ---- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "PulseService":
+        """Start (or resume) draining the device queues."""
+        with self._pools_lock:
+            self._started = True
+            for pool in self._pools.values():
+                pool.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Drain queued work and stop the worker threads."""
+        with self._pools_lock:
+            self._started = False
+            pools = list(self._pools.values())
+        for pool in pools:
+            pool.stop(wait=wait)
+
+    def __enter__(self) -> "PulseService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet resolved."""
+        with self._admit:
+            return self._in_flight
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request has resolved."""
+        with self._admit:
+            return self._admit.wait_for(lambda: self._in_flight == 0, timeout)
+
+    # ---- submission ----------------------------------------------------------------
+
+    def submit(
+        self,
+        request: JobRequest,
+        *,
+        block: bool = False,
+        timeout: float | None = None,
+    ) -> JobTicket:
+        """Admit *request*; returns its ticket immediately.
+
+        Raises :class:`~repro.errors.BackpressureError` when the
+        service (or the request's device queue, with failover off) is
+        full — unless *block*, which waits up to *timeout* for space.
+        Request-level errors (unknown device/adapter…) do not raise:
+        they come back on the ticket.
+        """
+        ticket = JobTicket(request)
+        with self._admit:
+            if self._in_flight >= self.max_pending:
+                if not block:
+                    self.metrics.incr("rejected_backpressure")
+                    raise BackpressureError(
+                        f"service full: {self._in_flight} requests in flight "
+                        f"(max_pending={self.max_pending})"
+                    )
+                if not self._started:
+                    # Nothing will free admission slots until start();
+                    # blocking here (esp. with timeout=None) deadlocks.
+                    self.metrics.incr("rejected_backpressure")
+                    raise BackpressureError(
+                        f"service full (max_pending={self.max_pending}) and "
+                        "not started: blocking admission cannot make progress"
+                    )
+                ok = self._admit.wait_for(
+                    lambda: self._in_flight < self.max_pending, timeout
+                )
+                if not ok:
+                    self.metrics.incr("rejected_backpressure")
+                    raise BackpressureError(
+                        f"service still full after {timeout}s "
+                        f"(max_pending={self.max_pending})"
+                    )
+            self._in_flight += 1
+        try:
+            entry = self._build_entry(request, ticket)
+        except Exception as exc:
+            self._finish_entry()
+            self.metrics.incr("rejected_invalid")
+            ticket._fail(exc)
+            return ticket
+        try:
+            self._place(entry, block=block, timeout=timeout)
+        except BaseException:
+            self._finish_entry()
+            raise
+        self.metrics.incr("submitted")
+        return ticket
+
+    def submit_many(
+        self, requests: Iterable[JobRequest], *, block: bool = True
+    ) -> list[JobTicket]:
+        """Submit a batch in order; blocks for admission by default."""
+        return [self.submit(r, block=block) for r in requests]
+
+    def run(
+        self, requests: Iterable[JobRequest], *, timeout: float | None = None
+    ) -> list[JobTicket]:
+        """Submit a batch and wait for all of it (tickets in order)."""
+        tickets = self.submit_many(requests)
+        for t in tickets:
+            t.wait(timeout)
+        return tickets
+
+    # ---- routing / placement -------------------------------------------------------
+
+    def _pool(self, device_name: str) -> DevicePool:
+        with self._pools_lock:
+            pool = self._pools.get(device_name)
+            if pool is None:
+                pool = DevicePool(
+                    self,
+                    device_name,
+                    num_workers=self.workers_per_device,
+                    max_pending=self.per_device_pending,
+                )
+                self._pools[device_name] = pool
+                if self._started:
+                    pool.start()
+            return pool
+
+    def _build_entry(self, request: JobRequest, ticket: JobTicket) -> ServiceEntry:
+        candidates = self.router.candidates(request)
+        entry = ServiceEntry(
+            request,
+            ticket,
+            arrival=next(self._arrivals),
+            enqueued_at=ticket.enqueued_at,
+            candidates=candidates,
+        )
+        self._prepare_for_device(entry)
+        return entry
+
+    def _prepare_for_device(self, entry: ServiceEntry) -> None:
+        """(Re)generate the adapter payload for the entry's current device."""
+        _, target, _ = self.client.resolve_target(entry.device)
+        adapter = self.client.select_adapter(entry.request)
+        entry.payload = adapter.to_payload(entry.request.program, target)
+        entry.fingerprint = self.client.compiler.payload_fingerprint(
+            entry.payload, entry.request.scalar_args or None
+        )
+        entry.coalesce_key = self.batcher.coalesce_key(
+            entry.device, entry.fingerprint, entry.request.seed
+        )
+
+    def _place(
+        self,
+        entry: ServiceEntry,
+        *,
+        block: bool = False,
+        timeout: float | None = None,
+    ) -> None:
+        if self._pool(entry.device).offer(entry):
+            return
+        # Primary queue saturated: spill to an equivalent device.
+        for i in range(entry.attempt + 1, len(entry.candidates)):
+            pool = self._pool(entry.candidates[i])
+            if pool.pending >= (pool.max_pending or float("inf")):
+                continue
+            entry.attempt = i
+            entry.ticket.attempts = i
+            try:
+                self._prepare_for_device(entry)
+            except Exception:
+                continue
+            if pool.offer(entry):
+                self.metrics.incr("spills")
+                return
+        entry.attempt = 0
+        self._prepare_for_device(entry)
+        if block and self._pool(entry.device).offer(
+            entry, block=True, timeout=timeout
+        ):
+            return
+        self.metrics.incr("rejected_backpressure")
+        raise BackpressureError(
+            f"device queue for {entry.device!r} is full "
+            f"(per_device_pending={self.per_device_pending})"
+        )
+
+    # ---- execution (worker threads) ------------------------------------------------
+
+    def _execute_group(self, pool: DevicePool, group: list[ServiceEntry]) -> None:
+        for entry in group:
+            entry.ticket.group_size = len(group)
+            if entry.ticket._mark_dispatched():
+                # Only the first dispatch is a queue wait; failover
+                # re-dispatches would inflate the histogram.
+                self.metrics.observe(
+                    "queue_wait", entry.ticket.dispatched_at - entry.enqueued_at
+                )
+        head = group[0]
+        try:
+            hook = self.before_execute
+            if hook is not None:
+                for entry in group:
+                    hook(entry)
+            timings: dict[str, float] = {}
+            _, target, _ = self.client.resolve_target(pool.device_name)
+            t0 = time.perf_counter()
+            program = self.cache.get_or_compile(
+                self.client.compiler,
+                head.payload,
+                target,
+                scalar_args=head.request.scalar_args or None,
+            )
+            timings["compile"] = time.perf_counter() - t0
+            self.metrics.observe("compile", timings["compile"])
+            self.metrics.incr(
+                "cache_hits" if program.cache_hit else "cache_misses"
+            )
+            total_shots = sum(e.request.shots for e in group)
+            with pool.exec_lock:
+                t0 = time.perf_counter()
+                combined = self.client.execute_compiled(
+                    head.request,
+                    program,
+                    device_name=pool.device_name,
+                    shots=total_shots,
+                    timings=timings,
+                )
+            self.metrics.observe("execute", timings["execute"])
+            self._resolve_group(group, combined, timings)
+        except Exception as exc:
+            self._handle_failure(group, exc)
+
+    def _resolve_group(
+        self,
+        group: list[ServiceEntry],
+        combined: ClientResult,
+        timings: dict[str, float],
+    ) -> None:
+        if len(group) == 1:
+            results = [combined]
+        else:
+            self.metrics.incr("coalesced_executions")
+            self.metrics.incr("coalesced_requests", len(group))
+            splits = self.batcher.split_counts(
+                combined.counts, [e.request.shots for e in group]
+            )
+            results = [
+                ClientResult(
+                    device=combined.device,
+                    counts=counts,
+                    probabilities=combined.probabilities,
+                    shots=entry.request.shots,
+                    duration_samples=combined.duration_samples,
+                    timings_s=dict(timings),
+                    job_id=combined.job_id,
+                    remote=combined.remote,
+                    qir_size_bytes=combined.qir_size_bytes,
+                )
+                for entry, counts in zip(group, splits)
+            ]
+        for entry, result in zip(group, results):
+            entry.ticket._resolve(result)
+            self.metrics.incr("completed")
+            self.metrics.observe(
+                "total", entry.ticket.completed_at - entry.enqueued_at
+            )
+            self._finish_entry()
+
+    def _handle_failure(self, group: list[ServiceEntry], exc: Exception) -> None:
+        self.metrics.incr("execution_failures")
+        for entry in group:
+            nxt = entry.attempt + 1
+            # No failover while the service is stopping: a re-enqueued
+            # entry could land on a pool whose workers already exited
+            # and strand its ticket forever.
+            if (
+                self.router.allow_failover
+                and nxt < len(entry.candidates)
+                and self._started
+            ):
+                entry.attempt = nxt
+                entry.ticket.attempts = nxt
+                try:
+                    self._prepare_for_device(entry)
+                except Exception as prep_exc:
+                    entry.ticket._fail(prep_exc)
+                    self.metrics.incr("failed")
+                    self._finish_entry()
+                    continue
+                # Entry was already admitted; bypass the queue bound so
+                # failover cannot deadlock on a full fallback queue.
+                if self._pool(entry.device).offer(entry, force=True):
+                    self.metrics.incr("failovers")
+                else:  # fallback pool already stopped
+                    entry.ticket._fail(exc)
+                    self.metrics.incr("failed")
+                    self._finish_entry()
+            else:
+                entry.ticket._fail(exc)
+                self.metrics.incr("failed")
+                self._finish_entry()
+
+    def _finish_entry(self) -> None:
+        with self._admit:
+            self._in_flight -= 1
+            self._admit.notify_all()

@@ -1,0 +1,193 @@
+"""Per-device worker pools: queue entries + execution threads.
+
+Each registered device gets its own :class:`DevicePool` — a priority
+queue (FIFO within equal priority) drained by one or more worker
+threads. Independent devices therefore execute concurrently, while a
+single device's hardware access stays serialized through the pool's
+``exec_lock`` (the simulated QPUs, like real ones, run one program at
+a time). With more than one worker per device, compilation of the next
+job overlaps with execution of the current one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.client.client import JobRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.service import JobTicket, PulseService
+
+
+class ServiceEntry:
+    """One admitted request, queued on (or moving between) device pools."""
+
+    __slots__ = (
+        "request",
+        "ticket",
+        "payload",
+        "fingerprint",
+        "coalesce_key",
+        "arrival",
+        "enqueued_at",
+        "candidates",
+        "attempt",
+    )
+
+    def __init__(
+        self,
+        request: JobRequest,
+        ticket: "JobTicket",
+        *,
+        arrival: int,
+        enqueued_at: float,
+        candidates: list[str],
+    ) -> None:
+        self.request = request
+        self.ticket = ticket
+        self.payload: Any = None
+        self.fingerprint: str = ""
+        self.coalesce_key: str = ""
+        self.arrival = arrival
+        self.enqueued_at = enqueued_at
+        self.candidates = candidates
+        self.attempt = 0
+
+    @property
+    def device(self) -> str:
+        """The device this entry is currently routed to."""
+        return self.candidates[self.attempt]
+
+    def sort_key(self) -> tuple[int, int]:
+        return (-self.request.priority, self.arrival)
+
+    def __lt__(self, other: "ServiceEntry") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+class DevicePool:
+    """Queue + worker threads for one device."""
+
+    def __init__(
+        self,
+        service: "PulseService",
+        device_name: str,
+        *,
+        num_workers: int = 1,
+        max_pending: int | None = None,
+    ) -> None:
+        self.service = service
+        self.device_name = device_name
+        self.num_workers = max(1, num_workers)
+        self.max_pending = max_pending
+        #: Serializes hardware access; compile/split work stays outside.
+        self.exec_lock = threading.Lock()
+        self._entries: list[ServiceEntry] = []
+        self._cond = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        self._started = False
+
+    # ---- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        with self._cond:
+            if self._started:
+                return
+            self._started = True
+            self._stopping = False
+        for i in range(self.num_workers):
+            t = threading.Thread(
+                target=self._run,
+                name=f"serve-{self.device_name}-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, wait: bool = True) -> None:
+        """Ask workers to exit after draining the queue."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if wait:
+            for t in self._threads:
+                t.join()
+        self._threads.clear()
+        with self._cond:
+            self._started = False
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    # ---- queue ---------------------------------------------------------------------
+
+    def offer(
+        self,
+        entry: ServiceEntry,
+        *,
+        force: bool = False,
+        block: bool = False,
+        timeout: float | None = None,
+    ) -> bool:
+        """Queue *entry*; False when full (unless *force* or *block*).
+
+        Also False once the pool has stopped and no worker is left to
+        drain the queue — accepting then would strand the entry.
+        """
+        with self._cond:
+            if self._stopping and not any(t.is_alive() for t in self._threads):
+                return False
+            if not force and self.max_pending is not None:
+                if block:
+                    ok = self._cond.wait_for(
+                        lambda: len(self._entries) < self.max_pending
+                        or self._stopping,
+                        timeout,
+                    )
+                    if not ok or self._stopping:
+                        return False
+                elif len(self._entries) >= self.max_pending:
+                    return False
+            heapq.heappush(self._entries, entry)
+            self._cond.notify_all()
+            return True
+
+    def _pop_group_locked(self) -> list[ServiceEntry]:
+        """Head entry + any coalescable mates currently queued."""
+        head = heapq.heappop(self._entries)
+        group = [head]
+        batcher = self.service.batcher
+        if batcher.enabled and self._entries:
+            mates: list[ServiceEntry] = []
+            rest: list[ServiceEntry] = []
+            for entry in self._entries:
+                if (
+                    entry.coalesce_key == head.coalesce_key
+                    and len(group) + len(mates) < batcher.max_batch
+                ):
+                    mates.append(entry)
+                else:
+                    rest.append(entry)
+            if mates:
+                self._entries[:] = rest
+                heapq.heapify(self._entries)
+                group.extend(sorted(mates, key=ServiceEntry.sort_key))
+        return group
+
+    # ---- worker loop ---------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._entries and not self._stopping:
+                    self._cond.wait()
+                if not self._entries and self._stopping:
+                    return
+                group = self._pop_group_locked()
+                self._cond.notify_all()  # queue space freed; unblock offers
+            self.service._execute_group(self, group)
