@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.client.adapters import Adapter, default_adapters
+from repro.core.distributions import distribution_expectation_z
 from repro.compiler.jit import CompiledProgram, JITCompiler
 from repro.errors import ExecutionError, QDMIError
 from repro.qdmi.driver import QDMIDriver
@@ -64,11 +65,12 @@ class ClientResult:
     qir_size_bytes: int = 0
 
     def expectation_z(self, slot: int = 0) -> float:
-        """``<Z>`` of the bit at *slot* from exact probabilities."""
-        total = 0.0
-        for key, p in self.probabilities.items():
-            total += p * (1.0 if key[slot] == "0" else -1.0)
-        return total
+        """``<Z>`` of the bit at *slot* from exact probabilities.
+
+        Raises :class:`~repro.errors.ValidationError` on an empty
+        distribution or an out-of-range slot.
+        """
+        return distribution_expectation_z(self.probabilities, slot)
 
 
 @dataclass

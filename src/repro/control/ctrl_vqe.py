@@ -158,6 +158,18 @@ class CtrlVQE:
         self._last_leakage = leak
         return e + self.leakage_penalty * leak
 
+    def energies(self, param_sets: np.ndarray) -> np.ndarray:
+        """Penalized energies for a batch of parameter vectors.
+
+        The sweep-style workload (energy-landscape scans, parallel
+        finite differences, served parameter sweeps): every point runs
+        through the executor's batched propagator engine and all points
+        share its :class:`~repro.sim.evolve.PropagatorCache`, so
+        parameter sets revisiting the same segment amplitudes skip the
+        eigendecomposition entirely.
+        """
+        return np.array([self.energy(p) for p in np.atleast_2d(param_sets)])
+
     def run(
         self, *, maxiter: int = 400, seed: int = 0, x0: np.ndarray | None = None
     ) -> CtrlVQEResult:

@@ -11,7 +11,12 @@ gradient is exact: the directional derivative of each ``exp`` is
 evaluated with the Daleckii-Krein formula on the Hermitian
 eigenbasis — no finite differences, no first-order approximation —
 then assembled with the standard forward/backward propagator scheme.
-L-BFGS-B from scipy does the climbing.
+All slices are eigendecomposed in one batched call
+(:func:`~repro.sim.evolve.batched_expm_and_frechet`) and the gradient
+is assembled with broadcast einsums, so the cost of one
+cost+gradient evaluation is a handful of vectorized LAPACK/BLAS calls
+rather than ``n_steps`` Python round trips. L-BFGS-B from scipy does
+the climbing.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro.errors import OptimizationError
+from repro.sim.evolve import batched_expm_and_frechet, build_hamiltonians
 
 _TWO_PI = 2.0 * np.pi
 
@@ -32,32 +38,35 @@ def _expm_and_frechet_basis(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Eigendecompose *h* and build the Daleckii-Krein kernel.
 
-    Returns ``(U, V, gamma)`` where ``U = exp(-2*pi*i*h*dt)``, *V* is
-    the eigenvector matrix and ``gamma[a, b]`` is the divided-difference
+    Single-matrix convenience over
+    :func:`~repro.sim.evolve.batched_expm_and_frechet`. Returns
+    ``(U, V, gamma)`` where ``U = exp(-2*pi*i*h*dt)``, *V* is the
+    eigenvector matrix and ``gamma[a, b]`` is the divided-difference
     kernel such that the derivative of U in direction E equals
     ``V (gamma ∘ (V† E V)) V†``.
     """
-    evals, vecs = np.linalg.eigh(h)
-    f = np.exp(-1j * _TWO_PI * evals * dt)
-    u = (vecs * f) @ vecs.conj().T
-    lam = evals[:, None] - evals[None, :]
-    df = f[:, None] - f[None, :]
-    with np.errstate(divide="ignore", invalid="ignore"):
-        gamma = np.where(np.abs(lam) > 1e-12, df / lam, 0.0)
-    diag = -1j * _TWO_PI * dt * f
-    # Fill the (near-)degenerate entries with the derivative f'(lambda).
-    near = np.abs(lam) <= 1e-12
-    gamma = np.where(near, 0.5 * (diag[:, None] + diag[None, :]), gamma)
-    return u, vecs, gamma
+    us, vecs, gamma = batched_expm_and_frechet(
+        np.asarray(h, dtype=np.complex128)[None], dt
+    )
+    return us[0], vecs[0], gamma[0]
 
 
 @dataclass
 class GrapeResult:
-    """Outcome of a GRAPE optimization."""
+    """Outcome of a GRAPE optimization.
+
+    ``infidelity_history`` holds one value per accepted L-BFGS-B
+    iterate (the starting point first), so it is monotone under a
+    successful line search and ``len(infidelity_history) ==
+    iterations + 1``. Raw cost evaluations — including line-search
+    probes, hence non-monotonic — are kept under
+    ``cost_evaluations``.
+    """
 
     controls: np.ndarray  # (n_steps, n_controls), Hz
     fidelity: float
     infidelity_history: list[float] = field(default_factory=list)
+    cost_evaluations: list[float] = field(default_factory=list)
     iterations: int = 0
     converged: bool = False
     final_unitary: np.ndarray | None = None
@@ -114,17 +123,12 @@ class GrapeOptimizer:
 
     # ---- cost -------------------------------------------------------------------------
 
-    def _propagators(self, controls: np.ndarray):
-        us, vs, gammas = [], [], []
-        for k in range(self.n_steps):
-            h = self.drift.copy()
-            for j, c in enumerate(self.control_ops):
-                h = h + controls[k, j] * c
-            u, v, g = _expm_and_frechet_basis(h, self.dt)
-            us.append(u)
-            vs.append(v)
-            gammas.append(g)
-        return us, vs, gammas
+    def _propagators(
+        self, controls: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked ``(U, V, gamma)`` for every slice, one batched call."""
+        hs = build_hamiltonians(self.drift, self.control_ops, controls)
+        return batched_expm_and_frechet(hs, self.dt)
 
     def infidelity_and_gradient(
         self, controls: np.ndarray
@@ -136,12 +140,13 @@ class GrapeOptimizer:
 
         # Forward partials X_k = U_{k-1} ... U_0 (X_0 = I).
         dim = self.drift.shape[0]
-        fwd = [np.eye(dim, dtype=np.complex128)]
-        for u in us:
-            fwd.append(u @ fwd[-1])
-        total = fwd[-1]
+        fwd = np.empty((n + 1, dim, dim), dtype=np.complex128)
+        fwd[0] = np.eye(dim)
+        for k in range(n):
+            fwd[k + 1] = us[k] @ fwd[k]
+        total = fwd[n]
         # Backward partials P_k = U_{n-1} ... U_{k+1}.
-        bwd = [np.eye(dim, dtype=np.complex128)] * n
+        bwd = np.empty((n, dim, dim), dtype=np.complex128)
         acc = np.eye(dim, dtype=np.complex128)
         for k in range(n - 1, -1, -1):
             bwd[k] = acc
@@ -158,15 +163,20 @@ class GrapeOptimizer:
         overlap = np.trace(v_dag @ total)
         fid = float(np.abs(overlap) ** 2 / d_eff**2)
 
-        grad = np.zeros((n, m), dtype=np.float64)
-        for k in range(n):
-            # A_k = V† P_k, B_k = X_k V_h (precompute the sandwich).
-            left = v_dag @ bwd[k]
-            for j, c in enumerate(self.control_ops):
-                e_tilde = vs[k].conj().T @ c @ vs[k]
-                du = vs[k] @ (gammas[k] * e_tilde) @ vs[k].conj().T
-                d_overlap = np.trace(left @ du @ fwd[k])
-                grad[k, j] = 2.0 * np.real(np.conj(overlap) * d_overlap) / d_eff**2
+        # d<V,U>/du_kj = tr(V† P_k dU_k X_k) = tr(dU_k M_k) with the
+        # sandwich M_k = X_k V† P_k, and dU_k = V_k (gamma_k ∘ E~) V_k†
+        # so the trace collapses to an elementwise sum on the eigenbasis:
+        # tr(dU_k M_k) = sum_ij gamma_k[i,j] E~[i,j] W_k[j,i], W = V† M V.
+        vdag_stack = vs.conj().transpose(0, 2, 1)
+        sandwich = fwd[:n] @ (v_dag[None, :, :] @ bwd)
+        w = vdag_stack @ sandwich @ vs
+        kernel = gammas * w.transpose(0, 2, 1)
+
+        grad = np.empty((n, m), dtype=np.float64)
+        for j, c in enumerate(self.control_ops):
+            e_tilde = vdag_stack @ c @ vs
+            d_overlap = np.einsum("kij,kij->k", kernel, e_tilde)
+            grad[:, j] = 2.0 * np.real(np.conj(overlap) * d_overlap) / d_eff**2
         return 1.0 - fid, -grad.ravel()
 
     def fidelity(self, controls: np.ndarray) -> float:
@@ -201,12 +211,24 @@ class GrapeOptimizer:
         scale = float(self.max_control) if self.max_control else 1e7
         x0 = np.asarray(initial, dtype=np.float64).reshape(n * m) / scale
 
-        history: list[float] = []
+        cost_evaluations: list[float] = []
+        iterate_history: list[float] = []
+        # Values seen by the line search, keyed by the raw parameter
+        # bytes, so the per-iteration callback can recover the cost at
+        # each accepted iterate without re-evaluating.
+        seen: dict[bytes, float] = {}
 
         def cost(x: np.ndarray):
             inf, grad = self.infidelity_and_gradient(x * scale)
-            history.append(inf)
+            cost_evaluations.append(inf)
+            seen[x.tobytes()] = inf
             return inf, grad * scale
+
+        def record_iterate(xk: np.ndarray) -> None:
+            inf = seen.get(np.asarray(xk).tobytes())
+            if inf is None:
+                inf = self.infidelity_and_gradient(np.asarray(xk) * scale)[0]
+            iterate_history.append(inf)
 
         bounds = None
         if self.max_control is not None:
@@ -218,8 +240,14 @@ class GrapeOptimizer:
             jac=True,
             method="L-BFGS-B",
             bounds=bounds,
+            callback=record_iterate,
             options={"maxiter": maxiter, "ftol": 1e-14, "gtol": 1e-10},
         )
+        # History contract: starting point first, then one value per
+        # accepted iterate — len == iterations + 1, monotone under a
+        # successful line search. Raw evaluations stay separate.
+        if cost_evaluations:
+            iterate_history.insert(0, cost_evaluations[0])
         controls = res.x.reshape(n, m) * scale
         final_inf, _ = self.infidelity_and_gradient(controls)
         us, _, _ = self._propagators(controls)
@@ -229,7 +257,8 @@ class GrapeOptimizer:
         return GrapeResult(
             controls=controls,
             fidelity=1.0 - final_inf,
-            infidelity_history=history,
+            infidelity_history=iterate_history,
+            cost_evaluations=cost_evaluations,
             iterations=int(res.nit),
             converged=final_inf <= target_infidelity,
             final_unitary=total,

@@ -1,0 +1,45 @@
+"""Bitstring-distribution statistics shared by every result type.
+
+Every layer of the stack hands measurement outcomes back as a mapping
+of bitstrings to probabilities (simulator ``ExecutionResult``, client
+``ClientResult``, QPI ``QuantumResult``, mitigation
+``MitigatedResult``). The observable arithmetic on those mappings
+lives here so slot validation is enforced once, at every boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ValidationError
+
+
+def distribution_expectation_z(
+    probabilities: Mapping[str, float],
+    slot: int,
+    *,
+    n_slots: int | None = None,
+    empty_message: str | None = None,
+) -> float:
+    """``<Z>`` of the bit at *slot* of a bitstring distribution.
+
+    Validates *slot* against the bitstring width (or *n_slots* when
+    the caller knows the measured layout) and rejects an empty
+    distribution instead of silently returning 0.0.
+    """
+    if not probabilities:
+        raise ValidationError(
+            empty_message
+            or "expectation_z is undefined: the result holds an "
+            "empty distribution (no measurements captured)"
+        )
+    if n_slots is None:
+        n_slots = len(next(iter(probabilities)))
+    if not 0 <= slot < n_slots:
+        raise ValidationError(
+            f"slot {slot} out of range: result has {n_slots} measured slot(s)"
+        )
+    total = 0.0
+    for key, p in probabilities.items():
+        total += p * (1.0 if key[slot] == "0" else -1.0)
+    return total

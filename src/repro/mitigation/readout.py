@@ -17,6 +17,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.distributions import distribution_expectation_z
 from repro.errors import ValidationError
 from repro.sim.measurement import ReadoutModel
 
@@ -30,11 +31,12 @@ class MitigatedResult:
     condition_number: float
 
     def expectation_z(self, slot: int = 0) -> float:
-        """``<Z>`` of the bit at *slot* from the mitigated distribution."""
-        return sum(
-            p * (1.0 if key[slot] == "0" else -1.0)
-            for key, p in self.distribution.items()
-        )
+        """``<Z>`` of the bit at *slot* from the mitigated distribution.
+
+        Raises :class:`~repro.errors.ValidationError` on an empty
+        distribution or an out-of-range slot.
+        """
+        return distribution_expectation_z(self.distribution, slot)
 
 
 def _joint_confusion(models: Sequence[ReadoutModel]) -> np.ndarray:

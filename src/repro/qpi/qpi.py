@@ -25,6 +25,7 @@ import threading
 
 import numpy as np
 
+from repro.core.distributions import distribution_expectation_z
 from repro.errors import ValidationError
 
 # Opcodes (tuple layouts in comments).
@@ -63,11 +64,12 @@ class QuantumResult:
         self.shots = shots
 
     def expectation_z(self, slot: int = 0) -> float:
-        """``<Z>`` of the bit at *slot* from exact probabilities."""
-        total = 0.0
-        for key, p in self.probabilities.items():
-            total += p * (1.0 if key[slot] == "0" else -1.0)
-        return total
+        """``<Z>`` of the bit at *slot* from exact probabilities.
+
+        Raises :class:`~repro.errors.ValidationError` on an empty
+        distribution or an out-of-range slot.
+        """
+        return distribution_expectation_z(self.probabilities, slot)
 
 
 _tls = threading.local()

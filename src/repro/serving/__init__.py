@@ -22,7 +22,11 @@ synchronous client stack into that service:
   sampled shots back per request;
 * :mod:`repro.serving.metrics` — :class:`ServingMetrics`: thread-safe
   counters + per-stage latency histograms with a Prometheus-style
-  text exposition.
+  text exposition;
+* :mod:`repro.serving.sweeps` — :class:`SweepRequest` /
+  :class:`SweepTicket`: one request fanning out into a batch of
+  parameterized schedules, evaluated through the simulator's batched
+  propagator engine with a shared propagator cache.
 """
 
 from repro.serving.batching import RequestBatcher
@@ -30,12 +34,15 @@ from repro.serving.cache import CompileCache
 from repro.serving.metrics import LatencyHistogram, ServingMetrics
 from repro.serving.routing import CapabilityRouter
 from repro.serving.service import JobTicket, PulseService, TicketState
+from repro.serving.sweeps import SweepRequest, SweepTicket
 from repro.serving.workers import DevicePool, ServiceEntry
 
 __all__ = [
     "PulseService",
     "JobTicket",
     "TicketState",
+    "SweepRequest",
+    "SweepTicket",
     "DevicePool",
     "ServiceEntry",
     "CompileCache",

@@ -30,7 +30,7 @@ import itertools
 import threading
 import time
 from enum import Enum
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.client.client import ClientResult, JobRequest, MQSSClient
 from repro.errors import BackpressureError, ServiceError
@@ -39,6 +39,9 @@ from repro.serving.cache import CompileCache
 from repro.serving.metrics import ServingMetrics
 from repro.serving.routing import CapabilityRouter
 from repro.serving.workers import DevicePool, ServiceEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.sweeps import SweepRequest
 
 
 class TicketState(Enum):
@@ -297,6 +300,36 @@ class PulseService:
         for t in tickets:
             t.wait(timeout)
         return tickets
+
+    def submit_sweep(self, sweep: "SweepRequest", *, block: bool = True):
+        """Admit a parameter sweep: one request, a batch of schedules.
+
+        Expands *sweep* into one :class:`JobRequest` per scan point and
+        returns a :class:`~repro.serving.sweeps.SweepTicket` over the
+        per-point tickets. Every point executes through the device's
+        batched propagator engine and shares its propagator cache, so
+        scans re-visiting amplitudes skip the decompositions (see
+        :mod:`repro.serving.sweeps`).
+
+        An admission failure partway through (backpressure with
+        ``block=False``) never orphans the points already admitted:
+        the failed point's ticket carries the error and the returned
+        :class:`SweepTicket` stays complete and scan-ordered.
+        """
+        from repro.serving.sweeps import SweepTicket
+
+        requests = sweep.expand()
+        self.metrics.incr("sweeps")
+        self.metrics.incr("sweep_points", len(requests))
+        tickets = []
+        for request in requests:
+            try:
+                tickets.append(self.submit(request, block=block))
+            except Exception as exc:
+                ticket = JobTicket(request)
+                ticket._fail(exc)
+                tickets.append(ticket)
+        return SweepTicket(sweep, tickets)
 
     # ---- routing / placement -------------------------------------------------------
 

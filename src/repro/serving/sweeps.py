@@ -1,0 +1,142 @@
+"""Served parameter sweeps: one request, a batch of schedules.
+
+Parameter scans — calibration sweeps, robustness plateaus, ctrl-VQE
+energy landscapes — are the workload shape the batched propagator
+engine (:mod:`repro.sim.evolve`) was built for: many structurally
+identical schedules differing only in a few amplitudes. A
+:class:`SweepRequest` carries a *builder* (parameter set -> program)
+plus the list of parameter sets; :meth:`PulseService.submit_sweep
+<repro.serving.service.PulseService.submit_sweep>` expands it into one
+:class:`~repro.client.client.JobRequest` per point and returns a single
+:class:`SweepTicket` aggregating the per-point tickets.
+
+Why this is fast end to end:
+
+* every point on one device runs through the device executor's batched
+  evolution (one ``np.linalg.eigh`` per schedule instead of one per
+  slice), and
+* the executor's :class:`~repro.sim.evolve.PropagatorCache` is shared
+  across the whole sweep, so points re-visiting the same segment
+  amplitudes (flat-tops, symmetric scans) skip decompositions, and
+* identical points coalesce in the serving layer like any other
+  repeat traffic (compile cache, request batcher).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.client.client import ClientResult, JobRequest
+from repro.errors import ServiceError
+
+
+@dataclass
+class SweepRequest:
+    """One submission describing a whole parameter scan.
+
+    Parameters
+    ----------
+    build:
+        Callable mapping one parameter set to a program any registered
+        adapter accepts (a :class:`PulseSchedule`, a Pythonic circuit,
+        a QPI ``QCircuit``...). Called once per entry of *parameters*
+        at submission time.
+    parameters:
+        The scan points, in order. Results come back aligned.
+    device, shots, adapter, priority, seed:
+        Forwarded to every expanded :class:`JobRequest`.
+    """
+
+    build: Callable[[Any], Any]
+    parameters: Sequence[Any]
+    device: str
+    shots: int = 1024
+    adapter: str | None = None
+    priority: int = 0
+    seed: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_programs(
+        cls, programs: Sequence[Any], device: str, **kwargs: Any
+    ) -> "SweepRequest":
+        """A sweep over pre-built programs (builder is the identity)."""
+        return cls(
+            build=lambda program: program,
+            parameters=list(programs),
+            device=device,
+            **kwargs,
+        )
+
+    def expand(self) -> list[JobRequest]:
+        """One :class:`JobRequest` per scan point, in scan order."""
+        if not self.parameters:
+            raise ServiceError("sweep has no parameter sets")
+        return [
+            JobRequest(
+                program=self.build(p),
+                device=self.device,
+                shots=self.shots,
+                adapter=self.adapter,
+                priority=self.priority,
+                seed=self.seed,
+                metadata={**self.metadata, "sweep_index": i},
+            )
+            for i, p in enumerate(self.parameters)
+        ]
+
+
+class SweepTicket:
+    """Aggregated handle over the per-point tickets of one sweep."""
+
+    def __init__(self, request: SweepRequest, tickets: list) -> None:
+        self.request = request
+        self.tickets = tickets
+
+    def __len__(self) -> int:
+        return len(self.tickets)
+
+    def done(self) -> bool:
+        return all(t.done() for t in self.tickets)
+
+    @staticmethod
+    def _deadline(timeout: float | None):
+        """Per-ticket remaining-time callable sharing one deadline."""
+        if timeout is None:
+            return lambda: None
+        deadline = time.perf_counter() + timeout
+        return lambda: max(0.0, deadline - time.perf_counter())
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until every point resolved (or *timeout* elapses)."""
+        remaining = self._deadline(timeout)
+        return all(t.wait(remaining()) for t in self.tickets)
+
+    def results(self, timeout: float | None = None) -> list[ClientResult]:
+        """Per-point results in scan order; re-raises the first failure.
+
+        *timeout* bounds the whole call, not each point.
+        """
+        remaining = self._deadline(timeout)
+        return [t.result(remaining()) for t in self.tickets]
+
+    def exceptions(self, timeout: float | None = None) -> list[Exception | None]:
+        """Per-point failures (None on success), in scan order.
+
+        *timeout* bounds the whole call, not each point.
+        """
+        remaining = self._deadline(timeout)
+        return [t.exception(remaining()) for t in self.tickets]
+
+    def expectation_z(
+        self, slot: int = 0, timeout: float | None = None
+    ) -> np.ndarray:
+        """``<Z>`` of *slot* across the scan — the 1-D scan curve."""
+        return np.array(
+            [r.expectation_z(slot) for r in self.results(timeout)],
+            dtype=np.float64,
+        )

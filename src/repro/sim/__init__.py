@@ -33,9 +33,14 @@ from repro.sim.operators import (
 )
 from repro.sim.model import ChannelCoupling, DecoherenceSpec, SystemModel
 from repro.sim.evolve import (
+    PropagatorCache,
+    batched_expm_and_frechet,
+    batched_propagators,
+    build_hamiltonians,
     evolve_piecewise,
     evolve_unitary,
     free_propagator,
+    hamiltonian_fingerprint,
     propagator_sequence,
     step_propagator,
 )
@@ -67,6 +72,11 @@ __all__ = [
     "step_propagator",
     "free_propagator",
     "propagator_sequence",
+    "build_hamiltonians",
+    "batched_propagators",
+    "batched_expm_and_frechet",
+    "hamiltonian_fingerprint",
+    "PropagatorCache",
     "ScheduleExecutor",
     "ExecutionResult",
     "ReadoutModel",

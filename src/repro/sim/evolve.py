@@ -1,12 +1,34 @@
-"""Piecewise-constant time evolution.
+"""Piecewise-constant time evolution — the batched propagator engine.
 
 The control stack discretizes every pulse into samples of length ``dt``;
 within one sample the Hamiltonian is constant, so the exact propagator
 is a matrix exponential. For the small Hilbert spaces simulated here
 (D <= ~32) the fastest exact route is the Hermitian eigendecomposition
-``U = V exp(-2*pi*i*E*dt) V†``; identical consecutive samples (flat-top
-pulses, delays) are collapsed into a single eigendecomposition with the
-phase factor raised to the segment length — the vectorization/caching
+``U = V exp(-2*pi*i*E*dt) V†``.
+
+Two complementary strategies keep the Python overhead off the hot path:
+
+* **Batching** — per-slice Hamiltonians are stacked into one
+  ``(n, D, D)`` array and exponentiated with a handful of *batched*
+  BLAS/LAPACK calls instead of ``n`` Python-level round trips. Entry
+  points: :func:`build_hamiltonians`, :func:`batched_propagators`, and
+  :func:`propagator_sequence` (which composes the two). Two batched
+  methods are implemented: a stacked ``np.linalg.eigh`` (exact, and
+  the basis the Daleckii-Krein kernels need), and the default
+  scaling-and-squaring Paterson-Stockmeyer Taylor evaluation, which is
+  pure batched matmuls — on a single core the LAPACK per-matrix
+  overhead of small-``D`` eigendecompositions makes the matmul route
+  decisively faster, while agreeing with ``eigh`` to ~1e-13.
+* **Caching** — :class:`PropagatorCache` memoizes propagators keyed on
+  ``(H fingerprint, dt, steps)``, so repeated slices (flat-top pulses,
+  sweeps re-visiting the same amplitudes, drift segments) skip the
+  decomposition entirely. :meth:`PropagatorCache.propagators` combines
+  both: cache misses are deduplicated *within* the batch and
+  diagonalized together.
+
+Identical consecutive samples (flat-top pulses, delays) are still
+collapsed into a single propagator with the phase factor raised to the
+segment length (:func:`segment_runs`) — the vectorization/caching
 strategy recommended by the HPC guides (avoid per-sample Python work
 where the physics doesn't change).
 
@@ -16,6 +38,10 @@ is applied here, once.
 
 from __future__ import annotations
 
+import hashlib
+import math
+import threading
+from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
@@ -64,15 +90,458 @@ def evolve_unitary(unitary: np.ndarray, state: np.ndarray) -> np.ndarray:
     raise ValidationError(f"state must be 1-D or 2-D, got ndim={state.ndim}")
 
 
+# ---- batched engine --------------------------------------------------------------
+
+
+def build_hamiltonians(
+    drift: np.ndarray,
+    control_ops: Sequence[np.ndarray],
+    controls: np.ndarray,
+) -> np.ndarray:
+    """Stack the per-slice Hamiltonians ``H_k = drift + sum_j u_kj C_j``.
+
+    Parameters
+    ----------
+    controls:
+        Real array of shape ``(n_steps, n_controls)`` in Hz.
+
+    Returns
+    -------
+    Complex array of shape ``(n_steps, D, D)``.
+    """
+    controls = np.asarray(controls, dtype=np.float64)
+    if controls.ndim != 2 or controls.shape[1] != len(control_ops):
+        raise ValidationError(
+            f"controls shape {controls.shape} does not match "
+            f"{len(control_ops)} control operators"
+        )
+    drift = np.asarray(drift, dtype=np.complex128)
+    if not control_ops:
+        return np.broadcast_to(drift, (controls.shape[0],) + drift.shape).copy()
+    # One GEMM builds every slice: (n, j) @ (j, D*D) -> (n, D*D).
+    ops = np.stack([np.asarray(c, dtype=np.complex128) for c in control_ops])
+    j, d = ops.shape[0], ops.shape[1]
+    flat = controls.astype(np.complex128) @ ops.reshape(j, d * d)
+    return flat.reshape(-1, d, d) + drift
+
+
+# Paterson-Stockmeyer Taylor coefficients, degree 12 in chunks of 4:
+# exp(x) ~= ((B3 x^4 + B2) x^4 + B1) x^4 + B0 with each B_j cubic in x.
+# Degree 12 at the scaled radius 0.7 leaves a truncation error below
+# 0.7^13 / 13! ~ 2e-12 per factor — two orders under the engine's
+# 1e-10 equivalence contract even after squaring amplification.
+_PS_COEFFS = np.array(
+    [[1.0 / math.factorial(4 * j + k) for k in range(4)] for j in range(3)]
+)
+_PS_SCALE_THRESHOLD = 0.7
+# "auto" hands stacks needing more squaring levels than this to eigh:
+# 2^14 levels of rounding amplification keep the expm route under
+# ~4e-12, comfortably inside the 1e-10 equivalence contract.
+_EXPM_MAX_LEVELS = 14
+
+# Process large stacks in cache-resident chunks: the working set of
+# the expm evaluation is ~9 stack-sized arrays, and keeping it inside
+# the CPU caches beats one monolithic DRAM-bound pass.
+_EXPM_CHUNK = 256
+
+# Reusable per-thread work buffers for the expm evaluation. A fresh
+# multi-megabyte allocation per call costs more in first-touch page
+# faults than the matmuls that fill it; the hot paths (GRAPE line
+# searches, schedule sweeps) call with identical shapes thousands of
+# times, so the buffers are keyed by shape and recycled per thread.
+_SCRATCH = threading.local()
+
+
+def _scratch(
+    tag: str, shape: tuple[int, ...], dtype=np.complex128
+) -> tuple[np.ndarray, bool]:
+    """``(buffer, fresh)`` — a recycled work array for *tag*.
+
+    One flat allocation per tag, grown to the largest capacity seen
+    and viewed at the requested shape — varying chunk shapes reuse the
+    same storage instead of accumulating per-shape buffers. ``fresh``
+    is True whenever the returned view does not hold the previous
+    call's contents for this tag (new allocation or shape change).
+    """
+    pool = getattr(_SCRATCH, "pool", None)
+    if pool is None:
+        pool = _SCRATCH.pool = {}
+    size = int(np.prod(shape))
+    entry = pool.get(tag)
+    if entry is not None:
+        flat, last_shape = entry
+        if flat.size >= size and flat.dtype == np.dtype(dtype):
+            pool[tag] = (flat, shape)
+            return flat[:size].reshape(shape), last_shape != shape
+    flat = np.empty(size, dtype=dtype)
+    pool[tag] = (flat, shape)
+    return flat.reshape(shape), True
+
+
+def _expm_skew_batched(
+    hs: np.ndarray,
+    coeff: np.ndarray | complex,
+    shift: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """``out = exp(coeff * hs - diag(shift))`` for a Hermitian stack.
+
+    Scaling-and-squaring with a degree-12 Paterson-Stockmeyer Taylor
+    evaluation — pure batched matmuls, no per-matrix LAPACK calls. The
+    scaling power is shared across the stack (``exp(theta) =
+    exp(theta/2^s)^(2^s)`` holds for any ``s``, so the largest needed
+    power is simply used for every matrix) and is bounded through the
+    quartic power: ``rho(theta) <= ||theta^4||_inf ^ (1/4)``, which the
+    evaluation computes anyway. The powers — including an identity row,
+    so the B_j constant terms ride along — are combined into the
+    Paterson-Stockmeyer blocks by a single GEMM whose coefficients
+    absorb the scale factors, so scaling costs no extra array passes.
+    All intermediates live in recycled per-thread scratch buffers; only
+    *out* (the caller's array) is written.
+    """
+    n, dim, _ = hs.shape
+    powers, fresh = _scratch("powers", (5, n, dim, dim))
+    if fresh:
+        powers[0] = np.eye(dim)
+    theta = powers[1]
+    np.multiply(hs, coeff if np.ndim(coeff) == 0 else coeff[:, None, None], out=theta)
+    idx = np.arange(dim)
+    theta[:, idx, idx] -= shift[:, None]
+    np.matmul(theta, theta, out=powers[2])  # theta^2
+    np.matmul(powers[2], theta, out=powers[3])  # theta^3
+    np.matmul(powers[2], powers[2], out=powers[4])  # theta^4
+    absbuf, _ = _scratch("abs", (n, dim, dim), np.float64)
+    np.abs(powers[4], out=absbuf)
+    rho = float(absbuf.sum(axis=2).max()) ** 0.25
+    s = max(0, int(np.ceil(np.log2(max(rho, 1e-300) / _PS_SCALE_THRESHOLD))))
+    # Squaring doubles the truncation error per level, so the norm-based
+    # scale alone degrades linearly in 2^s for long constant runs (large
+    # steps). Keep adding levels until the accumulated bound
+    # 2^s * r^13/13! clears ~1e-11 — each level wins back 2^12.
+    while (2.0**s) * (rho / 2.0**s) ** 13 / math.factorial(13) > 1e-11:
+        s += 1
+    sc = 2.0**-s
+    # Blocks B0..B2 in one GEMM; B3 = I/12! contributes F12 * x^4 to B2.
+    coeffs = np.zeros((3, 5), dtype=np.complex128)
+    coeffs[:, :4] = _PS_COEFFS * sc ** np.arange(4)
+    coeffs[2, 4] = sc**4 / math.factorial(12)
+    blocks, _ = _scratch("blocks", (3, n, dim, dim))
+    np.matmul(coeffs, powers.reshape(5, -1), out=blocks.reshape(3, -1))
+    b0, b1, b2 = blocks
+    x4 = powers[4]
+    x4 *= sc**4
+    t1, _ = _scratch("horner", (n, dim, dim))
+    np.matmul(b2, x4, out=t1)
+    t1 += b1
+    u = np.matmul(t1, x4, out=b2)
+    u += b0
+    if s == 0:
+        out[...] = u
+        return
+    scratch = t1
+    for i in range(s):
+        out_buf = out if i == s - 1 else scratch
+        np.matmul(u, u, out=out_buf)
+        u, scratch = out_buf, u
+
+
+def batched_propagators(
+    hamiltonians: np.ndarray,
+    dt: float,
+    steps: int | np.ndarray = 1,
+    *,
+    method: str = "auto",
+) -> np.ndarray:
+    """Exact propagators for a stack of constant Hamiltonians.
+
+    ``U_k = exp(-2*pi*i * H_k * dt * steps_k)`` for the whole
+    ``(n, D, D)`` stack in a handful of batched array operations.
+
+    Parameters
+    ----------
+    hamiltonians:
+        Hermitian stack of shape ``(n, D, D)`` in Hz.
+    steps:
+        Scalar or length-``n`` integer array of segment lengths.
+    method:
+        ``"expm"`` — scaling-and-squaring Paterson-Stockmeyer Taylor
+        after a per-matrix trace shift; pure batched matmuls, the
+        fastest route for the small dimensions simulated here.
+        ``"eigh"`` — one stacked ``np.linalg.eigh`` then broadcast
+        phase application ``V exp(-2*pi*i E dt s) V†``; exact to
+        machine precision but pays LAPACK's per-matrix overhead.
+        ``"auto"`` (default) selects ``"expm"`` for typical slice
+        durations (where the two agree to ~1e-13) and falls back to
+        ``"eigh"`` when any slice's phase radius would need so many
+        squaring levels that amplified rounding could breach the
+        engine's 1e-10 equivalence contract (very long constant runs).
+
+    Returns
+    -------
+    Complex array of shape ``(n, D, D)``.
+    """
+    hs = np.asarray(hamiltonians, dtype=np.complex128)
+    if hs.ndim != 3 or hs.shape[1] != hs.shape[2]:
+        raise ValidationError(
+            f"Hamiltonian stack must have shape (n, D, D), got {hs.shape}"
+        )
+    if dt <= 0:
+        raise ValidationError(f"dt must be > 0, got {dt}")
+    steps_arr = np.asarray(steps)
+    if steps_arr.ndim not in (0, 1) or (
+        steps_arr.ndim == 1 and steps_arr.shape[0] != hs.shape[0]
+    ):
+        raise ValidationError(
+            f"steps must be a scalar or length-{hs.shape[0]} array, "
+            f"got shape {steps_arr.shape}"
+        )
+    if np.any(steps_arr < 1):
+        raise ValidationError("steps must be >= 1")
+    if method not in ("auto", "expm", "eigh"):
+        raise ValidationError(
+            f"method must be 'auto', 'expm' or 'eigh', got {method!r}"
+        )
+    n, dim = hs.shape[0], hs.shape[1]
+    if n == 0:
+        return hs.copy()
+    durations = dt * steps_arr.astype(np.float64)
+
+    if method == "auto":
+        # Each squaring level amplifies rounding by ~2x, so past
+        # _EXPM_MAX_LEVELS levels the exact eigh route is the accurate
+        # (and, with that much squaring, also the cheaper) choice.
+        # Cheap per-slice radius bound: |coeff| * inf-norm of the
+        # trace-shifted Hamiltonian.
+        mu_est = np.real(np.trace(hs, axis1=1, axis2=2)) / dim
+        row_sums = np.abs(hs).sum(axis=2).max(axis=1)
+        radius = _TWO_PI * durations * (row_sums + np.abs(mu_est))
+        method = (
+            "eigh"
+            if radius.max() > _PS_SCALE_THRESHOLD * 2.0**_EXPM_MAX_LEVELS
+            else "expm"
+        )
+
+    if method == "eigh":
+        evals, evecs = np.linalg.eigh(hs)  # (n, D), (n, D, D)
+        if durations.ndim == 1:
+            durations = durations[:, None]
+        phases = np.exp(-1j * _TWO_PI * evals * durations)
+        return (evecs * phases[:, None, :]) @ evecs.conj().transpose(0, 2, 1)
+
+    # expm route: theta_k = -2*pi*i * dt * steps_k * (H_k - mu_k I),
+    # with the trace shift mu_k = tr(H_k)/D peeled off as a scalar
+    # phase — it halves the spectral radius for the lopsided spectra
+    # (transmon anharmonicity ladders) seen here, saving squarings.
+    coeff = np.asarray(-1j * _TWO_PI * durations)  # scalar or (n,)
+    mu = np.real(np.trace(hs, axis1=1, axis2=2)) / dim
+    shift = coeff * mu
+    out = np.empty_like(hs)
+    for a in range(0, n, _EXPM_CHUNK):
+        b = min(a + _EXPM_CHUNK, n)
+        c = coeff if coeff.ndim == 0 else coeff[a:b]
+        _expm_skew_batched(hs[a:b], c, shift[a:b], out[a:b])
+    out *= np.exp(shift)[:, None, None]
+    return out
+
+
+def batched_expm_and_frechet(
+    hamiltonians: np.ndarray, dt: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched eigendecomposition plus the Daleckii-Krein kernel.
+
+    For every Hamiltonian in the ``(n, D, D)`` stack, returns
+    ``(U, V, gamma)`` stacks where ``U_k = exp(-2*pi*i*H_k*dt)``,
+    ``V_k`` is the eigenvector matrix and ``gamma_k[a, b]`` is the
+    divided-difference kernel such that the derivative of ``U_k`` in
+    direction ``E`` is ``V_k (gamma_k ∘ (V_k† E V_k)) V_k†``. The
+    kernel is elementwise on the stacked eigenbasis, so the whole
+    construction is a handful of broadcast operations.
+    """
+    hs = np.asarray(hamiltonians, dtype=np.complex128)
+    if hs.ndim != 3 or hs.shape[1] != hs.shape[2]:
+        raise ValidationError(
+            f"Hamiltonian stack must have shape (n, D, D), got {hs.shape}"
+        )
+    evals, vecs = np.linalg.eigh(hs)  # (n, D), (n, D, D)
+    f = np.exp(-1j * _TWO_PI * evals * dt)  # (n, D)
+    us = (vecs * f[:, None, :]) @ vecs.conj().transpose(0, 2, 1)
+    lam = evals[:, :, None] - evals[:, None, :]  # (n, D, D)
+    df = f[:, :, None] - f[:, None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gamma = np.where(np.abs(lam) > 1e-12, df / lam, 0.0)
+    # Fill the (near-)degenerate entries with the derivative f'(lambda).
+    diag = -1j * _TWO_PI * dt * f
+    near = np.abs(lam) <= 1e-12
+    gamma = np.where(near, 0.5 * (diag[:, :, None] + diag[:, None, :]), gamma)
+    return us, vecs, gamma
+
+
+def hamiltonian_fingerprint(hamiltonian: np.ndarray) -> bytes:
+    """Content digest of a Hamiltonian, for propagator-cache keys."""
+    h = np.ascontiguousarray(hamiltonian, dtype=np.complex128)
+    digest = hashlib.blake2b(h.tobytes(), digest_size=16)
+    digest.update(str(h.shape).encode())
+    return digest.digest()
+
+
+class PropagatorCache:
+    """Bounded LRU cache of slice propagators.
+
+    Keys are ``(H fingerprint, dt, steps)``; values are the exact
+    propagators ``exp(-2*pi*i*H*dt*steps)``. Repeated slices — flat-top
+    pulses, parameter sweeps re-visiting the same amplitudes, drift
+    segments between pulses — skip the eigendecomposition entirely.
+    Thread-safe; one instance can be shared across executors.
+
+    :meth:`propagator` returns the stored arrays themselves, frozen
+    read-only (``.copy()`` before mutating); :meth:`propagators`
+    returns a freshly assembled, writable stack.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _key(self, fingerprint: bytes, dt: float, steps: int) -> tuple:
+        # Non-integral steps would compute one propagator but file it
+        # under the truncated key, poisoning later integer lookups.
+        if steps != int(steps):
+            raise ValidationError(f"steps must be integral, got {steps}")
+        return (fingerprint, float(dt), int(steps))
+
+    def propagator(
+        self,
+        hamiltonian: np.ndarray,
+        dt: float,
+        steps: int = 1,
+        *,
+        fingerprint: bytes | None = None,
+    ) -> np.ndarray:
+        """Cached equivalent of :func:`step_propagator`."""
+        if fingerprint is None:
+            fingerprint = hamiltonian_fingerprint(hamiltonian)
+        key = self._key(fingerprint, dt, steps)
+        with self._lock:
+            u = self._entries.get(key)
+            if u is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return u
+            self.misses += 1
+        u = step_propagator(hamiltonian, dt, steps)
+        self._store(key, u)
+        return u
+
+    def propagators(
+        self,
+        hamiltonians: np.ndarray,
+        dt: float,
+        steps: int | np.ndarray = 1,
+    ) -> np.ndarray:
+        """Cached equivalent of :func:`batched_propagators`.
+
+        Looks every slice up by ``(fingerprint, dt, steps)``; the
+        misses are deduplicated within the batch, diagonalized with a
+        single batched call, and inserted.
+        """
+        hs = np.asarray(hamiltonians, dtype=np.complex128)
+        if hs.ndim != 3 or hs.shape[1] != hs.shape[2]:
+            raise ValidationError(
+                f"Hamiltonian stack must have shape (n, D, D), got {hs.shape}"
+            )
+        n = hs.shape[0]
+        if n == 0:
+            return hs.copy()
+        steps_in = np.asarray(steps)
+        if np.any(steps_in != steps_in.astype(np.int64)):
+            raise ValidationError(f"steps must be integral, got {steps}")
+        steps_arr = np.broadcast_to(steps_in.astype(np.int64), (n,))
+        # Consecutive identical (H, steps) slices — flat-top pulses,
+        # segment ansatzes — collapse to one representative per run in
+        # a single vectorized comparison pass; non-adjacent repeats
+        # collapse through the shared cache key. Only representatives
+        # are hashed, and the results scatter back with one gather.
+        changed = np.any(hs[1:] != hs[:-1], axis=(1, 2)) | (
+            steps_arr[1:] != steps_arr[:-1]
+        )
+        inverse = np.concatenate(([0], np.cumsum(changed)))
+        reps = np.concatenate(([0], np.nonzero(changed)[0] + 1))
+        run_sizes = np.diff(np.concatenate((reps, [n])))
+        keys = [
+            self._key(hamiltonian_fingerprint(hs[k]), dt, steps_arr[k])
+            for k in reps
+        ]
+        run_props: list[np.ndarray | None] = [None] * len(reps)
+        miss_runs: OrderedDict[tuple, list[int]] = OrderedDict()
+        with self._lock:
+            for i, key in enumerate(keys):
+                u = self._entries.get(key)
+                if u is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += int(run_sizes[i])
+                    run_props[i] = u
+                else:
+                    self.misses += int(run_sizes[i])
+                    miss_runs.setdefault(key, []).append(i)
+        if miss_runs:
+            sel = reps[[runs[0] for runs in miss_runs.values()]]
+            fresh = batched_propagators(hs[sel], dt, steps_arr[sel])
+            for u, runs in zip(fresh, miss_runs.values()):
+                # Copy before storing: a row view would pin the whole
+                # (n_miss, D, D) batch in memory for the entry's LRU
+                # lifetime.
+                u = u.copy()
+                for i in runs:
+                    run_props[i] = u
+                self._store(keys[runs[0]], u)
+        return np.stack(run_props)[inverse]
+
+    def _store(self, key: tuple, u: np.ndarray) -> None:
+        # Lookups hand out the stored array itself (no copy on the hot
+        # path); freezing it turns an accidental in-place edit into an
+        # immediate error instead of silent cache poisoning.
+        u.flags.writeable = False
+        with self._lock:
+            self._entries[key] = u
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+
 def propagator_sequence(
     drift: np.ndarray,
     control_ops: Sequence[np.ndarray],
     controls: np.ndarray,
     dt: float,
+    *,
+    cache: PropagatorCache | None = None,
 ) -> list[np.ndarray]:
     """Per-slice propagators for GRAPE-style piecewise-constant control.
 
     ``H_k = drift + sum_j controls[k, j] * control_ops[j]`` (all in Hz).
+    The slice Hamiltonians are stacked and diagonalized in one batched
+    call (:func:`batched_propagators`); with *cache* given, slices seen
+    before skip the decomposition.
 
     Parameters
     ----------
@@ -84,20 +553,12 @@ def propagator_sequence(
     list of ``n_steps`` unitaries ``U_k``; the total propagator is
     ``U_{n-1} ... U_1 U_0``.
     """
-    controls = np.asarray(controls, dtype=np.float64)
-    if controls.ndim != 2 or controls.shape[1] != len(control_ops):
-        raise ValidationError(
-            f"controls shape {controls.shape} does not match "
-            f"{len(control_ops)} control operators"
-        )
-    out = []
-    for k in range(controls.shape[0]):
-        h = drift.astype(np.complex128, copy=True)
-        for j, op in enumerate(control_ops):
-            if controls[k, j] != 0.0:
-                h += controls[k, j] * op
-        out.append(step_propagator(h, dt))
-    return out
+    hs = build_hamiltonians(drift, control_ops, controls)
+    if dt <= 0:
+        raise ValidationError(f"dt must be > 0, got {dt}")
+    if cache is not None:
+        return list(cache.propagators(hs, dt))
+    return list(batched_propagators(hs, dt))
 
 
 def evolve_piecewise(
@@ -106,13 +567,15 @@ def evolve_piecewise(
     controls: np.ndarray,
     dt: float,
     state: np.ndarray | None = None,
+    *,
+    cache: PropagatorCache | None = None,
 ) -> np.ndarray:
     """Total propagator (or final state) of a piecewise-constant control.
 
     When *state* is given, the propagators are applied to it step by
     step (cheaper than accumulating the full unitary for large D).
     """
-    steps = propagator_sequence(drift, control_ops, controls, dt)
+    steps = propagator_sequence(drift, control_ops, controls, dt, cache=cache)
     if state is not None:
         psi = np.asarray(state, dtype=np.complex128)
         for u in steps:

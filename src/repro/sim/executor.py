@@ -13,8 +13,12 @@ a pulse job reaches it. It interprets a
    modulated by the frame's accumulated detuning phase, onto its port's
    complex drive array (fully vectorized).
 3. Evolution — the per-sample drive matrix is split into runs of
-   constant value (:func:`~repro.sim.evolve.segment_runs`); each run
-   costs one Hermitian eigendecomposition regardless of length.
+   constant value (:func:`~repro.sim.evolve.segment_runs`); the runs'
+   Hamiltonians are stacked and diagonalized in one batched call
+   (:func:`~repro.sim.evolve.batched_propagators`), with a
+   :class:`~repro.sim.evolve.PropagatorCache` short-circuiting runs
+   whose amplitudes were seen before (flat-tops, parameter sweeps) and
+   drift-only runs reusing the model's precomputed eigendecomposition.
 4. Decoherence — with finite T1/T2 the state is a density matrix and
    per-site Kraus channels are applied after each constant run (exact
    for free segments, first-order splitting during drive).
@@ -41,10 +45,15 @@ from repro.core.instructions import (
     ShiftFrequency,
     ShiftPhase,
 )
+from repro.core.distributions import distribution_expectation_z
 from repro.core.port import Port
 from repro.core.schedule import PulseSchedule
-from repro.errors import ExecutionError
-from repro.sim.evolve import segment_runs, step_propagator
+from repro.errors import ExecutionError, ValidationError
+from repro.sim.evolve import (
+    PropagatorCache,
+    free_propagator,
+    segment_runs,
+)
 from repro.sim.measurement import (
     ReadoutModel,
     apply_readout_error,
@@ -95,10 +104,14 @@ class ExecutionResult:
 
     def expectation_z(self, slot: int = 0) -> float:
         """``<Z>`` of the bit in *slot* from the exact probabilities."""
-        total = 0.0
-        for key, p in self.probabilities.items():
-            total += p * (1.0 if key[slot] == "0" else -1.0)
-        return total
+        if not self.measured_sites:
+            raise ValidationError(
+                "expectation_z is undefined: the schedule captured no "
+                "measurement (no Capture instructions, empty distribution)"
+            )
+        return distribution_expectation_z(
+            self.probabilities, slot, n_slots=len(self.measured_sites)
+        )
 
 
 class _FrameTimeline:
@@ -139,10 +152,17 @@ class ScheduleExecutor:
         self,
         model: SystemModel,
         readout: Mapping[int, ReadoutModel] | None = None,
+        *,
+        propagator_cache: PropagatorCache | None = None,
     ) -> None:
         self.model = model
         self.readout = dict(readout or {})
         self._drift_eig = np.linalg.eigh(model.drift)
+        #: Shared slice-propagator cache: repeated drive amplitudes
+        #: (flat-tops, parameter sweeps) skip the eigendecomposition.
+        self.propagator_cache = (
+            propagator_cache if propagator_cache is not None else PropagatorCache()
+        )
 
     # ---- public API ---------------------------------------------------------
 
@@ -203,9 +223,8 @@ class ScheduleExecutor:
             return identity(dim)
         drives, channel_names = self._synthesize_drives(schedule)
         total = identity(dim)
-        for start, length in segment_runs(drives):
-            h = self._run_hamiltonian(drives[start], channel_names)
-            total = step_propagator(h, self.model.dt, steps=length) @ total
+        for _, u in self._run_propagators(drives, channel_names):
+            total = u @ total
         return total
 
     # ---- internals -------------------------------------------------------------
@@ -312,20 +331,42 @@ class ScheduleExecutor:
                 )
         return h
 
+    def _run_propagators(
+        self, drives: np.ndarray, channel_names: list[str]
+    ) -> list[tuple[int, np.ndarray]]:
+        """``(length, U)`` per constant-drive run, via the batched engine.
+
+        Drift-only runs (all channels zero) reuse the precomputed drift
+        eigendecomposition through :func:`~repro.sim.evolve.free_propagator`;
+        driven runs are stacked and diagonalized in one batched call,
+        with the propagator cache short-circuiting repeated amplitudes.
+        """
+        runs = segment_runs(drives)
+        out: list[tuple[int, np.ndarray] | None] = [None] * len(runs)
+        driven_idx: list[int] = []
+        driven_hs: list[np.ndarray] = []
+        driven_steps: list[int] = []
+        for i, (start, length) in enumerate(runs):
+            row = drives[start]
+            if np.all(row == 0):
+                out[i] = (length, free_propagator(self._drift_eig, self.model.dt, length))
+            else:
+                driven_idx.append(i)
+                driven_hs.append(self._run_hamiltonian(row, channel_names))
+                driven_steps.append(length)
+        if driven_idx:
+            hs = np.stack(driven_hs)
+            steps = np.asarray(driven_steps, dtype=np.int64)
+            us = self.propagator_cache.propagators(hs, self.model.dt, steps)
+            for i, u in zip(driven_idx, us):
+                out[i] = (runs[i][1], u)
+        return out  # type: ignore[return-value]
+
     def _evolve(
         self, schedule: PulseSchedule, state: np.ndarray, use_dm: bool
     ) -> np.ndarray:
-        model = self.model
         drives, channel_names = self._synthesize_drives(schedule)
-        for start, length in segment_runs(drives):
-            row = drives[start]
-            if np.all(row == 0):
-                evals, evecs = self._drift_eig
-                phases = np.exp(-1j * _TWO_PI * evals * model.dt * length)
-                u = (evecs * phases) @ evecs.conj().T
-            else:
-                h = self._run_hamiltonian(row, channel_names)
-                u = step_propagator(h, model.dt, steps=length)
+        for length, u in self._run_propagators(drives, channel_names):
             if use_dm:
                 state = u @ state @ u.conj().T
                 state = self._apply_decoherence(state, length)
