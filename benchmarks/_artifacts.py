@@ -1,0 +1,38 @@
+"""Benchmark JSON artifacts: the data behind the CI regression gate.
+
+Every CI benchmark smoke writes a ``BENCH_<name>.json`` file with its
+measured figures (speedups, wall times, workload sizes). CI uploads
+them with ``actions/upload-artifact`` — so any run's numbers can be
+inspected after the fact — and ``benchmarks/check_regression.py``
+compares them against the committed floors in
+``benchmarks/baselines.json``, failing the build when a speedup
+regresses below its floor.
+
+The output directory defaults to the current working directory and can
+be redirected with ``BENCH_ARTIFACT_DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+
+
+def write_artifact(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    out_dir = os.environ.get("BENCH_ARTIFACT_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    record = {
+        "bench": name,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        **payload,
+    }
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return path

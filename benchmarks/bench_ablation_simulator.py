@@ -8,7 +8,6 @@ most (thousands of identical samples per pulse).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import report
 from repro.core import Play, PulseSchedule, constant_waveform

@@ -33,6 +33,7 @@ import time
 
 import numpy as np
 
+from _artifacts import write_artifact
 from repro.control.grape import _expm_and_frechet_basis
 from repro.sim.evolve import (
     PropagatorCache,
@@ -198,6 +199,25 @@ def main() -> None:
         f"warm cache            {t_warm*1e3:8.2f} ms   "
         f"({t_loop_rand/t_warm:5.1f}x vs loop, hit rate "
         f"{cache.hit_rate:.2f})   max|dU|={err_warm:.2e}"
+    )
+
+    write_artifact(
+        "batched_evolution",
+        {
+            "quick": args.quick,
+            "dim": dim,
+            "n_steps": n_steps,
+            "wall_loop_segment_s": t_loop_seg,
+            "wall_engine_segment_s": t_eng,
+            "wall_loop_random_s": t_loop_rand,
+            "wall_batched_random_s": t_batch,
+            "wall_warm_s": t_warm,
+            "speedup_segment": speedup_seg,
+            "speedup_batching": speedup_rand,
+            "speedup_frechet": t_floop / t_fbatch,
+            "max_err_segment": err_seg,
+            "max_err_random": err_rand,
+        },
     )
 
     assert err_seg <= 1e-10, f"segment mismatch: {err_seg:.2e} > 1e-10"

@@ -10,7 +10,6 @@ shape: QPI wins by an order of magnitude.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import report
 from repro.qpi import (

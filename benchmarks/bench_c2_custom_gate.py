@@ -11,8 +11,6 @@ exactly like native gates, and the registered version outperforms the
 default DRAG-free calibration on leakage.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import report
 from repro.compiler import JITCompiler, quantum_module_to_schedule
@@ -71,7 +69,11 @@ def test_custom_gate_integration(sc_device):
     )
     rows = [
         ("gate", "P(1)", "leakage"),
-        ("native x (DRAG beta=0)", f"{r2.ideal_probabilities.get('1', 0):.6f}", f"{r2.leakage[0]:.2e}"),
+        (
+            "native x (DRAG beta=0)",
+            f"{r2.ideal_probabilities.get('1', 0):.6f}",
+            f"{r2.leakage[0]:.2e}",
+        ),
         ("grape_x (registered)", f"{p1:.6f}", f"{r.leakage[0]:.2e}"),
         ("GRAPE design fidelity", f"{design_fidelity:.6f}", ""),
     ]

@@ -10,7 +10,11 @@ Also measures pipeline cost vs module size.
 import pytest
 
 from benchmarks.conftest import report
-from repro.compiler import mlir_pulse_to_schedule, quantum_module_to_schedule, schedule_to_pulse_module
+from repro.compiler import (
+    mlir_pulse_to_schedule,
+    quantum_module_to_schedule,
+    schedule_to_pulse_module,
+)
 from repro.mlir.context import default_context
 from repro.mlir.dialects.quantum import CircuitBuilder
 from repro.mlir.passes import (
@@ -83,7 +87,9 @@ def test_pipeline_preserves_semantics(sc_device):
     assert source.equivalent_to(after)
 
 
-@pytest.mark.parametrize("layers", [2, 8, 32], ids=["2-layers", "8-layers", "32-layers"])
+@pytest.mark.parametrize(
+    "layers", [2, 8, 32], ids=["2-layers", "8-layers", "32-layers"]
+)
 def test_pipeline_cost_scaling(benchmark, sc_device, layers):
     module = schedule_to_pulse_module(
         quantum_module_to_schedule(repetitive_circuit(layers), sc_device)

@@ -11,7 +11,7 @@ import pytest
 
 from benchmarks.conftest import report
 from repro.compiler import JITCompiler
-from repro.core import Play, PulseSchedule, SampledWaveform, gaussian_waveform
+from repro.core import Play, PulseSchedule, SampledWaveform
 from repro.mlir.dialects.quantum import CircuitBuilder
 
 
@@ -54,7 +54,10 @@ def test_granularity_legalization_pads(sc_device):
     plays = prog.schedule.instructions_of(Play)
     report(
         "E7: granularity legalization",
-        [("requested samples", 13), ("legalized samples", plays[0].instruction.duration)],
+        [
+            ("requested samples", 13),
+            ("legalized samples", plays[0].instruction.duration),
+        ],
     )
     assert plays[0].instruction.duration == 16
 

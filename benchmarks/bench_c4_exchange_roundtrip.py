@@ -5,7 +5,6 @@ validation and device-side linking on every platform; reports payload
 sizes (parametric vs sampled pulse encodings) and the per-stage costs.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.compiler import JITCompiler
@@ -71,7 +70,11 @@ def _samp(dev, n):
     s = PulseSchedule("s")
     p = dev.drive_port(0)
     s.append(
-        Play(p, dev.default_frame(p), SampledWaveform(gaussian_waveform(n, 0.3, n / 8).samples()))
+        Play(
+            p,
+            dev.default_frame(p),
+            SampledWaveform(gaussian_waveform(n, 0.3, n / 8).samples()),
+        )
     )
     return s
 

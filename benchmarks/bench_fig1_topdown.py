@@ -60,7 +60,14 @@ def test_topdown_ladder(sc_device):
 
 
 @pytest.mark.parametrize(
-    "stage", ["build", "lower", "lift", "emit"], ids=["algorithm->circuit", "circuit->schedule", "schedule->pulseIR", "schedule->QIR"]
+    "stage",
+    ["build", "lower", "lift", "emit"],
+    ids=[
+        "algorithm->circuit",
+        "circuit->schedule",
+        "schedule->pulseIR",
+        "schedule->QIR",
+    ],
 )
 def test_stage_latency(benchmark, sc_device, stage):
     params = np.linspace(0.1, 1.2, 12)

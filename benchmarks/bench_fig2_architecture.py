@@ -5,7 +5,6 @@ client (adapter -> JIT -> QDMI -> device), plus the remote path, with
 per-stage latencies and scheduler throughput.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.client import JobRequest
@@ -88,7 +87,9 @@ def test_scheduler_throughput(client):
     n = 12
     for i in range(n):
         device = ["sc-transmon", "ion-chain", "atom-array"][i % 3]
-        sched.enqueue(JobRequest(qpi_program(), device, shots=64, priority=i % 2, seed=i))
+        sched.enqueue(
+            JobRequest(qpi_program(), device, shots=64, priority=i % 2, seed=i)
+        )
     rep = sched.drain()
     assert rep.completed == n
     report(

@@ -6,7 +6,6 @@ heterogeneous device park (including the non-QPU database device), and
 times the query path.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.qdmi import (

@@ -87,7 +87,8 @@ def test_equivalence_table(sc_device):
         for s in (s1, s2, s3)
     ]
     rows = [("representation", "fingerprint", "duration", "P(top outcome)")]
-    for name, sched, dist in zip(("QPI (L1)", "MLIR (L2)", "QIR (L3)"), (s1, s2, s3), dists):
+    reps = zip(("QPI (L1)", "MLIR (L2)", "QIR (L3)"), (s1, s2, s3), dists)
+    for name, sched, dist in reps:
         top = max(dist.values())
         rows.append((name, sched.fingerprint(), sched.duration, f"{top:.6f}"))
     report("E1: Listing 1 = Listing 2 = Listing 3", rows)
@@ -97,7 +98,9 @@ def test_equivalence_table(sc_device):
 
 
 @pytest.mark.parametrize(
-    "path", ["qpi", "mlir", "qir"], ids=["listing1-qpi", "listing2-mlir", "listing3-qir"]
+    "path",
+    ["qpi", "mlir", "qir"],
+    ids=["listing1-qpi", "listing2-mlir", "listing3-qir"],
 )
 def test_representation_construction_cost(benchmark, sc_device, path):
     fn = {"qpi": via_qpi, "mlir": via_mlir, "qir": via_qir}[path]

@@ -8,7 +8,6 @@ scheduler (resource-aware calibration planning).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import report
 from repro.calibration import run_drift_campaign, track_frequency

@@ -7,7 +7,6 @@ range. Also times the gradient evaluation (the optimizer hot path).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import report
 from repro.control import GrapeOptimizer, amplitude_scan, detuning_scan

@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from _artifacts import write_artifact
 from repro.client import JobRequest, MQSSClient
 from repro.devices import (
     NeutralAtomDevice,
@@ -152,6 +153,20 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     required = 1.5 if args.quick else 4.0
+    write_artifact(
+        "serving_throughput",
+        {
+            "quick": args.quick,
+            "n_requests": n_requests,
+            "shots": args.shots,
+            "wall_serial_s": serial_s,
+            "wall_service_s": service_s,
+            "serial_executions": serial_execs,
+            "service_executions": service_execs,
+            "speedup": speedup,
+            "cache_hit_rate": service.cache.hit_rate,
+        },
+    )
     if speedup < required:
         print(f"FAIL: speedup {speedup:.2f}x below required {required}x")
         return 1

@@ -1,0 +1,74 @@
+"""CI perf-regression gate over the benchmark JSON artifacts.
+
+Each CI benchmark smoke writes a ``BENCH_<name>.json`` file (see
+``benchmarks/_artifacts.py``). This gate compares every metric floor
+committed in ``benchmarks/baselines.json`` against the corresponding
+artifact and fails the build when a measured value falls below its
+floor — a speedup that quietly decays from 7x to 2x now breaks CI
+instead of a release.
+
+Floors are deliberately the *contractual* minima (the same numbers the
+benchmarks assert), not the best observed values: CI runners are noisy
+shared machines, and a gate that flakes gets deleted.
+
+Usage:
+
+    python benchmarks/check_regression.py [--artifacts-dir DIR]
+        [--baselines benchmarks/baselines.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def check(baselines_path: str, artifacts_dir: str) -> int:
+    with open(baselines_path) as fh:
+        baselines = json.load(fh)
+    failures: list[str] = []
+    for bench, floors in sorted(baselines.items()):
+        path = os.path.join(artifacts_dir, f"BENCH_{bench}.json")
+        if not os.path.exists(path):
+            failures.append(f"{bench}: missing artifact {path}")
+            continue
+        with open(path) as fh:
+            artifact = json.load(fh)
+        for metric, floor in sorted(floors.items()):
+            value = artifact.get(metric)
+            if value is None:
+                failures.append(f"{bench}.{metric}: not in artifact")
+                continue
+            status = "ok" if value >= floor else "REGRESSION"
+            print(
+                f"{bench:<24} {metric:<18} {value:10.3f}  "
+                f"(floor {floor:g})  {status}"
+            )
+            if value < floor:
+                failures.append(
+                    f"{bench}.{metric}: {value:.3f} below floor {floor:g}"
+                )
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nPASS: all benchmark metrics at or above their floors")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifacts-dir", default=".")
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(__file__), "baselines.json"),
+    )
+    args = parser.parse_args(argv)
+    return check(args.baselines, args.artifacts_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,10 @@ def main() -> None:
     print("== Rabi amplitude calibration ==")
     rabi = calibrate_pi_amplitude(device, 0, shots=1024, seed=1)
     print(f"pi amplitude     : {rabi.pi_amplitude:.4f}")
-    print(f"implied Rabi rate: {rabi.implied_rabi_rate_hz/1e6:.2f} MHz (device: 50 MHz)")
+    print(
+        f"implied Rabi rate: {rabi.implied_rabi_rate_hz/1e6:.2f} MHz "
+        "(device: 50 MHz)"
+    )
     print(f"fit residual     : {rabi.fit_residual:.3f}\n")
 
     print("== DRAG calibration ==")

@@ -47,15 +47,21 @@ def main() -> None:
 
     print("\n== robustness: fidelity vs. detuning ==")
     offsets = np.linspace(-2e6, 2e6, 9)
-    f_grape = detuning_scan(drift, controls, result.controls, dt, target, n, offsets, subspace=iso)
-    f_square = detuning_scan(drift, controls, square, dt, target, n, offsets, subspace=iso)
+    f_grape = detuning_scan(
+        drift, controls, result.controls, dt, target, n, offsets, subspace=iso
+    )
+    f_square = detuning_scan(
+        drift, controls, square, dt, target, n, offsets, subspace=iso
+    )
     print(f"{'detuning (MHz)':>15} | {'GRAPE':>10} | {'square':>10}")
     for off, fg, fs in zip(offsets, f_grape, f_square):
         print(f"{off/1e6:>15.2f} | {fg:>10.6f} | {fs:>10.6f}")
 
     print("\n== robustness: fidelity vs. amplitude error ==")
     scales = np.linspace(0.95, 1.05, 5)
-    a_grape = amplitude_scan(drift, controls, result.controls, dt, target, scales, subspace=iso)
+    a_grape = amplitude_scan(
+        drift, controls, result.controls, dt, target, scales, subspace=iso
+    )
     a_square = amplitude_scan(drift, controls, square, dt, target, scales, subspace=iso)
     print(f"{'scale':>8} | {'GRAPE':>10} | {'square':>10}")
     for s, fg, fs in zip(scales, a_grape, a_square):

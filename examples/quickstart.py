@@ -47,7 +47,10 @@ def main() -> None:
         f"max_amp={constraints.max_amplitude}"
     )
     q0 = Site(0)
-    print("q0 drive port:", device.query_site_property(q0, SiteProperty.DRIVE_PORT).name)
+    print(
+        "q0 drive port:",
+        device.query_site_property(q0, SiteProperty.DRIVE_PORT).name,
+    )
     print(
         "q0 frequency: ",
         f"{device.query_site_property(q0, SiteProperty.FREQUENCY)/1e9:.3f} GHz",

@@ -77,7 +77,9 @@ def calibrate_pi_amplitude(
 
     # Initial guess from the first crossing of 0.5.
     above = np.nonzero(populations > 0.5)[0]
-    guess_pi = float(amplitudes[above[0]] * 2.0) if above.size else float(amplitudes[-1])
+    guess_pi = (
+        float(amplitudes[above[0]] * 2.0) if above.size else float(amplitudes[-1])
+    )
     try:
         popt, _ = curve_fit(
             _p1_model,

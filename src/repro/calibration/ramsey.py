@@ -50,7 +50,9 @@ def _half_pi_pulse(device, site: int):
     dt = device.config.constraints.dt
     granularity = device.config.constraints.granularity
     # Quarter rotation: amp * duration * dt * rabi = 1/4.
-    duration = max(granularity, int(round(0.25 / (0.8 * rabi * dt) / granularity)) * granularity)
+    duration = max(
+        granularity, int(round(0.25 / (0.8 * rabi * dt) / granularity)) * granularity
+    )
     amp = 0.25 / (rabi * duration * dt)
     return constant_waveform(duration, amp)
 

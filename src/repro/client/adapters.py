@@ -15,7 +15,7 @@ from typing import Any
 from repro.core.instructions import Play
 from repro.core.schedule import PulseSchedule
 from repro.core.waveform import ParametricWaveform
-from repro.errors import ParseError, ValidationError
+from repro.errors import ParseError
 from repro.mlir.ir import Module
 from repro.qpi.compile import qpi_to_schedule
 from repro.qpi.pythonic import PythonicCircuit
@@ -204,7 +204,11 @@ class QASM3Adapter(Adapter):
             if m:
                 port = device.port(m.group(1))
                 envelope = m.group(2)
-                argv = [float(a) for a in m.group(3).split(",")] if m.group(3).strip() else []
+                argv = (
+                    [float(a) for a in m.group(3).split(",")]
+                    if m.group(3).strip()
+                    else []
+                )
                 try:
                     names = self._ENVELOPE_PARAMS[envelope]
                 except KeyError:

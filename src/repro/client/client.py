@@ -196,7 +196,7 @@ class MQSSClient:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    # ---- submission --------------------------------------------------------------------
+    # ---- submission ------------------------------------------------------------------
 
     def compile_request(
         self,
@@ -251,11 +251,19 @@ class MQSSClient:
                 fmt, job_payload = ProgramFormat.QIR_PULSE, program.qir
             else:
                 fmt, job_payload = ProgramFormat.PULSE_SCHEDULE, program.schedule
+            metadata: dict = {}
+            if request.seed is not None:
+                metadata["seed"] = request.seed
+            # Per-request decoherence overrides (noise-parameter
+            # sweeps) ride through to the device executor.
+            decoherence = (request.metadata or {}).get("decoherence")
+            if decoherence is not None:
+                metadata["decoherence"] = decoherence
             job = session.run(
                 fmt,
                 job_payload,
                 shots=shots if shots is not None else request.shots,
-                metadata={"seed": request.seed} if request.seed is not None else None,
+                metadata=metadata or None,
             )
             if timings is not None:
                 timings["execute"] = time.perf_counter() - t0
@@ -303,7 +311,9 @@ class MQSSClient:
         order = sorted(
             range(len(requests)), key=lambda i: (-requests[i].priority, i)
         )
-        results: list[ClientResult | BatchFailure] = [None] * len(requests)  # type: ignore[list-item]
+        results: list[ClientResult | BatchFailure] = (
+            [None] * len(requests)  # type: ignore[list-item]
+        )
         failures: list[BatchFailure] = []
         for i in order:
             try:

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-from repro.errors import JobError
 from repro.qdmi.device import QDMIDevice
 from repro.qdmi.job import QDMIJob
 from repro.qdmi.properties import (

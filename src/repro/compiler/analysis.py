@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.instructions import Capture, Delay, Play
-from repro.core.port import Port
+from repro.core.instructions import Delay, Play
 from repro.core.schedule import PulseSchedule
 
 

@@ -125,7 +125,7 @@ class JITCompiler:
             f"@{self.device_state_key(device)}"
         )
 
-    # ---- compilation ------------------------------------------------------------------
+    # ---- compilation -----------------------------------------------------------------
 
     def compile(
         self,

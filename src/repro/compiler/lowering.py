@@ -96,7 +96,7 @@ def quantum_module_to_schedule(
     return schedule
 
 
-# ---- schedule -> pulse module -----------------------------------------------------------
+# ---- schedule -> pulse module --------------------------------------------------------
 
 
 def _arg_name(port: Port, frame: Frame) -> str:
@@ -207,7 +207,7 @@ def schedule_to_pulse_module(
     return sb.module
 
 
-# ---- pulse module -> schedule ------------------------------------------------------------
+# ---- pulse module -> schedule --------------------------------------------------------
 
 
 def mlir_pulse_to_schedule(

@@ -20,7 +20,7 @@ time (echo pulses only occupy previously-idle windows).
 
 from __future__ import annotations
 
-from repro.core.instructions import Capture, Delay, Play
+from repro.core.instructions import Delay, Play
 from repro.core.port import Port, PortKind
 from repro.core.schedule import PulseSchedule
 from repro.errors import PassError

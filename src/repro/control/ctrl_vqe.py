@@ -101,7 +101,7 @@ class CtrlVQE:
         # 2 drives x 2 quadratures + 1 coupler, per segment.
         return self.segments * 5
 
-    # ---- ansatz construction through the QPI -------------------------------------------
+    # ---- ansatz construction through the QPI -----------------------------------------
 
     def _segment_samples_array(self, values: np.ndarray) -> np.ndarray:
         """Repeat per-segment values into a sample array."""
@@ -146,7 +146,7 @@ class CtrlVQE:
             qCircuitEnd()
         return qpi_to_schedule(circuit, self.device, name="ctrl-vqe-ansatz")
 
-    # ---- energy -------------------------------------------------------------------------
+    # ---- energy ----------------------------------------------------------------------
 
     def energy(self, params: np.ndarray) -> float:
         """Penalized ansatz energy (exact estimator)."""

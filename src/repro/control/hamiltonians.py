@@ -78,7 +78,8 @@ def embed_qubit_operator(op: np.ndarray, dims: Sequence[int]) -> np.ndarray:
     iso = qubit_subspace_isometry(dims)
     if op.shape != (iso.shape[1], iso.shape[1]):
         raise ValidationError(
-            f"operator shape {op.shape} does not match qubit count of dims {tuple(dims)}"
+            f"operator shape {op.shape} does not match qubit count of "
+            f"dims {tuple(dims)}"
         )
     return iso @ op @ iso.conj().T
 

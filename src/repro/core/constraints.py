@@ -137,7 +137,11 @@ class PulseConstraints:
 
         Raises :class:`ConstraintError` with the first violation found.
         """
-        if self.max_schedule_duration and schedule.duration > self.max_schedule_duration:
+        too_long = (
+            self.max_schedule_duration
+            and schedule.duration > self.max_schedule_duration
+        )
+        if too_long:
             raise ConstraintError(
                 f"schedule duration {schedule.duration} exceeds device limit "
                 f"{self.max_schedule_duration}"

@@ -42,7 +42,9 @@ def _require(params: Mapping[str, float], *names: str) -> list[float]:
 
 def _check_duration(duration: int) -> None:
     if not isinstance(duration, (int, np.integer)) or duration <= 0:
-        raise ValidationError(f"envelope duration must be a positive int, got {duration!r}")
+        raise ValidationError(
+            f"envelope duration must be a positive int, got {duration!r}"
+        )
 
 
 def constant(duration: int, params: Mapping[str, float]) -> np.ndarray:

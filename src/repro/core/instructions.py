@@ -187,7 +187,8 @@ class Delay(Instruction):
     def __post_init__(self) -> None:
         if not isinstance(self.duration_samples, int) or self.duration_samples < 0:
             raise ValidationError(
-                f"delay duration must be a non-negative int, got {self.duration_samples!r}"
+                f"delay duration must be a non-negative int, "
+                f"got {self.duration_samples!r}"
             )
 
     @property
@@ -243,7 +244,8 @@ class Capture(Instruction):
             )
         if not isinstance(self.duration_samples, int) or self.duration_samples < 0:
             raise ValidationError(
-                f"capture duration must be a non-negative int, got {self.duration_samples!r}"
+                f"capture duration must be a non-negative int, "
+                f"got {self.duration_samples!r}"
             )
 
     @property

@@ -237,9 +237,19 @@ class PulseSchedule:
                 round(ins.phase, 12),
             )
         if isinstance(ins, SetFrequency):
-            return ("set_frequency", ins.port.name, ins.frame.name, round(ins.frequency, 9))
+            return (
+                "set_frequency",
+                ins.port.name,
+                ins.frame.name,
+                round(ins.frequency, 9),
+            )
         if isinstance(ins, ShiftFrequency):
-            return ("shift_frequency", ins.port.name, ins.frame.name, round(ins.delta, 9))
+            return (
+                "shift_frequency",
+                ins.port.name,
+                ins.frame.name,
+                round(ins.delta, 9),
+            )
         if isinstance(ins, SetPhase):
             return ("set_phase", ins.port.name, ins.frame.name, round(ins.phase, 12))
         if isinstance(ins, ShiftPhase):
@@ -282,7 +292,9 @@ class PulseSchedule:
         )
 
 
-def merge_schedules(schedules: Iterable[PulseSchedule], name: str = "merged") -> PulseSchedule:
+def merge_schedules(
+    schedules: Iterable[PulseSchedule], name: str = "merged"
+) -> PulseSchedule:
     """Overlay multiple schedules at time zero (parallel composition)."""
     out = PulseSchedule(name)
     for sched in schedules:

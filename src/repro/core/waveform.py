@@ -21,7 +21,6 @@ exchange format (paper §5.4) needs.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
@@ -147,7 +146,10 @@ class SampledWaveform(Waveform):
         return self._samples
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SampledWaveform(duration={self.duration}, peak={self.max_amplitude():.4g})"
+        return (
+            f"SampledWaveform(duration={self.duration}, "
+            f"peak={self.max_amplitude():.4g})"
+        )
 
 
 class ParametricWaveform(Waveform):

@@ -24,6 +24,8 @@ calibration experiment (E9 in DESIGN.md) physically meaningful.
 
 from __future__ import annotations
 
+import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -56,7 +58,7 @@ from repro.qdmi.properties import (
 from repro.qdmi.types import OperationInfo, Site
 from repro.sim.executor import ScheduleExecutor
 from repro.sim.measurement import ReadoutModel
-from repro.sim.model import SystemModel
+from repro.sim.model import DecoherenceSpec, SystemModel
 
 
 @dataclass
@@ -81,6 +83,9 @@ class DeviceConfig:
 
 class SimulatedDevice(QDMIDevice):
     """A QDMI device whose "hardware" is the :mod:`repro.sim` engine."""
+
+    #: Largest number of decoherence-override executors kept warm.
+    _MAX_NOISY_EXECUTORS = 64
 
     def __init__(
         self,
@@ -112,6 +117,16 @@ class SimulatedDevice(QDMIDevice):
         self._believed_offsets = np.zeros(config.num_sites, dtype=np.float64)
         self._status = DeviceStatus.IDLE
         self._executor: ScheduleExecutor | None = None
+        # Executors for per-job decoherence overrides (noise sweeps),
+        # keyed by the override tuple; they share the base executor's
+        # propagator cache (unitaries don't depend on T1/T2, and the
+        # open-system entries are namespaced per dissipator) and are
+        # invalidated together with it on frequency drift. LRU-bounded
+        # so adaptive sweeps with ever-new grid points cannot grow the
+        # device's memory monotonically.
+        self._noisy_executors: OrderedDict[
+            tuple[DecoherenceSpec, ...], ScheduleExecutor
+        ] = OrderedDict()
         self._jobs: list[QDMIJob] = []
         self.elapsed_seconds = 0.0
 
@@ -141,6 +156,43 @@ class SimulatedDevice(QDMIDevice):
             self._executor = ScheduleExecutor(model, readout=self._readout)
         return self._executor
 
+    def _executor_for(self, decoherence: Sequence | None) -> ScheduleExecutor:
+        """The executor for an optional per-job decoherence override.
+
+        *decoherence* lists one :class:`DecoherenceSpec` — or a
+        ``(t1, t2)`` pair — per site; ``None`` means the device's own
+        noise model. Override executors are memoized per spec tuple so
+        a noise sweep builds each grid point's model once.
+        """
+        base = self._current_executor()
+        if decoherence is None:
+            return base
+        specs = tuple(
+            spec
+            if isinstance(spec, DecoherenceSpec)
+            else DecoherenceSpec(t1=float(spec[0]), t2=float(spec[1]))
+            for spec in decoherence
+        )
+        if len(specs) != self.config.num_sites:
+            raise JobError(
+                f"decoherence override lists {len(specs)} specs for "
+                f"{self.config.num_sites} sites"
+            )
+        executor = self._noisy_executors.get(specs)
+        if executor is None:
+            model = dataclasses.replace(base.model, decoherence=specs)
+            executor = ScheduleExecutor(
+                model,
+                readout=self._readout,
+                propagator_cache=base.propagator_cache,
+            )
+            self._noisy_executors[specs] = executor
+            while len(self._noisy_executors) > self._MAX_NOISY_EXECUTORS:
+                self._noisy_executors.popitem(last=False)
+        else:
+            self._noisy_executors.move_to_end(specs)
+        return executor
+
     def advance_time(self, seconds: float) -> None:
         """Let wall-clock time pass: qubit frequencies random-walk.
 
@@ -158,6 +210,7 @@ class SimulatedDevice(QDMIDevice):
                 self.config.num_sites
             )
             self._executor = None  # model must be rebuilt
+            self._noisy_executors.clear()
 
     def true_frequency(self, site: int) -> float:
         """Ground truth transition frequency (hidden from clients; used
@@ -178,7 +231,7 @@ class SimulatedDevice(QDMIDevice):
         """|believed - true| frequency error in Hz."""
         return abs(self.believed_frequency(site) - self.true_frequency(site))
 
-    # ---- ports and frames --------------------------------------------------------------
+    # ---- ports and frames ------------------------------------------------------------
 
     def port(self, name: str) -> Port:
         """Lookup a port by name."""
@@ -236,7 +289,7 @@ class SimulatedDevice(QDMIDevice):
             return Frame(f"{port.name}-frame", self.believed_frequency(site), 0.0)
         return Frame(f"{port.name}-frame", 0.0, 0.0)
 
-    # ---- QDMI query interface -------------------------------------------------------------
+    # ---- QDMI query interface --------------------------------------------------------
 
     def query_device_property(self, prop: DeviceProperty) -> Any:
         cfg = self.config
@@ -389,7 +442,7 @@ class SimulatedDevice(QDMIDevice):
             )
         return super().query_frame_property(frame, prop)
 
-    # ---- job interface ----------------------------------------------------------------------
+    # ---- job interface ---------------------------------------------------------------
 
     def submit_job(self, job: QDMIJob) -> None:
         """Run *job* synchronously; terminal state is DONE or FAILED."""
@@ -411,7 +464,8 @@ class SimulatedDevice(QDMIDevice):
         try:
             schedule = self._payload_to_schedule(job)
             self.config.constraints.validate_schedule(schedule)
-            result = self._current_executor().execute(
+            executor = self._executor_for(job.metadata.get("decoherence"))
+            result = executor.execute(
                 schedule,
                 shots=job.shots,
                 seed=job.metadata.get("seed", job.job_id),

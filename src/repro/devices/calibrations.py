@@ -15,7 +15,7 @@ quantum gate by providing its pulse waveform". That is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.frame import Frame

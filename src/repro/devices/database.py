@@ -55,7 +55,7 @@ class CalibrationDatabaseDevice(QDMIDevice):
         """All stored record keys, sorted."""
         return sorted(self._records)
 
-    # ---- QDMI query interface ---------------------------------------------------------
+    # ---- QDMI query interface --------------------------------------------------------
 
     def query_device_property(self, prop: DeviceProperty) -> Any:
         if prop is DeviceProperty.NAME:
@@ -81,10 +81,12 @@ class CalibrationDatabaseDevice(QDMIDevice):
     def query_site_property(self, site: Site, prop: SiteProperty) -> Any:
         raise UnsupportedQueryError(f"database {self._name!r} has no sites")
 
-    def query_operation_property(self, operation, sites, prop: OperationProperty) -> Any:
+    def query_operation_property(
+        self, operation, sites, prop: OperationProperty
+    ) -> Any:
         raise UnsupportedQueryError(f"database {self._name!r} has no operations")
 
-    # ---- job interface ------------------------------------------------------------------
+    # ---- job interface ---------------------------------------------------------------
 
     def submit_job(self, job: QDMIJob) -> None:
         raise JobError(f"database {self._name!r} does not execute jobs")

@@ -128,7 +128,14 @@ class NeutralAtomDevice(SimulatedDevice):
             max_pulse_duration=1 << 18,
             max_amplitude=1.0,
             supported_envelopes=frozenset(
-                {"gaussian", "gaussian_square", "constant", "square", "sine", "blackman"}
+                {
+                    "gaussian",
+                    "gaussian_square",
+                    "constant",
+                    "square",
+                    "sine",
+                    "blackman",
+                }
             ),
             min_frequency=0.0,
             max_frequency=2e9,
@@ -165,7 +172,7 @@ class NeutralAtomDevice(SimulatedDevice):
         self._pairs = pairs
         self._build_calibrations(num_qubits)
 
-    # ---- calibrated waveforms ------------------------------------------------------------
+    # ---- calibrated waveforms --------------------------------------------------------
 
     def x_waveform(self, rotation: float = 1.0):
         """Gaussian laser pulse for a pi*rotation rotation."""
@@ -202,7 +209,9 @@ class NeutralAtomDevice(SimulatedDevice):
     def _make_x_entry(self, name: str, q: int, rotation: float) -> CalibrationEntry:
         def builder(sched: PulseSchedule, params) -> None:
             port = self.drive_port(q)
-            sched.append(Play(port, self.default_frame(port), self.x_waveform(rotation)))
+            sched.append(
+                Play(port, self.default_frame(port), self.x_waveform(rotation))
+            )
 
         return CalibrationEntry(name, (q,), builder, self.X_DURATION)
 
@@ -230,7 +239,12 @@ class NeutralAtomDevice(SimulatedDevice):
             sched.barrier(drive, ro, acq)
             sched.append(Play(ro, self.default_frame(ro), self.readout_waveform()))
             sched.append(
-                Capture(acq, self.default_frame(acq), int(params[0]), self.READOUT_DURATION)
+                Capture(
+                    acq,
+                    self.default_frame(acq),
+                    int(params[0]),
+                    self.READOUT_DURATION,
+                )
             )
 
         return CalibrationEntry(

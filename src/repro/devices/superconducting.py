@@ -16,12 +16,10 @@ Models a line of fixed-frequency transmons with tunable couplers:
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 
 from repro.core.constraints import PulseConstraints
-from repro.core.frame import Frame
 from repro.core.instructions import Capture, Play, ShiftPhase
 from repro.core.port import Port
 from repro.core.schedule import PulseSchedule
@@ -153,7 +151,12 @@ class SuperconductingDevice(SimulatedDevice):
             drift_rate=drift_rate,
             extra={
                 "anharmonicities": anharms,
-                "fidelities": {"x": 0.9995, "sx": 0.9996, "cz": 0.993, "measure": 0.985},
+                "fidelities": {
+                    "x": 0.9995,
+                    "sx": 0.9996,
+                    "cz": 0.993,
+                    "measure": 0.985,
+                },
             },
         )
 
@@ -177,7 +180,7 @@ class SuperconductingDevice(SimulatedDevice):
         self._pairs = pairs
         self._build_calibrations(num_qubits)
 
-    # ---- calibration builders ---------------------------------------------------------
+    # ---- calibration builders --------------------------------------------------------
 
     def _pi_amp(self, rotation: float) -> float:
         """Amplitude for a DRAG pulse producing *rotation* (units of pi).
@@ -232,7 +235,9 @@ class SuperconductingDevice(SimulatedDevice):
     def _make_x_entry(self, name: str, q: int, rotation: float) -> CalibrationEntry:
         def builder(sched: PulseSchedule, params) -> None:
             port = self.drive_port(q)
-            sched.append(Play(port, self.default_frame(port), self.x_waveform(rotation)))
+            sched.append(
+                Play(port, self.default_frame(port), self.x_waveform(rotation))
+            )
 
         return CalibrationEntry(name, (q,), builder, self.X_DURATION)
 
@@ -260,7 +265,12 @@ class SuperconductingDevice(SimulatedDevice):
             sched.barrier(drive, ro, acq)
             sched.append(Play(ro, self.default_frame(ro), self.readout_waveform()))
             sched.append(
-                Capture(acq, self.default_frame(acq), int(params[0]), self.READOUT_DURATION)
+                Capture(
+                    acq,
+                    self.default_frame(acq),
+                    int(params[0]),
+                    self.READOUT_DURATION,
+                )
             )
 
         return CalibrationEntry(

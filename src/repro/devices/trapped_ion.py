@@ -169,14 +169,18 @@ class TrappedIonDevice(SimulatedDevice):
         self._pairs = pairs
         self._build_calibrations(num_qubits)
 
-    # ---- calibrated waveforms -----------------------------------------------------------
+    # ---- calibrated waveforms --------------------------------------------------------
 
     def x_waveform(self, rotation: float = 1.0):
         """Flat-top addressing pulse for a pi*rotation rotation."""
-        unit = gaussian_square_waveform(self.X_DURATION, 1.0, self.X_SIGMA, self.X_WIDTH)
+        unit = gaussian_square_waveform(
+            self.X_DURATION, 1.0, self.X_SIGMA, self.X_WIDTH
+        )
         integral = float(np.real(unit.samples()).sum()) * self.config.constraints.dt
         amp = rotation * 0.5 / (self._rabi * integral)
-        return gaussian_square_waveform(self.X_DURATION, amp, self.X_SIGMA, self.X_WIDTH)
+        return gaussian_square_waveform(
+            self.X_DURATION, amp, self.X_SIGMA, self.X_WIDTH
+        )
 
     def ms_waveform(self):
         """Effective entangling (geometric-phase) pulse for CZ."""
@@ -185,7 +189,9 @@ class TrappedIonDevice(SimulatedDevice):
         )
         integral = float(np.real(unit.samples()).sum()) * self.config.constraints.dt
         amp = 0.5 / (self._ms_rate * integral)
-        return gaussian_square_waveform(self.MS_DURATION, amp, self.MS_SIGMA, self.MS_WIDTH)
+        return gaussian_square_waveform(
+            self.MS_DURATION, amp, self.MS_SIGMA, self.MS_WIDTH
+        )
 
     def readout_waveform(self):
         """Fluorescence stimulus pulse."""
@@ -204,7 +210,9 @@ class TrappedIonDevice(SimulatedDevice):
     def _make_x_entry(self, name: str, q: int, rotation: float) -> CalibrationEntry:
         def builder(sched: PulseSchedule, params) -> None:
             port = self.drive_port(q)
-            sched.append(Play(port, self.default_frame(port), self.x_waveform(rotation)))
+            sched.append(
+                Play(port, self.default_frame(port), self.x_waveform(rotation))
+            )
 
         return CalibrationEntry(name, (q,), builder, self.X_DURATION)
 
@@ -232,7 +240,12 @@ class TrappedIonDevice(SimulatedDevice):
             sched.barrier(drive, ro, acq)
             sched.append(Play(ro, self.default_frame(ro), self.readout_waveform()))
             sched.append(
-                Capture(acq, self.default_frame(acq), int(params[0]), self.READOUT_DURATION)
+                Capture(
+                    acq,
+                    self.default_frame(acq),
+                    int(params[0]),
+                    self.READOUT_DURATION,
+                )
             )
 
         return CalibrationEntry(

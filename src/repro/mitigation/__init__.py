@@ -8,8 +8,18 @@ the readout calibrations measured by :mod:`repro.calibration.readout`.
 
 from repro.mitigation.readout import (
     MitigatedResult,
+    MitigationValidation,
     mitigate_counts,
     mitigate_distribution,
+    total_variation_distance,
+    validate_readout_mitigation,
 )
 
-__all__ = ["mitigate_counts", "mitigate_distribution", "MitigatedResult"]
+__all__ = [
+    "mitigate_counts",
+    "mitigate_distribution",
+    "MitigatedResult",
+    "MitigationValidation",
+    "total_variation_distance",
+    "validate_readout_mitigation",
+]

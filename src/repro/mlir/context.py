@@ -11,7 +11,7 @@ and types; the verifier and the pass manager consult it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import IRError

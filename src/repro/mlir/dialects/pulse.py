@@ -31,14 +31,24 @@ readout frame followed by a capture"):
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any
 
 import numpy as np
 
 from repro.core.waveform import ParametricWaveform, SampledWaveform, Waveform
 from repro.errors import IRError
 from repro.mlir.context import Dialect, OpSpec
-from repro.mlir.ir import F64, I1, Block, Builder, Module, Operation, Region, Type, Value
+from repro.mlir.ir import (
+    F64,
+    I1,
+    Block,
+    Builder,
+    Module,
+    Operation,
+    Region,
+    Type,
+    Value,
+)
 
 #: Dialect type singletons.
 PORT = Type("!pulse.port")
@@ -302,7 +312,9 @@ class SequenceBuilder:
             attrs["phase"] = float(phase)
         return self._builder.create("pulse.frame_change", operands, attributes=attrs)
 
-    def set_frequency(self, mixed_frame: Value, frequency: "Value | float") -> Operation:
+    def set_frequency(
+        self, mixed_frame: Value, frequency: "Value | float"
+    ) -> Operation:
         if isinstance(frequency, Value):
             return self._builder.create(
                 "pulse.set_frequency", [mixed_frame, frequency]

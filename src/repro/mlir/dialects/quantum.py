@@ -145,7 +145,9 @@ class CircuitBuilder:
         """Append a CZ gate."""
         return self._gate("quantum.cz", qubits=[a, b])
 
-    def gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "CircuitBuilder":
+    def gate(
+        self, name: str, qubits: Sequence[int], params: Sequence[float] = ()
+    ) -> "CircuitBuilder":
         """Append a custom (waveform-defined) gate by name."""
         return self._gate(
             "quantum.gate",

@@ -19,7 +19,7 @@ without reproducing MLIR's full attribute zoo.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from repro.errors import IRError
@@ -189,7 +189,11 @@ def _deep_copy_attrs(attrs: Any) -> Any:
 class Block:
     """A sequence of operations with typed block arguments."""
 
-    def __init__(self, arg_types: Iterable[Type] = (), arg_names: Iterable[str] | None = None):
+    def __init__(
+        self,
+        arg_types: Iterable[Type] = (),
+        arg_names: Iterable[str] | None = None,
+    ):
         names = list(arg_names) if arg_names is not None else None
         self.arguments: list[Value] = []
         for i, t in enumerate(arg_types):

@@ -15,7 +15,6 @@ The pass is local (per block) and runs to a fixed point.
 
 from __future__ import annotations
 
-from repro.errors import PassError
 from repro.mlir.context import MLIRContext
 from repro.mlir.ir import Block, Module, Operation
 from repro.mlir.passes.manager import Pass

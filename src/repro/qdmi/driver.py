@@ -7,9 +7,8 @@ implementing session and job control structures." (paper §5.3)
 
 from __future__ import annotations
 
-from typing import Iterable
 
-from repro.errors import QDMIError, SessionError
+from repro.errors import QDMIError
 from repro.qdmi.device import QDMIDevice
 from repro.qdmi.properties import DeviceProperty, PulseSupportLevel
 from repro.qdmi.session import QDMISession
@@ -53,7 +52,7 @@ class QDMIDriver:
                 f"device {name!r} not registered; known: {self.device_names()}"
             ) from None
 
-    # ---- session control ---------------------------------------------------------------
+    # ---- session control -------------------------------------------------------------
 
     def open_session(self, device_name: str, client_name: str) -> QDMISession:
         """Open a session for *client_name* on *device_name*."""
@@ -76,7 +75,7 @@ class QDMIDriver:
         """Currently open sessions."""
         return [s for s in self._sessions if s.is_open]
 
-    # ---- discovery helpers ------------------------------------------------------------
+    # ---- discovery helpers -----------------------------------------------------------
 
     def devices_with_pulse_support(
         self, minimum: PulseSupportLevel = PulseSupportLevel.SITE

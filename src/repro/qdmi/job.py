@@ -50,7 +50,9 @@ class QDMIJob:
         if shots < 0:
             raise JobError(f"shots must be >= 0, got {shots}")
         if not isinstance(program_format, ProgramFormat):
-            raise JobError(f"program_format must be a ProgramFormat, got {program_format!r}")
+            raise JobError(
+                f"program_format must be a ProgramFormat, got {program_format!r}"
+            )
         self.job_id = next(_job_ids)
         self.device_name = device_name
         self.program_format = program_format

@@ -60,7 +60,7 @@ class QDMISession:
     def device_name(self) -> str:
         return self._check().name
 
-    # ---- query forwarding --------------------------------------------------------------
+    # ---- query forwarding ------------------------------------------------------------
 
     def query_device_property(self, prop: DeviceProperty) -> Any:
         return self._check().query_device_property(prop)
@@ -79,7 +79,7 @@ class QDMISession:
     def query_frame_property(self, frame: Frame, prop: FrameProperty) -> Any:
         return self._check().query_frame_property(frame, prop)
 
-    # ---- job interface ------------------------------------------------------------------
+    # ---- job interface ---------------------------------------------------------------
 
     def create_job(
         self,

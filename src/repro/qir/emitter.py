@@ -206,7 +206,11 @@ class _Emitter:
                 QIRCall(
                     "__quantum__pulse__waveform_play__body",
                     pf(ins)
-                    + [QIRArg("%Waveform*", "local", self._waveform_value(ins.waveform))],
+                    + [
+                        QIRArg(
+                            "%Waveform*", "local", self._waveform_value(ins.waveform)
+                        )
+                    ],
                 )
             )
         elif isinstance(ins, FrameChange):

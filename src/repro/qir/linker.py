@@ -129,7 +129,10 @@ class _Linker:
             port, frame = self._resolve(call, 0), self._resolve(call, 1)
             self.schedule.append(
                 FrameChange(
-                    port, frame, float(self._resolve(call, 2)), float(self._resolve(call, 3))
+                    port,
+                    frame,
+                    float(self._resolve(call, 2)),
+                    float(self._resolve(call, 3)),
                 )
             )
         elif c == "__quantum__pulse__set_frequency__body":
@@ -169,7 +172,7 @@ class _Linker:
         else:  # pragma: no cover
             raise LinkError(f"unhandled pulse intrinsic @{c}")
 
-    # ---- QIS (gate-level) intrinsics ---------------------------------------------------
+    # ---- QIS (gate-level) intrinsics -------------------------------------------------
 
     def _link_qis(self, call: QIRCall) -> None:
         c = call.callee
@@ -195,7 +198,9 @@ class _Linker:
             q = qubit(0)
             result_arg = call.args[1]
             if result_arg.kind != "result":
-                raise LinkError("@__quantum__qis__mz__body: second arg must be %Result*")
+                raise LinkError(
+                    "@__quantum__qis__mz__body: second arg must be %Result*"
+                )
             cal.get("measure", (q,)).apply(self.schedule, [int(result_arg.value)])
         else:  # pragma: no cover
             raise LinkError(f"unhandled QIS intrinsic @{c}")

@@ -153,7 +153,9 @@ def parse_qir(text: str) -> QIRModule:
         m = _CALL_RE.match(line)
         if m and in_function:
             result, result_type, callee, argstr = m.groups()
-            args = [_parse_arg(a) for a in _split_args(argstr)] if argstr.strip() else []
+            args = (
+                [_parse_arg(a) for a in _split_args(argstr)] if argstr.strip() else []
+            )
             body.append(QIRCall(callee, args, result=result, result_type=result_type))
             continue
         if in_function:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.instructions import Capture, Delay, FrameChange, Play
+from repro.core.instructions import Delay, FrameChange, Play
 from repro.core.schedule import PulseSchedule
 from repro.core.waveform import SampledWaveform
 from repro.errors import ValidationError
@@ -30,7 +30,9 @@ from repro.qpi.qpi import (
 )
 
 
-def qpi_to_schedule(circuit: QCircuit, device: Any, name: str = "qpi-kernel") -> PulseSchedule:
+def qpi_to_schedule(
+    circuit: QCircuit, device: Any, name: str = "qpi-kernel"
+) -> PulseSchedule:
     """Convert a QPI circuit into a device-bound pulse schedule."""
     schedule = PulseSchedule(name)
     cal = device.calibrations

@@ -59,7 +59,9 @@ class PythonicCircuit:
 
     # ---- internal per-call machinery (the overhead being measured) ---------------
 
-    def _append(self, name: str, qubits: tuple[int, ...], **params: Any) -> PInstruction:
+    def _append(
+        self, name: str, qubits: tuple[int, ...], **params: Any
+    ) -> PInstruction:
         for q in qubits:
             if q >= self.num_qubits:
                 raise ValidationError(
@@ -101,7 +103,7 @@ class PythonicCircuit:
         self._append("measure", (qubit,), clbit=clbit)
         return self
 
-    # ---- pulse API --------------------------------------------------------------------
+    # ---- pulse API -------------------------------------------------------------------
 
     def waveform(self, name: str, samples) -> str:
         """Register a named waveform; samples normalized + validated."""
@@ -127,9 +129,15 @@ class PythonicCircuit:
         )
         return self
 
-    def frame_change(self, port: str, frequency: float, phase: float) -> "PythonicCircuit":
+    def frame_change(
+        self, port: str, frequency: float, phase: float
+    ) -> "PythonicCircuit":
         self._append(
-            "frame_change", (), port=str(port), frequency=float(frequency), phase=float(phase)
+            "frame_change",
+            (),
+            port=str(port),
+            frequency=float(frequency),
+            phase=float(phase),
         )
         return self
 
@@ -137,7 +145,7 @@ class PythonicCircuit:
         self._append("delay", (), port=str(port), duration=int(samples))
         return self
 
-    # ---- conversion ----------------------------------------------------------------------
+    # ---- conversion ------------------------------------------------------------------
 
     def to_qpi_ops(self) -> list[tuple]:
         """Translate into the QPI op-buffer format (for execution)."""
@@ -158,7 +166,11 @@ class PythonicCircuit:
                 out.append((q.OP_MEASURE, ins.qubits[0], ins.params["clbit"]))
             elif ins.name == "play":
                 out.append(
-                    (q.OP_PLAY, ins.params["port"], waveform_index[ins.params["waveform"]])
+                    (
+                        q.OP_PLAY,
+                        ins.params["port"],
+                        waveform_index[ins.params["waveform"]],
+                    )
                 )
             elif ins.name == "frame_change":
                 out.append(

@@ -143,7 +143,7 @@ def qMeasure(qubit: int, creg: int) -> None:
     _current().ops.append((OP_MEASURE, qubit, creg))
 
 
-# ---- pulse-level calls (the paper's three new primitives) ------------------------------
+# ---- pulse-level calls (the paper's three new primitives) ----------------------------
 
 
 def qWaveform(amps) -> int:

@@ -44,16 +44,22 @@ class RequestBatcher:
 
     @staticmethod
     def coalesce_key(
-        device_name: str, fingerprint: str, seed: int | None = None
+        device_name: str,
+        fingerprint: str,
+        seed: int | None = None,
+        variant: str = "",
     ) -> str:
         """Grouping key: same device + same payload content + same seed.
 
         The seed is part of the key because a coalesced group executes
         once with the group's (shared) seed — merging requests that
         asked for different seeds would silently change their
-        documented deterministic counts.
+        documented deterministic counts. *variant* distinguishes
+        requests whose payload is identical but whose execution model
+        is not (per-request decoherence overrides in a noise sweep):
+        two points of a T1/T2 grid must never share one execution.
         """
-        return f"{device_name}/{fingerprint}/s{seed}"
+        return f"{device_name}/{fingerprint}/s{seed}/{variant}"
 
     def split_counts(
         self, counts: dict[str, int], shots_per_request: list[int]

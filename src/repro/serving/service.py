@@ -368,8 +368,12 @@ class PulseService:
         entry.fingerprint = self.client.compiler.payload_fingerprint(
             entry.payload, entry.request.scalar_args or None
         )
+        decoherence = (entry.request.metadata or {}).get("decoherence")
         entry.coalesce_key = self.batcher.coalesce_key(
-            entry.device, entry.fingerprint, entry.request.seed
+            entry.device,
+            entry.fingerprint,
+            entry.request.seed,
+            variant=repr(decoherence) if decoherence is not None else "",
         )
 
     def _place(

@@ -20,6 +20,16 @@ Why this is fast end to end:
   amplitudes (flat-tops, symmetric scans) skip decompositions, and
 * identical points coalesce in the serving layer like any other
   repeat traffic (compile cache, request batcher).
+
+Noise-parameter sweeps — the open-system engine's workload — scan
+T1/T2 instead of (or on top of) pulse amplitudes: the *decoherence*
+hook maps each parameter set to a per-site
+:class:`~repro.sim.model.DecoherenceSpec` override that rides in the
+expanded request's metadata, and the simulated device executes that
+point against a model with exactly those coherence times (same drift,
+same calibrations, same shared unitary-propagator cache).
+:meth:`SweepRequest.noise_grid` builds the common case: one fixed
+program evaluated over a T1 x T2 grid.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ import numpy as np
 
 from repro.client.client import ClientResult, JobRequest
 from repro.errors import ServiceError
+from repro.sim.model import DecoherenceSpec
 
 
 @dataclass
@@ -49,6 +60,13 @@ class SweepRequest:
         The scan points, in order. Results come back aligned.
     device, shots, adapter, priority, seed:
         Forwarded to every expanded :class:`JobRequest`.
+    decoherence:
+        Optional callable mapping one parameter set to a per-site
+        sequence of :class:`~repro.sim.model.DecoherenceSpec` (or
+        ``(t1, t2)`` pairs). When given, each expanded request carries
+        the override in ``metadata["decoherence"]`` and the simulated
+        device executes that point with exactly those coherence times
+        — the serving route into the open-system engine.
     """
 
     build: Callable[[Any], Any]
@@ -59,6 +77,7 @@ class SweepRequest:
     priority: int = 0
     seed: int | None = None
     metadata: dict = field(default_factory=dict)
+    decoherence: Callable[[Any], Sequence] | None = None
 
     @classmethod
     def from_programs(
@@ -72,22 +91,69 @@ class SweepRequest:
             **kwargs,
         )
 
+    @classmethod
+    def noise_grid(
+        cls,
+        program: Any,
+        device: str,
+        *,
+        t1_values: Sequence[float],
+        t2_values: Sequence[float],
+        n_sites: int,
+        skip_unphysical: bool = True,
+        **kwargs: Any,
+    ) -> "SweepRequest":
+        """A T1 x T2 grid sweep of one fixed *program*.
+
+        Every site gets the point's ``DecoherenceSpec(t1, t2)``.
+        Combinations with ``t2 > 2*t1`` are unphysical; they are
+        dropped by default (*skip_unphysical*) so rectangular grids
+        stay convenient — pass ``False`` to get the
+        :class:`~repro.errors.ValidationError` instead.
+        """
+        points = [
+            (float(t1), float(t2))
+            for t1 in t1_values
+            for t2 in t2_values
+            if not (skip_unphysical and t2 > 2.0 * t1)
+        ]
+        if not points:
+            raise ServiceError(
+                "noise grid is empty (every T1/T2 combination was "
+                "unphysical: T2 <= 2*T1 required)"
+            )
+        return cls(
+            build=lambda point: program,
+            parameters=points,
+            device=device,
+            decoherence=lambda point: tuple(
+                DecoherenceSpec(t1=point[0], t2=point[1])
+                for _ in range(n_sites)
+            ),
+            **kwargs,
+        )
+
     def expand(self) -> list[JobRequest]:
         """One :class:`JobRequest` per scan point, in scan order."""
         if not self.parameters:
             raise ServiceError("sweep has no parameter sets")
-        return [
-            JobRequest(
-                program=self.build(p),
-                device=self.device,
-                shots=self.shots,
-                adapter=self.adapter,
-                priority=self.priority,
-                seed=self.seed,
-                metadata={**self.metadata, "sweep_index": i},
+        requests = []
+        for i, p in enumerate(self.parameters):
+            metadata = {**self.metadata, "sweep_index": i}
+            if self.decoherence is not None:
+                metadata["decoherence"] = tuple(self.decoherence(p))
+            requests.append(
+                JobRequest(
+                    program=self.build(p),
+                    device=self.device,
+                    shots=self.shots,
+                    adapter=self.adapter,
+                    priority=self.priority,
+                    seed=self.seed,
+                    metadata=metadata,
+                )
             )
-            for i, p in enumerate(self.parameters)
-        ]
+        return requests
 
 
 class SweepTicket:

@@ -12,8 +12,11 @@ this simulator instead. It implements:
 * piecewise-constant Schrodinger evolution in the rotating frame, with
   frame-aware carrier modulation (detuning + phase from
   :class:`~repro.core.frame.FrameState`),
-* optional Lindblad-style decoherence via per-step Kraus channels
-  (T1 amplitude damping, T2 pure dephasing),
+* exact open-system (Lindblad) evolution with finite T1/T2 through the
+  batched superoperator engine of :mod:`repro.sim.open_system` (T1
+  amplitude damping, T2 pure dephasing; quantum-jump trajectories for
+  large Hilbert spaces; the legacy per-step Kraus splitting kept as
+  ``open_system_method="kraus"``),
 * projective measurement with a configurable readout-error model and
   seeded shot sampling,
 * fidelity metrics used by calibration and optimal control.
@@ -34,6 +37,7 @@ from repro.sim.operators import (
 from repro.sim.model import ChannelCoupling, DecoherenceSpec, SystemModel
 from repro.sim.evolve import (
     PropagatorCache,
+    batched_expm,
     batched_expm_and_frechet,
     batched_propagators,
     build_hamiltonians,
@@ -43,6 +47,17 @@ from repro.sim.evolve import (
     hamiltonian_fingerprint,
     propagator_sequence,
     step_propagator,
+)
+from repro.sim.open_system import (
+    OpenSystemEngine,
+    as_density,
+    batched_superpropagators,
+    collapse_operators,
+    dissipator_superoperator,
+    hamiltonian_superoperators,
+    lindblad_superoperators,
+    unvectorize_density,
+    vectorize_density,
 )
 from repro.sim.executor import ExecutionResult, ScheduleExecutor
 from repro.sim.measurement import ReadoutModel, sample_counts
@@ -74,9 +89,19 @@ __all__ = [
     "propagator_sequence",
     "build_hamiltonians",
     "batched_propagators",
+    "batched_expm",
     "batched_expm_and_frechet",
     "hamiltonian_fingerprint",
     "PropagatorCache",
+    "OpenSystemEngine",
+    "as_density",
+    "batched_superpropagators",
+    "collapse_operators",
+    "dissipator_superoperator",
+    "hamiltonian_superoperators",
+    "lindblad_superoperators",
+    "vectorize_density",
+    "unvectorize_density",
     "ScheduleExecutor",
     "ExecutionResult",
     "ReadoutModel",

@@ -344,6 +344,100 @@ def batched_propagators(
     return out
 
 
+def batched_expm(
+    matrices: np.ndarray,
+    *,
+    scale: float | np.ndarray = 1.0,
+    method: str = "auto",
+) -> np.ndarray:
+    """``exp(scale_k * A_k)`` for a stack of *general* square matrices.
+
+    The open-system engine exponentiates Lindblad superoperators —
+    non-Hermitian, so the ``eigh`` route of
+    :func:`batched_propagators` does not apply — through the same
+    scaling-and-squaring Paterson-Stockmeyer evaluation: pure batched
+    matmuls after a per-matrix trace shift. Unlike the Hermitian case
+    there is no spectral fallback, so ``method="dense"`` hands the
+    stack to ``scipy.linalg.expm`` (Pade) one matrix at a time — the
+    accurate route when a slice's scaled norm would need excessive
+    squaring. ``"auto"`` picks ``"expm"`` below the squaring-level
+    bound and ``"dense"`` above it.
+
+    Parameters
+    ----------
+    matrices:
+        Stack of shape ``(n, m, m)`` — complex, no symmetry assumed.
+    scale:
+        Scalar or length-``n`` multiplier folded into the exponent
+        (e.g. ``dt * steps`` in seconds for superoperator stacks whose
+        rates are per-second).
+    """
+    a = np.asarray(matrices, dtype=np.complex128)
+    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+        raise ValidationError(
+            f"matrix stack must have shape (n, m, m), got {a.shape}"
+        )
+    if method not in ("auto", "expm", "dense"):
+        raise ValidationError(
+            f"method must be 'auto', 'expm' or 'dense', got {method!r}"
+        )
+    n, m = a.shape[0], a.shape[1]
+    if n == 0:
+        return a.copy()
+    scale_arr = np.asarray(scale)
+    if scale_arr.ndim not in (0, 1) or (
+        scale_arr.ndim == 1 and scale_arr.shape[0] != n
+    ):
+        raise ValidationError(
+            f"scale must be a scalar or length-{n} array, got shape "
+            f"{scale_arr.shape}"
+        )
+    coeff = np.asarray(scale_arr, dtype=np.complex128)
+    mu = np.trace(a, axis1=1, axis2=2) / m
+    if method == "auto":
+        row_sums = np.abs(a).sum(axis=2).max(axis=1)
+        radius = np.abs(coeff) * (row_sums + np.abs(mu))
+        method = (
+            "dense"
+            if radius.max() > _PS_SCALE_THRESHOLD * 2.0**_EXPM_MAX_LEVELS
+            else "expm"
+        )
+    if method == "dense":
+        return _dense_expm(a, coeff)
+    shift = np.broadcast_to(coeff * mu, (n,))  # mu is (n,), so shift is too
+    out = np.empty_like(a)
+    for lo in range(0, n, _EXPM_CHUNK):
+        hi = min(lo + _EXPM_CHUNK, n)
+        c = coeff if coeff.ndim == 0 else coeff[lo:hi]
+        _expm_skew_batched(a[lo:hi], c, shift[lo:hi], out[lo:hi])
+    out *= np.exp(shift)[:, None, None]
+    return out
+
+
+def _dense_expm(a: np.ndarray, coeff: np.ndarray) -> np.ndarray:
+    """Per-matrix dense exponential fallback (scipy Pade when present)."""
+    scaled = a * np.broadcast_to(coeff, (a.shape[0],))[:, None, None]
+    try:
+        from scipy.linalg import expm as _scipy_expm
+    except ImportError:  # scipy is optional at runtime: diagonalize instead
+        out = np.empty_like(scaled)
+        for k in range(scaled.shape[0]):
+            evals, vecs = np.linalg.eig(scaled[k])
+            # Non-normal matrices can be near-defective; eig+inv then
+            # returns garbage silently. Fail loud instead: scipy's Pade
+            # route is the supported path for these inputs.
+            cond = np.linalg.cond(vecs)
+            if not np.isfinite(cond) or cond > 1e12:
+                raise ValidationError(
+                    "dense expm fallback: eigenvector matrix is "
+                    f"ill-conditioned (cond ~ {cond:.1e}); install scipy "
+                    "for the Pade route"
+                )
+            out[k] = (vecs * np.exp(evals)) @ np.linalg.inv(vecs)
+        return out
+    return np.stack([_scipy_expm(scaled[k]) for k in range(scaled.shape[0])])
+
+
 def batched_expm_and_frechet(
     hamiltonians: np.ndarray, dt: float
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -422,12 +516,18 @@ class PropagatorCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def _key(self, fingerprint: bytes, dt: float, steps: int) -> tuple:
+    def _key(
+        self, fingerprint: bytes, dt: float, steps: int, tag: str = ""
+    ) -> tuple:
         # Non-integral steps would compute one propagator but file it
         # under the truncated key, poisoning later integer lookups.
         if steps != int(steps):
             raise ValidationError(f"steps must be integral, got {steps}")
-        return (fingerprint, float(dt), int(steps))
+        # The tag namespaces entries produced by different compute
+        # functions (e.g. Lindblad superoperator propagators keyed on
+        # the same Hamiltonian fingerprints) so they cannot collide
+        # with plain unitary propagators in a shared cache.
+        return (tag, fingerprint, float(dt), int(steps))
 
     def propagator(
         self,
@@ -457,12 +557,23 @@ class PropagatorCache:
         hamiltonians: np.ndarray,
         dt: float,
         steps: int | np.ndarray = 1,
+        *,
+        compute=None,
+        tag: str = "",
     ) -> np.ndarray:
         """Cached equivalent of :func:`batched_propagators`.
 
         Looks every slice up by ``(fingerprint, dt, steps)``; the
         misses are deduplicated within the batch, diagonalized with a
         single batched call, and inserted.
+
+        *compute* overrides the batched computation for the misses —
+        any ``(hamiltonians, dt, steps) -> stack`` callable; the
+        open-system engine passes its superoperator exponentiation
+        here so Lindblad propagators get the same fingerprint-keyed
+        dedup/memoization as unitaries. A non-empty *tag* namespaces
+        those entries (the key stays the *Hamiltonian* fingerprint,
+        which is cheaper to hash than the ``D^2 x D^2`` superoperator).
         """
         hs = np.asarray(hamiltonians, dtype=np.complex128)
         if hs.ndim != 3 or hs.shape[1] != hs.shape[2]:
@@ -488,7 +599,7 @@ class PropagatorCache:
         reps = np.concatenate(([0], np.nonzero(changed)[0] + 1))
         run_sizes = np.diff(np.concatenate((reps, [n])))
         keys = [
-            self._key(hamiltonian_fingerprint(hs[k]), dt, steps_arr[k])
+            self._key(hamiltonian_fingerprint(hs[k]), dt, steps_arr[k], tag)
             for k in reps
         ]
         run_props: list[np.ndarray | None] = [None] * len(reps)
@@ -505,7 +616,7 @@ class PropagatorCache:
                     miss_runs.setdefault(key, []).append(i)
         if miss_runs:
             sel = reps[[runs[0] for runs in miss_runs.values()]]
-            fresh = batched_propagators(hs[sel], dt, steps_arr[sel])
+            fresh = (compute or batched_propagators)(hs[sel], dt, steps_arr[sel])
             for u, runs in zip(fresh, miss_runs.values()):
                 # Copy before storing: a row view would pin the whole
                 # (n_miss, D, D) batch in memory for the entry's LRU

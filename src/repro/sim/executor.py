@@ -20,8 +20,13 @@ a pulse job reaches it. It interprets a
    whose amplitudes were seen before (flat-tops, parameter sweeps) and
    drift-only runs reusing the model's precomputed eigendecomposition.
 4. Decoherence — with finite T1/T2 the state is a density matrix and
-   per-site Kraus channels are applied after each constant run (exact
-   for free segments, first-order splitting during drive).
+   the constant runs evolve through the batched open-system engine
+   (:class:`~repro.sim.open_system.OpenSystemEngine`): exact Lindblad
+   superoperator propagators, stacked and exponentiated together, with
+   a quantum-jump trajectory path for large Hilbert spaces. The legacy
+   unitary+Kraus Trotter interleave is kept behind
+   ``open_system_method="kraus"`` (first-order splitting during drive,
+   no inter-level cascade within a run).
 5. Measurement — :class:`Capture` instructions define the measured
    sites and classical slots; outcomes include exact probabilities,
    seeded shot counts, and per-site leakage.
@@ -30,8 +35,9 @@ a pulse job reaches it. It interprets a
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 
@@ -62,6 +68,11 @@ from repro.sim.measurement import (
     sample_counts,
 )
 from repro.sim.model import SystemModel
+from repro.sim.open_system import (
+    _RATE_FLOOR,
+    OpenSystemEngine,
+    dephasing_rate,
+)
 from repro.sim.operators import basis_state, identity
 
 _TWO_PI = 2.0 * math.pi
@@ -148,13 +159,27 @@ class _FrameTimeline:
 class ScheduleExecutor:
     """Executes pulse schedules against one :class:`SystemModel`."""
 
+    #: Largest number of (site, tau) Kraus-operator sets kept warm.
+    _MAX_KRAUS_ENTRIES = 1024
+
     def __init__(
         self,
         model: SystemModel,
         readout: Mapping[int, ReadoutModel] | None = None,
         *,
         propagator_cache: PropagatorCache | None = None,
+        open_system_method: str = "auto",
     ) -> None:
+        if open_system_method not in (
+            "auto",
+            "superoperator",
+            "trajectories",
+            "kraus",
+        ):
+            raise ValidationError(
+                "open_system_method must be 'auto', 'superoperator', "
+                f"'trajectories' or 'kraus', got {open_system_method!r}"
+            )
         self.model = model
         self.readout = dict(readout or {})
         self._drift_eig = np.linalg.eigh(model.drift)
@@ -163,6 +188,34 @@ class ScheduleExecutor:
         self.propagator_cache = (
             propagator_cache if propagator_cache is not None else PropagatorCache()
         )
+        #: How density-matrix evolution runs (see module docstring);
+        #: "kraus" selects the legacy unitary+Kraus interleave.
+        self.open_system_method = open_system_method
+        self._open_engine: "OpenSystemEngine | None" = None
+        # Kraus operators depend only on (site, tau): cache them so
+        # repeated executions (sweeps, serving traffic) skip the
+        # per-run rebuild including the full-space embed calls.
+        # LRU-bounded: delay sweeps mint a fresh tau per scan point.
+        self._kraus_cache: OrderedDict[
+            tuple[int, float], list[np.ndarray]
+        ] = OrderedDict()
+
+    @property
+    def open_system(self) -> "OpenSystemEngine":
+        """The lazily built open-system engine for this model."""
+        if self._open_engine is None:
+            method = self.open_system_method
+            engine_method = "auto" if method in ("auto", "kraus") else method
+            # Share the executor's propagator cache: the engine's
+            # namespace tag keeps superpropagators and unitaries from
+            # colliding, and sweeps/serving then hold one bounded
+            # cache instead of one per engine.
+            self._open_engine = OpenSystemEngine.from_model(
+                self.model,
+                method=engine_method,
+                cache=self.propagator_cache,
+            )
+        return self._open_engine
 
     # ---- public API ---------------------------------------------------------
 
@@ -184,7 +237,7 @@ class ScheduleExecutor:
 
         state = self._initial_state(initial_state, use_dm)
         if duration > 0:
-            state = self._evolve(schedule, state, use_dm)
+            state = self._evolve(schedule, state, use_dm, rng)
 
         captures = schedule.instructions_of(Capture)
         slots = sorted(
@@ -349,7 +402,10 @@ class ScheduleExecutor:
         for i, (start, length) in enumerate(runs):
             row = drives[start]
             if np.all(row == 0):
-                out[i] = (length, free_propagator(self._drift_eig, self.model.dt, length))
+                out[i] = (
+                    length,
+                    free_propagator(self._drift_eig, self.model.dt, length),
+                )
             else:
                 driven_idx.append(i)
                 driven_hs.append(self._run_hamiltonian(row, channel_names))
@@ -363,9 +419,23 @@ class ScheduleExecutor:
         return out  # type: ignore[return-value]
 
     def _evolve(
-        self, schedule: PulseSchedule, state: np.ndarray, use_dm: bool
+        self,
+        schedule: PulseSchedule,
+        state: np.ndarray,
+        use_dm: bool,
+        rng: np.random.Generator | None = None,
     ) -> np.ndarray:
         drives, channel_names = self._synthesize_drives(schedule)
+        if use_dm and self.open_system_method != "kraus":
+            runs = segment_runs(drives)
+            hs = np.stack(
+                [
+                    self._run_hamiltonian(drives[start], channel_names)
+                    for start, _ in runs
+                ]
+            )
+            steps = np.asarray([length for _, length in runs], dtype=np.int64)
+            return self.open_system.evolve(hs, steps, state, rng=rng)
         for length, u in self._run_propagators(drives, channel_names):
             if use_dm:
                 state = u @ state @ u.conj().T
@@ -386,7 +456,29 @@ class ScheduleExecutor:
         return rho
 
     def _kraus_ops(self, site: int, spec, tau: float) -> list[np.ndarray]:
-        """Full-space Kraus operators for one site over time *tau*."""
+        """Full-space Kraus operators for one site over time *tau*.
+
+        Memoized on ``(site, tau)``: the operators depend on nothing
+        else, and rebuilding them — including the full-space ``embed``
+        calls — for every run of every execution dominated the legacy
+        decoherence path. Schedules revisit the same run lengths
+        constantly (flat-tops, echo delays, repeated shots), so the
+        cache hits almost always after the first execution.
+        """
+        key = (site, float(tau))
+        cached = self._kraus_cache.get(key)
+        if cached is not None:
+            self._kraus_cache.move_to_end(key)
+            return cached
+        ops = self._build_kraus_ops(site, spec, tau)
+        for op in ops:
+            op.flags.writeable = False  # cached: mutation would poison reuse
+        self._kraus_cache[key] = ops
+        while len(self._kraus_cache) > self._MAX_KRAUS_ENTRIES:
+            self._kraus_cache.popitem(last=False)
+        return ops
+
+    def _build_kraus_ops(self, site: int, spec, tau: float) -> list[np.ndarray]:
         from repro.sim.operators import embed
 
         d = self.model.dims[site]
@@ -404,14 +496,15 @@ class ScheduleExecutor:
                 ops.append(k)
         else:
             ops.append(np.eye(d, dtype=np.complex128))
-        # Pure dephasing from T2 (remove the T1 contribution).
-        rate_phi = 0.0
-        if np.isfinite(spec.t2):
-            rate_phi = 1.0 / spec.t2 - (
-                0.5 / spec.t1 if np.isfinite(spec.t1) else 0.0
-            )
-        if rate_phi > 1e-15:
-            p = 0.5 * (1.0 - math.exp(-2.0 * rate_phi * tau))
+        # Pure dephasing from T2 (remove the T1 contribution) — the
+        # same gamma_phi convention the Lindblad engine integrates.
+        rate_phi = dephasing_rate(spec)
+        if rate_phi > _RATE_FLOOR:
+            # 1 - 2p = exp(-rate_phi * tau): ground-state coherences
+            # then decay at exactly rate_phi, so the total (with the
+            # sqrt(1-gamma) factor from K0) is 1/T2 — the standard
+            # convention, and the one the Lindblad engine integrates.
+            p = 0.5 * (1.0 - math.exp(-rate_phi * tau))
             z = np.eye(d, dtype=np.complex128)
             z[1, 1] = -1.0
             if d > 2:

@@ -100,7 +100,10 @@ def measured_bit_distribution(
         p = float(marg[labels])
         if p == 0.0:
             continue
-        bits = {site: ("1" if lbl >= 1 else "0") for site, lbl in zip(sorted_keep, labels)}
+        bits = {
+            site: ("1" if lbl >= 1 else "0")
+            for site, lbl in zip(sorted_keep, labels)
+        }
         key = "".join(bits[s] for s in keep)
         out[key] = out.get(key, 0.0) + p
     return out

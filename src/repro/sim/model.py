@@ -194,7 +194,8 @@ def transmon_model(
     couple through the lowering operator; coupler channels implement a
     tunable exchange ``g(t) (a_i a_j† + a_i† a_j)`` between qubit pairs.
     """
-    if not (len(qubit_frequencies) == len(anharmonicities) == len(rabi_rates) == n_qubits):
+    lengths = {len(qubit_frequencies), len(anharmonicities), len(rabi_rates)}
+    if lengths != {n_qubits}:
         raise ValidationError("per-qubit parameter lists must match n_qubits")
     dims = tuple([levels] * n_qubits)
     dim = int(np.prod(dims))

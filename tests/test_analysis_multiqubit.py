@@ -9,7 +9,6 @@ from repro.core import Delay, Play, PulseSchedule, constant_waveform
 from repro.devices import SuperconductingDevice, TrappedIonDevice
 from repro.mlir.dialects.quantum import CircuitBuilder
 from repro.qir import link_qir_to_schedule, schedule_to_qir
-from repro.sim.operators import basis_state
 
 
 class TestScheduleProfile:

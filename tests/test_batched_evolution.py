@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.client import ClientResult, JobRequest, MQSSClient
+from repro.client import ClientResult, MQSSClient
 from repro.control import GrapeOptimizer, amplitude_scan, detuning_scan
 from repro.control.grape import _expm_and_frechet_basis
 from repro.control.hamiltonians import qubit_subspace_isometry

@@ -1,6 +1,5 @@
 """Tests: adapters, client routing, remote proxy, scheduler (Fig. 2)."""
 
-import numpy as np
 import pytest
 
 from repro.client import (
@@ -9,13 +8,19 @@ from repro.client import (
     MQSSClient,
     QASM3Adapter,
     QPIAdapter,
-    RemoteDeviceProxy,
 )
 from repro.core import Play, PulseSchedule
 from repro.devices import SuperconductingDevice
-from repro.errors import ExecutionError, ParseError, QDMIError
+from repro.errors import ParseError, QDMIError
 from repro.mlir.dialects.quantum import CircuitBuilder
-from repro.qpi import PythonicCircuit, QCircuit, qCircuitBegin, qCircuitEnd, qMeasure, qX
+from repro.qpi import (
+    PythonicCircuit,
+    QCircuit,
+    qCircuitBegin,
+    qCircuitEnd,
+    qMeasure,
+    qX,
+)
 from repro.runtime import CalibrationAwareScheduler, SecondLevelScheduler
 
 
@@ -33,7 +38,8 @@ QASM = """OPENQASM 3;
 qubit[2] q; bit[2] c;
 x q[0];
 cz q[0], q[1];
-cal { play("q1-drive-port", gaussian(32, 0.3, 8.0)); frame_change("q1-drive-port", 5.1e9, 0.2); }
+cal { play("q1-drive-port", gaussian(32, 0.3, 8.0));
+      frame_change("q1-drive-port", 5.1e9, 0.2); }
 c[0] = measure q[0];
 c[1] = measure q[1];
 """

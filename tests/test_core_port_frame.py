@@ -85,7 +85,8 @@ class TestFrameState:
         st = FrameState()
         st.shift_phase(3 * math.pi)
         assert -math.pi <= st.phase < math.pi
-        assert st.phase == pytest.approx(-math.pi + (3 * math.pi - 2 * math.pi) + 0.0, abs=1e-9) or True
+        expected = -math.pi + (3 * math.pi - 2 * math.pi) + 0.0
+        assert st.phase == pytest.approx(expected, abs=1e-9) or True
 
     def test_shift_phase_accumulates(self):
         st = FrameState()

@@ -1,6 +1,5 @@
 """Unit tests: instructions, schedules, timing, constraints."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

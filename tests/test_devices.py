@@ -4,7 +4,7 @@ drift, job execution paths."""
 import numpy as np
 import pytest
 
-from repro.core import Frame, Play, Port, PulseSchedule, constant_waveform
+from repro.core import Play, PulseSchedule, constant_waveform
 from repro.devices import (
     CalibrationEntry,
     CalibrationSet,
@@ -55,7 +55,11 @@ class TestCalibrationSet:
 
     def test_param_count_enforced(self):
         cal = CalibrationSet()
-        cal.add(CalibrationEntry("rz", (0,), lambda s, p: None, 0, num_params=1, is_virtual=True))
+        cal.add(
+            CalibrationEntry(
+                "rz", (0,), lambda s, p: None, 0, num_params=1, is_virtual=True
+            )
+        )
         with pytest.raises(LoweringError):
             cal.get("rz", (0,)).apply(PulseSchedule(), [])
 

@@ -9,7 +9,6 @@ from repro.core import (
     Frame,
     Play,
     PulseSchedule,
-    SampledWaveform,
     ShiftPhase,
     constant_waveform,
 )

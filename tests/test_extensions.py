@@ -1,7 +1,6 @@
 """Tests: extension features — readout mitigation, echo insertion,
 visualization."""
 
-import numpy as np
 import pytest
 
 from repro.calibration import measure_confusion
@@ -96,7 +95,9 @@ class TestEchoInsertion:
         frame = dev.default_frame(port)
         plain = self._clock_schedule(dev, frame)
         echoed = insert_echo_sequences(plain, dev)
-        original = {(it.t0, it.instruction.duration) for it in plain.instructions_of(Play)}
+        original = {
+            (it.t0, it.instruction.duration) for it in plain.instructions_of(Play)
+        }
         kept = {(it.t0, it.instruction.duration) for it in echoed.instructions_of(Play)}
         assert original <= kept
         assert len(kept) == len(original) + 2  # exactly one CPMG-2 pair

@@ -10,7 +10,7 @@ simulated outcome distribution.
 import numpy as np
 import pytest
 
-from repro.client import JobRequest, MQSSClient
+from repro.client import JobRequest
 from repro.compiler import JITCompiler, quantum_module_to_schedule
 from repro.mlir.dialects.pulse import SequenceBuilder
 from repro.mlir.dialects.quantum import CircuitBuilder

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import gaussian_waveform
 from repro.errors import IRError, ParseError
-from repro.mlir import Builder, Module, Operation, parse_module, verify_module
+from repro.mlir import Module, Operation, parse_module, verify_module
 from repro.mlir.context import MLIRContext, default_context
 from repro.mlir.dialects.pulse import (
     MIXED_FRAME,
@@ -14,7 +14,7 @@ from repro.mlir.dialects.pulse import (
     waveform_to_attrs,
 )
 from repro.mlir.dialects.quantum import CircuitBuilder
-from repro.mlir.ir import F64, I1, Block, Region, Type, print_module
+from repro.mlir.ir import F64, Block, Region, Type, print_module
 
 
 class TestIRCore:
@@ -242,7 +242,10 @@ class TestTextualRoundTrip:
             parse_module("this is not IR")
 
     def test_parse_rejects_undefined_value(self):
-        bad = 'module {\n  pulse.play(%ghost, %ghost2) : (!pulse.mixed_frame, !pulse.waveform)\n}\n'
+        bad = (
+            "module {\n  pulse.play(%ghost, %ghost2) : "
+            "(!pulse.mixed_frame, !pulse.waveform)\n}\n"
+        )
         with pytest.raises(ParseError):
             parse_module(bad)
 

@@ -3,14 +3,12 @@
 import pytest
 
 from repro.core import PulseSchedule
-from repro.devices import SuperconductingDevice
 from repro.errors import JobError, QDMIError, SessionError, UnsupportedQueryError
 from repro.qdmi import (
     DeviceProperty,
     JobStatus,
     ProgramFormat,
     PulseSupportLevel,
-    QDMIDriver,
     QDMIJob,
     SiteProperty,
     Site,

@@ -18,7 +18,6 @@ from repro.core import (
 )
 from repro.errors import LinkError, ParseError
 from repro.qir import (
-    PULSE_INTRINSICS,
     link_qir_to_schedule,
     parse_qir,
     schedule_to_qir,
@@ -103,7 +102,11 @@ class TestParsing:
         g = QIRGlobal("s", "string", 'weird "name" \\ here')
         text = g.render()
         # Render into a module context and parse back.
-        mod_text = f"; ModuleID = 'm'\n{text}\ndefine void @k() #0 {{\nentry:\n  ret void\n}}\nattributes #0 = {{ \"entry_point\" }}\n"
+        mod_text = (
+            f"; ModuleID = 'm'\n{text}\n"
+            "define void @k() #0 {\nentry:\n  ret void\n}\n"
+            'attributes #0 = { "entry_point" }\n'
+        )
         parsed = parse_qir(mod_text)
         assert parsed.global_named("s").data == 'weird "name" \\ here'
 

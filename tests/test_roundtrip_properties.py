@@ -6,7 +6,6 @@ claim (§5.5): port/frame/waveform "mean the same thing at every layer".
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

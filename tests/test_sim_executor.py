@@ -253,8 +253,12 @@ class TestDecoherence:
         s.append(Delay(p, 20000))  # 4 T2
         rho = ex.execute(s, shots=0).final_state
         assert abs(rho[0, 1]) < 0.05
-        # Populations untouched by pure dephasing.
-        assert float(np.real(rho[1, 1])) == pytest.approx(0.5, abs=1e-6)
+        # Populations untouched by pure dephasing during the free
+        # evolution; the exact Lindblad engine lets dephasing act
+        # *during* the 10 ns drive window too (which the legacy
+        # split-channel path could not), shifting the population by
+        # O(gamma_phi * t_pulse) ~ 2e-3.
+        assert float(np.real(rho[1, 1])) == pytest.approx(0.5, abs=5e-3)
 
     def test_unitary_raises_with_decoherence(self):
         model = make_model(decoherence=[DecoherenceSpec(t1=1e-5, t2=1e-5)])

@@ -8,9 +8,7 @@ from repro.sim import (
     annihilation,
     average_gate_fidelity,
     basis_state,
-    destroy_on,
     embed,
-    identity,
     kron_all,
     number_on,
     pauli,
