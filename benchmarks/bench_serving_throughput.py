@@ -21,8 +21,14 @@ from __future__ import annotations
 
 import argparse
 import time
+import warnings
 
 from _artifacts import write_artifact
+
+# The serial baseline deliberately measures the deprecated one-shot
+# client surface (that is the point of the comparison); keep the
+# migration warnings out of the benchmark output.
+warnings.simplefilter("ignore", DeprecationWarning)
 from repro.client import JobRequest, MQSSClient
 from repro.devices import (
     NeutralAtomDevice,

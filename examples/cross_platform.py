@@ -11,7 +11,8 @@ measured distributions agree.
 Run:  python examples/cross_platform.py
 """
 
-from repro.client import JobRequest, MQSSClient
+import repro
+from repro.client import MQSSClient
 from repro.compiler import JITCompiler
 from repro.devices import (
     CalibrationDatabaseDevice,
@@ -56,7 +57,9 @@ def main() -> None:
 
     print("\n== measured distributions (2000 shots each) ==")
     for dev in devices:
-        r = client.submit(JobRequest(circuit.module, dev.name, shots=2000, seed=11))
+        r = repro.run(
+            circuit.module, dev.name, endpoint=client, shots=2000, seed=11
+        )
         top = dict(sorted(r.counts.items(), key=lambda kv: -kv[1])[:4])
         print(f"{dev.name:>16}: {top}")
 

@@ -14,6 +14,7 @@ confusion-matrix inversion against the exact Lindblad distribution.
 Run:  PYTHONPATH=src python examples/noisy_simulation.py
 """
 
+import repro
 from repro.client import MQSSClient
 from repro.devices import SuperconductingDevice
 from repro.mitigation import validate_readout_mitigation
@@ -46,13 +47,24 @@ def main() -> None:
         seed=7,
     )
     print(
-        f"== T1 x T2 grid through PulseService.submit_sweep "
+        f"== T1 x T2 grid through the two-phase API "
         f"({len(sweep.parameters)} physical points) =="
     )
+    # One compiled executable, fanned out through the service with a
+    # per-point decoherence override riding in the job metadata — the
+    # same route SweepRequest.noise_grid expands to internally.
     with PulseService(client) as service:
-        ticket = service.submit_sweep(sweep)
-        ticket.wait(120)
-        results = ticket.results()
+        target = repro.Target.from_service(service, "sc-a")
+        executable = repro.compile(program, target)
+        tickets = [
+            executable.run_async(
+                shots=0,
+                seed=7,
+                metadata={"decoherence": tuple(sweep.decoherence(point))},
+            )
+            for point in sweep.parameters
+        ]
+        results = [ticket.result(120) for ticket in tickets]
     client.close()
 
     p1 = {

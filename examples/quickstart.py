@@ -2,15 +2,22 @@
 
 Builds the paper's three abstractions by hand, queries the device over
 QDMI, constructs a pulse+gate kernel through the C-style QPI, and runs
-it — locally as an in-memory schedule and remotely as QIR with the
-Pulse Profile.
+it with the unified two-phase API::
+
+    Program  --repro.compile-->  Executable  --.run()-->  Result
+                    |
+                  Target
+
+locally as an in-memory schedule and remotely as QIR with the Pulse
+Profile — the same compile/cache/dispatch core either way.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.client import JobRequest, MQSSClient, RemoteDeviceProxy
+import repro
+from repro.client import MQSSClient, RemoteDeviceProxy
 from repro.devices import SuperconductingDevice
 from repro.qdmi import DeviceProperty, QDMIDriver, SiteProperty, Site
 from repro.qpi import (
@@ -71,18 +78,43 @@ def main() -> None:
     qMeasure(1, 1)
     qCircuitEnd()
 
-    # --- run locally (fast path: in-memory schedule) ---
-    local = client.submit(JobRequest(circuit, "sc-transmon", shots=2000, seed=7))
-    print("local counts: ", dict(sorted(local.counts.items())))
+    # --- phase 1: resolve targets, compile once per target ---
+    local = repro.Target.from_client(client, "sc-transmon")
+    cloud = repro.Target.from_client(client, "remote:sc-cloud")
+    print("local target: ", local.describe())
+    print("cloud target: ", cloud.describe())
+
+    program = repro.Program.from_qpi(circuit)
+    exe_local = repro.compile(program, local)
     print(
-        "stage timings:",
-        {k: f"{v*1e3:.2f} ms" for k, v in local.timings_s.items()},
+        "compiled:     ",
+        f"{exe_local.schedule.duration} samples, "
+        f"cache key {exe_local.cache_key}",
     )
 
-    # --- run remotely (serialized as QIR with the Pulse Profile) ---
-    remote = client.submit(JobRequest(circuit, "remote:sc-cloud", shots=2000, seed=7))
+    # --- phase 2: run (fast path: in-memory schedule) ---
+    result = exe_local.run(shots=2000, seed=7)
+    print("local counts: ", dict(sorted(result.counts.items())))
+    print(
+        "stage timings:",
+        {k: f"{v*1e3:.2f} ms" for k, v in result.timings_s.items()},
+    )
+    # Re-running reuses the compiled artifact — no second compile.
+    again = repro.compile(program, local)
+    print("recompile hit:", again.compiled.cache_hit)
+
+    # --- same program, remote target (serialized as QIR + Pulse Profile) ---
+    remote = repro.run(program, cloud, shots=2000, seed=7)
     print("remote counts:", dict(sorted(remote.counts.items())))
     print(f"QIR payload:   {remote.qir_size_bytes} bytes over the wire")
+
+    # --- every front-end goes through the same two phases ---
+    qasm = (
+        "OPENQASM 3;\nqubit[2] q; bit[2] c;\nx q[0];\n"
+        "c[0] = measure q[0];\nc[1] = measure q[1];\n"
+    )
+    r_qasm = repro.run(qasm, local, shots=500, seed=7)
+    print("qasm3 counts: ", dict(sorted(r_qasm.counts.items())))
 
 
 if __name__ == "__main__":

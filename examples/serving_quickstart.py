@@ -5,9 +5,15 @@ walks its moving parts: future-like tickets, per-device concurrency,
 identical-program coalescing with shot-splitting, the content-addressed
 compile cache, capability failover, and the metrics exposition.
 
+Submission goes through the unified two-phase API: a Target built
+with ``Target.from_service`` dispatches ``Executable.run_async`` into
+the service queues (the deprecated ``service.submit`` shim routes to
+the same core).
+
 Run:  PYTHONPATH=src python examples/serving_quickstart.py
 """
 
+import repro
 from repro.client import JobRequest, MQSSClient
 from repro.devices import (
     NeutralAtomDevice,
@@ -44,7 +50,9 @@ def main() -> None:
         # --- asynchronous submission: tickets come back immediately ---
         print("== async submission across 4 devices ==")
         tickets = [
-            service.submit(JobRequest(program, device, shots=256, seed=1))
+            repro.compile(
+                program, repro.Target.from_service(service, device)
+            ).run_async(shots=256, seed=1)
             for device in ("sc-a", "sc-b", "ion-chain", "atom-array")
         ]
         for ticket in tickets:
@@ -81,7 +89,8 @@ def main() -> None:
 
         # --- failover: a faulting device retries on an equivalent ---
         print("\n== failover ==")
-        ticket = service.submit(JobRequest(program, "sc-flaky", shots=64, seed=1))
+        flaky = repro.Target.from_service(service, "sc-flaky")
+        ticket = repro.compile(program, flaky).run_async(shots=64, seed=1)
         result = ticket.result(timeout=60)
         print(
             f"  requested sc-flaky -> executed on {result.device} "

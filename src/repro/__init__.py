@@ -22,6 +22,9 @@ Layering (bottom to top)::
     compiler    JIT pipeline gluing mlir + qdmi + qir together
     qpi         the C-style programming interface (paper Listing 1)
     client      MQSS client, adapters, routing (paper Fig. 2)
+    api         the unified two-phase execution API: Program ->
+                Target -> Executable with parameter binding; every
+                legacy entry point routes through its core
     runtime     second-level scheduler and resource management
     serving     asynchronous execution service over client + runtime:
                 per-device worker pools, content-addressed compile
@@ -38,6 +41,7 @@ directly (see ``examples/serving_quickstart.py``).
 """
 
 from repro._version import __version__
+from repro.api import Executable, Program, Target, compile, run
 from repro.core import (
     Frame,
     MixedFrame,
@@ -50,6 +54,7 @@ from repro.core import (
 
 __all__ = [
     "__version__",
+    # Pulse abstractions (paper §4).
     "Port",
     "PortKind",
     "Frame",
@@ -57,4 +62,10 @@ __all__ = [
     "Waveform",
     "PulseSchedule",
     "PulseConstraints",
+    # The unified two-phase execution API (repro.api).
+    "Program",
+    "Target",
+    "Executable",
+    "compile",
+    "run",
 ]

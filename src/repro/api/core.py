@@ -1,0 +1,106 @@
+"""The single compile/cache/dispatch path under every entry point.
+
+Before this module existed the repo had three independent
+compile-and-run pipelines: ``qExecute`` converted the op buffer and
+submitted straight to the device, ``MQSSClient.submit`` composed
+``compile_request``/``execute_compiled``, and ``PulseService`` workers
+re-implemented the cache lookup inline.  All of them now funnel through
+the two primitives here:
+
+* :func:`adapter_payload` — front-end program -> compiler payload via
+  the client's adapter registry (the only place adapters are invoked);
+* :func:`compile_payload` — payload -> :class:`CompiledProgram` through
+  the shared content-addressed cache when one is configured, the JIT
+  compiler's internal memo otherwise (the only place compilation is
+  triggered).
+
+Dispatch stays :meth:`MQSSClient.execute_compiled` (sessions, format
+routing, result assembly); :class:`repro.api.executable.Executable`
+adds the direct-device fast path for local targets, which mirrors what
+``qExecute`` used to do by hand.
+
+This module deliberately imports nothing from :mod:`repro.client` or
+:mod:`repro.serving` at module level so the package root can re-export
+the API without import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+
+def adapter_payload(
+    client: Any,
+    program: Any,
+    compile_device: Any,
+    *,
+    adapter: str | None = None,
+    timings: dict[str, float] | None = None,
+) -> Any:
+    """Normalize *program* into a compiler payload for *compile_device*.
+
+    Adapter selection reuses the client's registry (explicit *adapter*
+    name, else autodetect), so custom adapters registered on the client
+    keep working through the unified API.
+    """
+    from repro.client.client import JobRequest
+
+    t0 = time.perf_counter()
+    request = JobRequest(program, compile_device.name, adapter=adapter)
+    payload = client.select_adapter(request).to_payload(program, compile_device)
+    if timings is not None:
+        timings["adapter"] = time.perf_counter() - t0
+    return payload
+
+
+def compile_payload(
+    compiler: Any,
+    cache: Any,
+    payload: Any,
+    device: Any,
+    *,
+    scalar_args: Mapping[str, float] | None = None,
+    timings: dict[str, float] | None = None,
+) -> Any:
+    """Compile *payload* for *device* through the configured cache.
+
+    *cache* is a :class:`repro.serving.cache.CompileCache` (shared,
+    bounded, thread-safe) or ``None``, in which case the compiler's
+    internal memo provides the caching.  Every compilation in the stack
+    — client submissions, serving workers, ``Executable`` binds —
+    passes through this function.
+    """
+    t0 = time.perf_counter()
+    if cache is not None:
+        program = cache.get_or_compile(
+            compiler, payload, device, scalar_args=scalar_args
+        )
+    else:
+        program = compiler.compile(payload, device, scalar_args=scalar_args)
+    if timings is not None:
+        timings["compile"] = time.perf_counter() - t0
+    return program
+
+
+def run_request(client: Any, request: Any) -> Any:
+    """One-shot submission routed through Program -> Target -> Executable.
+
+    This is what the deprecated ``MQSSClient.submit`` (and therefore
+    ``run_batch``) delegates to: the old single-call surface expressed
+    in terms of the two-phase core.
+    """
+    from repro.api.executable import Executable
+    from repro.api.program import Program
+    from repro.api.target import Target
+
+    program = Program.coerce(request.program, adapter=request.adapter)
+    target = Target.from_client(client, request.device)
+    executable = Executable.prepare(
+        program, target, params=request.scalar_args or None
+    )
+    return executable.run(
+        shots=request.shots,
+        seed=request.seed,
+        metadata=request.metadata or None,
+    )

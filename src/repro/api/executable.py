@@ -1,0 +1,555 @@
+"""Executables: compiled, content-addressed, parameter-bindable artifacts.
+
+The second phase of the two-phase API.  ``repro.compile(program,
+target)`` produces an :class:`Executable`; the expensive work (adapter
+normalization, JIT pipeline, constraint legalization, QIR emission)
+happens once, and the hot-loop operations are cheap:
+
+* :meth:`Executable.bind` — rebind scalar parameters, reusing the
+  compiled template.  For parametric pulse programs the bind
+  specializes a pre-compiled *schedule template* (clone + swap the
+  scalar-fed instruction fields) instead of re-running the compiler,
+  and the bound artifact is remembered under its
+  :meth:`JITCompiler.cache_key <repro.compiler.jit.JITCompiler.cache_key>`
+  so revisited parameter points are cache hits.  This is the
+  FWDA-style amortization the paper's Listing-1 VQE loop needs:
+  factorize once, solve per query.
+* :meth:`Executable.run` — execute and return a
+  :class:`~repro.client.client.ClientResult`; local device targets
+  dispatch straight to ``device.submit_job`` (the QPI-parity fast
+  path), client targets go through
+  :meth:`MQSSClient.execute_compiled`, service targets through the
+  ticket queue.
+* :meth:`Executable.run_async` / :meth:`Executable.sweep` — service
+  fan-out over the same artifacts.
+
+The schedule-template trick is sound because the pulse dialect has no
+scalar arithmetic: an ``f64`` block argument flows *verbatim* into
+instruction fields (frame frequencies, phases, shift deltas).  Binding
+therefore cannot change timing, waveforms, or instruction count — only
+those scalar fields — which the template records by interpreting the
+sequence twice with distinct sentinel values and diffing the results.
+Anything that breaks the assumptions (multiple sequences, constraint
+violations in the static structure, scalar-dependent divergence)
+disables the fast path and binds fall back to the full compiler, so
+the semantics never depend on the optimization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace as _replace
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.api.core import adapter_payload, compile_payload
+from repro.api.program import Program
+from repro.api.target import Target
+from repro.core.schedule import PulseSchedule
+from repro.errors import ExecutionError, ReproError, ValidationError
+
+#: Instruction fields a pulse.sequence scalar argument can feed.
+_SCALAR_FIELDS = ("frequency", "phase", "delta")
+
+
+class _ScheduleTemplate:
+    """A compiled schedule with recorded scalar-parameter slots."""
+
+    __slots__ = ("base", "by_index", "frequency_params")
+
+    def __init__(
+        self,
+        base: PulseSchedule,
+        slots: list[tuple[int, str, str]],
+    ) -> None:
+        self.base = base
+        grouped: dict[int, list[tuple[str, str]]] = {}
+        for idx, fld, name in slots:
+            grouped.setdefault(idx, []).append((fld, name))
+        self.by_index = tuple(
+            (idx, tuple(pairs)) for idx, pairs in sorted(grouped.items())
+        )
+        #: Parameters that land in carrier-frequency fields get the
+        #: same range check legalization would apply.
+        self.frequency_params = tuple(
+            sorted({name for _, fld, name in slots if fld == "frequency"})
+        )
+
+    def specialize(self, params: Mapping[str, float]) -> PulseSchedule:
+        """A schedule with every scalar slot bound from *params*."""
+        base = self.base
+        items = list(base._items)
+        for idx, pairs in self.by_index:
+            item = items[idx]
+            fields = {fld: float(params[name]) for fld, name in pairs}
+            items[idx] = _replace(
+                item, instruction=_replace(item.instruction, **fields)
+            )
+        return base.clone_with_items(items)
+
+
+def _build_template(
+    program: Program, device: Any, constraints: Any
+) -> _ScheduleTemplate | None:
+    """Trace *program*'s pulse module into a bindable schedule template.
+
+    Returns ``None`` whenever any assumption fails — callers then bind
+    through the full compiler instead.
+    """
+    module = program.module
+    names = program.parameters
+    if module is None or not names:
+        return None
+    try:
+        from repro.mlir.interp import module_to_schedule
+
+        # Sentinels must be positive (a scalar may feed a frequency
+        # field, whose instruction rejects negatives at construction),
+        # distinct per argument, distinct across the two traces, and
+        # exactly representable so the diff maps values back to names.
+        trace_a = {n: (k + 1) * 1048576.0 + 0.5 for k, n in enumerate(names)}
+        trace_b = {n: (k + 1) * 1048576.0 + 0.25 for k, n in enumerate(names)}
+        sched_a = module_to_schedule(module, device, trace_a)
+        sched_b = module_to_schedule(module, device, trace_b)
+        items_a, items_b = sched_a._items, sched_b._items
+        if len(items_a) != len(items_b):
+            return None
+        by_value = {v: n for n, v in trace_a.items()}
+        slots: list[tuple[int, str, str]] = []
+        for idx, (ia, ib) in enumerate(zip(items_a, items_b)):
+            if ia.t0 != ib.t0 or type(ia.instruction) is not type(ib.instruction):
+                return None
+            for fld in _SCALAR_FIELDS:
+                va = getattr(ia.instruction, fld, None)
+                if va is None:
+                    continue
+                if va != getattr(ib.instruction, fld):
+                    name = by_value.get(va)
+                    if name is None:  # value was transformed: bail out
+                        return None
+                    slots.append((idx, fld, name))
+        if not slots:
+            return None
+        template = _ScheduleTemplate(sched_a, slots)
+        # Validate the *static* structure once (timing grid, waveform
+        # durations/amplitudes) with neutral, in-range scalar values;
+        # a failure means legalization has real work to do, so the
+        # fast path stays off and binds run the full pipeline.
+        mid_freq = 0.5 * (constraints.min_frequency + constraints.max_frequency)
+        neutral = {
+            n: (mid_freq if n in template.frequency_params else 0.0)
+            for n in names
+        }
+        constraints.validate_schedule(template.specialize(neutral))
+        return template
+    except ReproError:
+        return None
+
+
+class Executable:
+    """A compiled program pinned to one target, ready to bind and run."""
+
+    def __init__(
+        self,
+        program: Program,
+        target: Target,
+        *,
+        params: Mapping[str, float] | None = None,
+    ) -> None:
+        self.program = program
+        self.target = target
+        # Coerce to float exactly like bind() does, so compile-time and
+        # bind-time keys for the same logical point agree (1 vs 1.0).
+        self.params: dict[str, float] = {
+            str(k): float(v) for k, v in dict(params or {}).items()
+        }
+        self.compiled: Any | None = None
+        self._payload: Any = None
+        self._payload_fp: str | None = None
+        self._template: _ScheduleTemplate | None | bool = None
+        self._timings: dict[str, float] = {}
+        #: Calibration state the payload/template/artifact were built
+        #: against; a drifting device invalidates all three.
+        self._state_key: str | None = None
+
+    # ---- construction ----------------------------------------------------------------
+
+    @classmethod
+    def prepare(
+        cls,
+        program: Program,
+        target: Target,
+        *,
+        params: Mapping[str, float] | None = None,
+    ) -> "Executable":
+        """Adapter-normalize *program* for *target* (no compilation yet)."""
+        executable = cls(program, target, params=params)
+        executable._ensure_payload()
+        return executable
+
+    def compile(self) -> "Executable":
+        """Run the compile phase now (idempotent); returns ``self``.
+
+        A parametric program with incomplete bindings compiles its
+        schedule template instead of a concrete artifact; the artifact
+        materializes at the first :meth:`bind`.
+        """
+        self._ensure_payload()
+        missing = set(self.program.parameters) - set(self.params)
+        if missing:
+            self._ensure_template()
+        else:
+            self._ensure_compiled()
+        return self
+
+    # ---- internal plumbing -----------------------------------------------------------
+
+    def _refresh_if_recalibrated(self) -> None:
+        """Drop device-bound state after a calibration write-back.
+
+        Adapter payloads, schedule templates, and compiled artifacts
+        all bake in the device's believed frame frequencies; when the
+        calibration state key changes (the same key that namespaces the
+        compile cache), everything device-bound is rebuilt on demand —
+        matching what the per-call APIs always did by re-running the
+        adapter per submission.
+        """
+        state = self.target.compiler.device_state_key(
+            self.target.compile_device
+        )
+        if self._state_key is None:
+            self._state_key = state
+        elif state != self._state_key:
+            self._state_key = state
+            self._payload = None
+            self._payload_fp = None
+            self._template = None
+            self.compiled = None
+
+    def _ensure_payload(self) -> Any:
+        self._refresh_if_recalibrated()
+        if self._payload is None:
+            self._payload = adapter_payload(
+                self.target.client,
+                self.program.source,
+                self.target.compile_device,
+                adapter=self.program.adapter,
+                timings=self._timings,
+            )
+        return self._payload
+
+    def _payload_fingerprint(self) -> str:
+        if self._payload_fp is None:
+            self._payload_fp = self.target.compiler.payload_fingerprint(
+                self._ensure_payload()
+            )
+        return self._payload_fp
+
+    def _ensure_template(self) -> "_ScheduleTemplate | None":
+        if self._template is None:
+            try:
+                constraints = self.target.constraints
+            except ReproError:
+                constraints = None
+            template = (
+                _build_template(
+                    self.program, self.target.compile_device, constraints
+                )
+                if constraints is not None
+                else None
+            )
+            self._template = template if template is not None else False
+        return self._template or None
+
+    def _cache_key(self) -> str:
+        return self.target.compiler.compose_cache_key(
+            self._payload_fingerprint(),
+            self.target.compile_device,
+            self.params or None,
+        )
+
+    def _ensure_compiled(self) -> Any:
+        """The full compile path (adapter payload -> JIT -> cache)."""
+        self._refresh_if_recalibrated()
+        if self.compiled is not None:
+            return self.compiled
+        self._ensure_payload()
+        missing = set(self.program.parameters) - set(self.params)
+        if missing:
+            raise ValidationError(
+                f"executable has unbound parameters {sorted(missing)}; "
+                "call bind() before run()"
+            )
+        self.compiled = compile_payload(
+            self.target.compiler,
+            self.target.cache,
+            self._payload,
+            self.target.compile_device,
+            scalar_args=self.params or None,
+            timings=self._timings,
+        )
+        return self.compiled
+
+    def _compile_bound(self) -> Any:
+        """The bind-time compile: cache probe, then template, then JIT."""
+        self._refresh_if_recalibrated()
+        if self.compiled is not None:
+            return self.compiled
+        self._ensure_payload()
+        compiler = self.target.compiler
+        cache = self.target.cache
+        device = self.target.compile_device
+        t0 = time.perf_counter()
+        key = self._cache_key()
+        cached = cache.lookup(key) if cache is not None else compiler.lookup(key)
+        if cached is not None:
+            self.compiled = cached
+            self._timings["compile"] = time.perf_counter() - t0
+            return cached
+        template = self._ensure_template() if self.is_bound else None
+        if template is not None:
+            compiled = self._specialize(template, compiler, device, t0)
+            if compiled is not None:
+                if cache is not None:
+                    cache.store(key, compiled)
+                else:
+                    compiler.store(key, compiled)
+                self.compiled = compiled
+                self._timings["compile"] = time.perf_counter() - t0
+                return compiled
+        return self._ensure_compiled()
+
+    def _specialize(
+        self, template: _ScheduleTemplate, compiler: Any, device: Any, t0: float
+    ) -> Any | None:
+        """Bind the schedule template; ``None`` defers to the compiler."""
+        from repro.compiler.jit import CompiledProgram
+
+        try:
+            constraints = self.target.constraints
+            for name in template.frequency_params:
+                constraints.validate_frequency(float(self.params[name]))
+            schedule = template.specialize(self.params)
+        except (ReproError, KeyError, TypeError, ValueError):
+            return None
+        if self.target.is_remote:
+            from repro.qir.emitter import schedule_to_qir
+
+            qir = schedule_to_qir(schedule)
+        else:
+            qir = ""
+        return CompiledProgram(
+            device_name=device.name,
+            schedule=schedule,
+            pulse_module=self.program.module,
+            qir=qir,
+            pass_report=None,
+            compile_time_s=time.perf_counter() - t0,
+            metadata={
+                "granularity": self.target.constraints.granularity,
+                "dt": self.target.constraints.dt,
+                "bound_template": True,
+                "parameters": dict(self.params),
+            },
+        )
+
+    # ---- the two-phase hot loop ------------------------------------------------------
+
+    def bind(
+        self, params: Mapping[str, float] | None = None, **kwargs: float
+    ) -> "Executable":
+        """A new executable with (re)bound scalar parameters.
+
+        Merges over any existing bindings.  The returned executable
+        shares this one's adapter payload, fingerprint, and schedule
+        template, so the per-bind cost is a cache probe plus — at most
+        — a template specialization; the full compiler only runs when
+        the fast path is unavailable.
+        """
+        merged = dict(self.params)
+        if params:
+            merged.update({str(k): float(v) for k, v in dict(params).items()})
+        if kwargs:
+            merged.update({k: float(v) for k, v in kwargs.items()})
+        self._ensure_payload()
+        if self.program.is_parametric:
+            self._ensure_template()  # built once, shared by every bind
+        bound = Executable(self.program, self.target, params=merged)
+        bound._payload = self._payload
+        bound._payload_fp = self._payload_fp
+        bound._template = self._template
+        bound._timings = dict(self._timings)
+        bound._state_key = self._state_key
+        if bound.is_bound:
+            bound._compile_bound()
+        return bound
+
+    def run(
+        self,
+        shots: int = 1024,
+        *,
+        seed: int | None = None,
+        metadata: Mapping[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        """Execute and return a :class:`~repro.client.client.ClientResult`.
+
+        Service targets submit asynchronously and block on the ticket
+        (bounded by *timeout*); everything else dispatches inline.
+        """
+        compiled = self._ensure_compiled()
+        if self.target.is_async:
+            ticket = self.run_async(shots=shots, seed=seed, metadata=metadata)
+            return ticket.result(timeout)
+        timings = dict(self._timings)
+        if self.target.direct and not self.target.is_remote:
+            return self._run_direct(compiled, shots, seed, metadata, timings)
+        request = self._as_request(shots, seed, metadata)
+        return self.target.client.execute_compiled(
+            request, compiled, timings=timings
+        )
+
+    def run_async(
+        self,
+        shots: int = 1024,
+        *,
+        seed: int | None = None,
+        metadata: Mapping[str, Any] | None = None,
+        block: bool = True,
+    ) -> Any:
+        """Submit through the target's service; returns the JobTicket.
+
+        The bound artifact is already in the service's compile cache,
+        so the worker's compile step is a cache hit.
+        """
+        service = self.target.service
+        if service is None:
+            raise ValidationError(
+                "run_async needs a service target; build it with "
+                "Target.from_service(service, device_name)"
+            )
+        self._ensure_compiled()
+        return service._admit_request(
+            self._as_request(shots, seed, metadata), block=block
+        )
+
+    def sweep(
+        self,
+        grid: Iterable[Mapping[str, float]],
+        *,
+        shots: int = 1024,
+        seed: int | None = None,
+        metadata: Mapping[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Bind + run every parameter point; results in grid order.
+
+        Each point binds through the template fast path (warming the
+        shared compile cache) and, on a service target, the points
+        execute concurrently through the device queues.
+        """
+        points: Sequence[Mapping[str, float]] = list(grid)
+        bound = [self.bind(point) for point in points]
+        if self.target.is_async:
+            tickets = [
+                b.run_async(shots=shots, seed=seed, metadata=metadata)
+                for b in bound
+            ]
+            return [t.result(timeout) for t in tickets]
+        return [
+            b.run(shots=shots, seed=seed, metadata=metadata) for b in bound
+        ]
+
+    # ---- dispatch helpers ------------------------------------------------------------
+
+    def _as_request(
+        self,
+        shots: int,
+        seed: int | None,
+        metadata: Mapping[str, Any] | None,
+    ) -> Any:
+        from repro.client.client import JobRequest
+
+        return JobRequest(
+            program=self.program.source,
+            device=self.target.device_name,
+            shots=shots,
+            adapter=self.program.adapter,
+            scalar_args=dict(self.params),
+            seed=seed,
+            metadata=dict(metadata or {}),
+        )
+
+    def _run_direct(
+        self,
+        compiled: Any,
+        shots: int,
+        seed: int | None,
+        metadata: Mapping[str, Any] | None,
+        timings: dict[str, float],
+    ) -> Any:
+        """Session-free dispatch straight to the device (local targets)."""
+        from repro.client.client import ClientResult
+        from repro.qdmi.job import QDMIJob
+        from repro.qdmi.properties import JobStatus, ProgramFormat
+
+        job_metadata: dict[str, Any] = {}
+        if seed is not None:
+            job_metadata["seed"] = seed
+        if metadata and metadata.get("decoherence") is not None:
+            job_metadata["decoherence"] = metadata["decoherence"]
+        device = self.target.device
+        t0 = time.perf_counter()
+        job = QDMIJob(
+            device.name,
+            ProgramFormat.PULSE_SCHEDULE,
+            compiled.schedule,
+            shots=shots,
+            metadata=job_metadata or None,
+        )
+        device.submit_job(job)
+        timings["execute"] = time.perf_counter() - t0
+        if job.status is not JobStatus.DONE:
+            raise ExecutionError(
+                f"job {job.job_id} on {device.name!r} failed: {job.error}"
+            )
+        result = job.result
+        return ClientResult(
+            device=device.name,
+            counts=result.counts,
+            probabilities=result.ideal_probabilities,
+            shots=result.shots,
+            duration_samples=result.duration_samples,
+            timings_s=timings,
+            job_id=job.job_id,
+            remote=False,
+        )
+
+    # ---- introspection ---------------------------------------------------------------
+
+    @property
+    def is_bound(self) -> bool:
+        """Whether every declared parameter has a binding."""
+        return not (set(self.program.parameters) - set(self.params))
+
+    @property
+    def cache_key(self) -> str:
+        """The content-addressed key of this (bound) compilation."""
+        self._ensure_payload()
+        return self._cache_key()
+
+    @property
+    def schedule(self) -> PulseSchedule | None:
+        """The compiled schedule, if the artifact is materialized."""
+        return self.compiled.schedule if self.compiled is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.compiled is not None:
+            state = "compiled"
+        elif not self.is_bound:
+            state = "template"
+        else:
+            state = "prepared"
+        return (
+            f"Executable({self.program.name!r} @ {self.target.device_name!r}, "
+            f"{state}, params={self.params})"
+        )

@@ -1,0 +1,211 @@
+"""Execution targets: where a compiled program will run.
+
+A :class:`Target` pins one device *and* the machinery that compiles
+for and dispatches to it — resolving a device name to capabilities and
+calibration state across the three execution surfaces the stack has:
+
+* **a bare simulated device** (:meth:`Target.from_device`) — runs
+  in-process through the device's own
+  :class:`~repro.sim.executor.ScheduleExecutor`; dispatch goes straight
+  to ``device.submit_job`` with no session churn (the low-overhead
+  QPI-parity path);
+* **a QDMI client** (:meth:`Target.from_client`) — any device in the
+  client's driver registry, local or remote
+  (:class:`~repro.client.remote.RemoteDeviceProxy` routes serialized
+  QIR); dispatch via :meth:`MQSSClient.execute_compiled`;
+* **a running service** (:meth:`Target.from_service`) — asynchronous
+  dispatch through the :class:`~repro.serving.service.PulseService`
+  queues (tickets, coalescing, failover), sharing the service's
+  compile cache.
+
+The target owns the *compile identity* of the device: its
+:meth:`calibration_key` combines the device name with the believed
+frame frequencies, so a recalibration invalidates every cached
+executable — the same invalidation rule the serving cache uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ValidationError
+from repro.qdmi.properties import DeviceProperty
+
+#: Attribute under which :meth:`Target.from_device` memoizes its
+#: Target on the device object itself.  Tying the memo's lifetime to
+#: the device (instead of a module-level registry) means a transient
+#: device's driver/client/compiler memo is collectable with it — the
+#: reference cycle device -> target -> client -> driver -> device is
+#: ordinary garbage the collector handles.
+_DEVICE_TARGET_ATTR = "_repro_api_target"
+
+
+class Target:
+    """One resolved execution endpoint for the two-phase API."""
+
+    def __init__(
+        self,
+        client: Any,
+        device_name: str,
+        *,
+        service: Any | None = None,
+        direct: bool = False,
+    ) -> None:
+        self.client = client
+        self.device_name = device_name
+        self.service = service
+        #: Dispatch straight to ``device.submit_job`` (local fast path).
+        self.direct = direct
+        self._capabilities: dict[str, Any] | None = None
+
+    # ---- constructors ----------------------------------------------------------------
+
+    @classmethod
+    def from_device(cls, device: Any) -> "Target":
+        """A local target over a bare (typically simulated) device.
+
+        The device is wrapped in a private driver + client so the one
+        compile/cache path applies, but dispatch bypasses sessions and
+        goes straight to ``device.submit_job`` — the behaviour the
+        C-style ``qExecute`` had.  Targets are memoized per device
+        object, so per-iteration calls in an optimizer loop reuse one
+        client.
+        """
+        memo = getattr(device, _DEVICE_TARGET_ATTR, None)
+        if isinstance(memo, cls):
+            return memo
+        from repro.client.client import MQSSClient
+        from repro.qdmi.driver import QDMIDriver
+
+        driver = QDMIDriver()
+        driver.register_device(device)
+        client = MQSSClient(driver, persistent_sessions=True)
+        target = cls(client, device.name, direct=True)
+        try:
+            setattr(device, _DEVICE_TARGET_ATTR, target)
+        except (AttributeError, TypeError):
+            pass  # slotted/frozen device: just skip the memo
+        return target
+
+    @classmethod
+    def from_client(cls, client: Any, device_name: str) -> "Target":
+        """A target over a device registered with *client*'s driver."""
+        return cls(client, device_name)
+
+    @classmethod
+    def from_service(cls, service: Any, device_name: str) -> "Target":
+        """An asynchronous target dispatching through *service*."""
+        return cls(service.client, device_name, service=service)
+
+    @classmethod
+    def resolve(cls, spec: Any, endpoint: Any | None = None) -> "Target":
+        """Normalize ``(spec, endpoint)`` into a Target.
+
+        *spec* may already be a Target (returned unchanged), a device
+        object (wrapped via :meth:`from_device`), or a device name —
+        in which case *endpoint* must be the client, service, or driver
+        that knows the name.
+        """
+        if isinstance(spec, Target):
+            return spec
+        if isinstance(spec, str):
+            if endpoint is None:
+                raise ValidationError(
+                    f"resolving device name {spec!r} needs a client, "
+                    "service, or driver endpoint"
+                )
+            if hasattr(endpoint, "submit_sweep"):  # PulseService
+                return cls.from_service(endpoint, spec)
+            if hasattr(endpoint, "execute_compiled"):  # MQSSClient
+                return cls.from_client(endpoint, spec)
+            if hasattr(endpoint, "get_device"):  # QDMIDriver
+                return cls.from_device(endpoint.get_device(spec))
+            raise ValidationError(
+                f"cannot resolve device name against "
+                f"{type(endpoint).__name__}"
+            )
+        if hasattr(spec, "submit_job"):  # a QDMI device object
+            return cls.from_device(spec)
+        raise ValidationError(
+            f"cannot build a Target from {type(spec).__name__}"
+        )
+
+    # ---- resolution ------------------------------------------------------------------
+
+    @property
+    def device(self) -> Any:
+        """The registered device object (remote proxy included)."""
+        return self.client.driver.get_device(self.device_name)
+
+    @property
+    def compile_device(self) -> Any:
+        """The calibration-bearing device compilation runs against."""
+        _, compile_device, _ = self.client.resolve_target(self.device_name)
+        return compile_device
+
+    @property
+    def is_remote(self) -> bool:
+        """Whether dispatch serializes to QIR over the remote path."""
+        _, _, remote = self.client.resolve_target(self.device_name)
+        return remote
+
+    @property
+    def is_async(self) -> bool:
+        """Whether dispatch goes through a service (tickets)."""
+        return self.service is not None
+
+    @property
+    def compiler(self) -> Any:
+        return self.client.compiler
+
+    @property
+    def cache(self) -> Any | None:
+        """The compile cache this target's executables share."""
+        if self.service is not None:
+            return self.service.cache
+        return self.client.compile_cache
+
+    # ---- capabilities / calibration state -------------------------------------------
+
+    @property
+    def capabilities(self) -> dict[str, Any]:
+        """QDMI-derived capability summary (queried once, cached)."""
+        if self._capabilities is None:
+            device = self.compile_device
+            self._capabilities = {
+                "technology": device.query_device_property(
+                    DeviceProperty.TECHNOLOGY
+                ),
+                "num_sites": device.query_device_property(
+                    DeviceProperty.NUM_SITES
+                ),
+                "pulse_support": device.pulse_support_level().value,
+                "constraints": device.query_device_property(
+                    DeviceProperty.PULSE_CONSTRAINTS
+                ),
+                "formats": device.supported_formats(),
+                "remote": self.is_remote,
+            }
+        return self._capabilities
+
+    @property
+    def constraints(self) -> Any:
+        return self.capabilities["constraints"]
+
+    def calibration_key(self) -> str:
+        """Device identity x calibration state (cache invalidation key)."""
+        return self.compiler.device_state_key(self.compile_device)
+
+    def describe(self) -> str:
+        """One-line human summary for examples and logs."""
+        caps = self.capabilities
+        mode = "service" if self.is_async else ("remote" if caps["remote"] else "local")
+        return (
+            f"{self.device_name} [{caps['technology']}] "
+            f"{caps['num_sites']} sites, pulse={caps['pulse_support']}, "
+            f"dispatch={mode}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "service" if self.is_async else ("direct" if self.direct else "client")
+        return f"Target({self.device_name!r}, dispatch={mode!r})"

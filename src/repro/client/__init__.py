@@ -19,7 +19,9 @@ submissions."
 from repro.client.adapters import (
     Adapter,
     CircuitAdapter,
+    PulseIRAdapter,
     QASM3Adapter,
+    QIRAdapter,
     QPIAdapter,
 )
 from repro.client.client import BatchFailure, ClientResult, JobRequest, MQSSClient
@@ -30,6 +32,8 @@ __all__ = [
     "QPIAdapter",
     "CircuitAdapter",
     "QASM3Adapter",
+    "QIRAdapter",
+    "PulseIRAdapter",
     "MQSSClient",
     "JobRequest",
     "ClientResult",

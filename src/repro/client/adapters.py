@@ -247,6 +247,64 @@ class QASM3Adapter(Adapter):
             raise ParseError(f"cal block: cannot parse {stmt!r}")
 
 
+class QIRAdapter(Adapter):
+    """Adapter for QIR text with the Pulse Profile (paper Listing 3).
+
+    Links the exchange-format payload back into a device-bound schedule
+    through the QIR linker, making serialized programs a first-class
+    front-end of the unified execution API rather than a
+    remote-path-only wire format.
+    """
+
+    name = "qir"
+
+    def accepts(self, program: Any) -> bool:
+        # Keep in sync with _looks_like_qir in repro/api/program.py
+        # (Program.coerce's fast-path classification).
+        if not isinstance(program, str):
+            return False
+        return (
+            program.lstrip().startswith("; ModuleID")
+            or "__quantum__" in program
+        )
+
+    def to_payload(self, program: str, device: Any) -> PulseSchedule:
+        from repro.qir.linker import link_qir_to_schedule
+
+        return link_qir_to_schedule(program, device)
+
+
+class PulseIRAdapter(Adapter):
+    """Adapter for compiler-ready payloads: executable schedules, pulse
+    MLIR modules, and pulse MLIR text.
+
+    The JIT compiler understands these natively; the adapter is a
+    passthrough that lets them travel the same client/serving/API route
+    as every other front-end (including parametric sequences bound via
+    ``scalar_args``).
+    """
+
+    name = "pulse-ir"
+
+    def accepts(self, program: Any) -> bool:
+        if isinstance(program, PulseSchedule):
+            return True
+        if isinstance(program, Module):
+            return "pulse" in program.dialects_used()
+        if isinstance(program, str):
+            return "pulse.sequence" in program
+        return False
+
+    def to_payload(self, program: Any, device: Any) -> Any:
+        return program
+
+
 def default_adapters() -> list[Adapter]:
     """The standard adapter set, mirroring Fig. 2's adapter boxes."""
-    return [QPIAdapter(), CircuitAdapter(), QASM3Adapter()]
+    return [
+        QPIAdapter(),
+        CircuitAdapter(),
+        QASM3Adapter(),
+        QIRAdapter(),
+        PulseIRAdapter(),
+    ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -205,28 +206,30 @@ class MQSSClient:
         device_name: str | None = None,
         timings: dict[str, float] | None = None,
     ) -> CompiledProgram:
-        """Adapter -> JIT compile *request* for a device (default: its own)."""
+        """Adapter -> JIT compile *request* for a device (default: its own).
+
+        Routes through the unified compile/cache core
+        (:mod:`repro.api.core`) shared with the serving workers and the
+        two-phase ``Executable`` API.
+        """
+        from repro.api.core import adapter_payload, compile_payload
+
         _, target, _ = self.resolve_target(device_name or request.device)
-
-        t0 = time.perf_counter()
-        adapter = self.select_adapter(request)
-        payload = adapter.to_payload(request.program, target)
-        if timings is not None:
-            timings["adapter"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        scalar_args = request.scalar_args or None
-        if self.compile_cache is not None:
-            program = self.compile_cache.get_or_compile(
-                self.compiler, payload, target, scalar_args=scalar_args
-            )
-        else:
-            program = self.compiler.compile(
-                payload, target, scalar_args=scalar_args
-            )
-        if timings is not None:
-            timings["compile"] = time.perf_counter() - t0
-        return program
+        payload = adapter_payload(
+            self,
+            request.program,
+            target,
+            adapter=request.adapter,
+            timings=timings,
+        )
+        return compile_payload(
+            self.compiler,
+            self.compile_cache,
+            payload,
+            target,
+            scalar_args=request.scalar_args or None,
+            timings=timings,
+        )
 
     def execute_compiled(
         self,
@@ -291,10 +294,27 @@ class MQSSClient:
                 session.close()
 
     def submit(self, request: JobRequest) -> ClientResult:
-        """Adapter -> JIT -> route -> execute -> result."""
-        timings: dict[str, float] = {}
-        program = self.compile_request(request, timings=timings)
-        return self.execute_compiled(request, program, timings=timings)
+        """Adapter -> JIT -> route -> execute -> result.
+
+        .. deprecated::
+            Superseded by the two-phase API: ``repro.compile(program,
+            target).run(shots=...)`` (see :mod:`repro.api`).  The shim
+            keeps the old signature and routes through the same core.
+        """
+        warnings.warn(
+            "MQSSClient.submit is deprecated; use repro.compile(program, "
+            "Target.from_client(client, device)).run(...) or repro.run(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._submit(request)
+
+    def _submit(self, request: JobRequest) -> ClientResult:
+        """One submission through the unified Program/Target/Executable
+        core (internal, warning-free)."""
+        from repro.api.core import run_request
+
+        return run_request(self, request)
 
     def run_batch(
         self, requests: list[JobRequest], *, raise_on_error: bool = False
@@ -307,7 +327,18 @@ class MQSSClient:
         the exception. With ``raise_on_error=True`` an
         :class:`~repro.errors.ExecutionError` summarizing all failures
         is raised after every request has been attempted.
+
+        .. deprecated::
+            Superseded by ``Executable.sweep(...)`` / the serving layer
+            (:meth:`PulseService.submit_many`); kept as a shim over the
+            unified core.
         """
+        warnings.warn(
+            "MQSSClient.run_batch is deprecated; use Executable.sweep(...) "
+            "or PulseService for batch traffic",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         order = sorted(
             range(len(requests)), key=lambda i: (-requests[i].priority, i)
         )
@@ -317,7 +348,7 @@ class MQSSClient:
         failures: list[BatchFailure] = []
         for i in order:
             try:
-                results[i] = self.submit(requests[i])
+                results[i] = self._submit(requests[i])
             except Exception as exc:
                 failure = BatchFailure(request=requests[i], error=exc, index=i)
                 results[i] = failure

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.core.schedule import PulseSchedule
@@ -66,12 +67,31 @@ class CompiledProgram:
 
 
 class JITCompiler:
-    """Compiles adapter payloads for a concrete QDMI device."""
+    """Compiles adapter payloads for a concrete QDMI device.
 
-    def __init__(self, context: MLIRContext | None = None) -> None:
+    The internal memo is a bounded LRU: parameter-binding hot loops
+    (``Executable.bind`` with a fresh point per iteration) and long
+    scalar-argument sweeps insert one artifact per distinct binding, so
+    an unbounded dict would grow for the life of the process.  Shared
+    multi-tenant traffic should use the serving layer's
+    :class:`~repro.serving.cache.CompileCache` instead, which is
+    additionally thread-safe and instrumented.
+    """
+
+    def __init__(
+        self,
+        context: MLIRContext | None = None,
+        *,
+        max_cache_entries: int = 512,
+    ) -> None:
+        if max_cache_entries < 1:
+            raise CompilationError(
+                f"max_cache_entries must be >= 1, got {max_cache_entries}"
+            )
         self.context = context if context is not None else default_context()
-        self._cache: dict[str, CompiledProgram] = {}
-        self.stats = {"compilations": 0, "cache_hits": 0}
+        self.max_cache_entries = max_cache_entries
+        self._cache: OrderedDict[str, CompiledProgram] = OrderedDict()
+        self.stats = {"compilations": 0, "cache_hits": 0, "evictions": 0}
 
     # ---- cache keys ---------------------------------------------------------------
 
@@ -94,9 +114,13 @@ class JITCompiler:
                 f"unsupported payload type {type(payload).__name__}"
             )
         if scalar_args:
-            extra = repr(sorted(scalar_args.items()))
-            base += hashlib.sha256(extra.encode()).hexdigest()[:8]
+            base += self._scalar_suffix(scalar_args)
         return base
+
+    @staticmethod
+    def _scalar_suffix(scalar_args: Mapping) -> str:
+        extra = repr(sorted(scalar_args.items()))
+        return hashlib.sha256(extra.encode()).hexdigest()[:8]
 
     def device_state_key(self, device: Any) -> str:
         """Device identity + calibration state (believed frequencies).
@@ -120,10 +144,26 @@ class JITCompiler:
         :class:`repro.serving.cache.CompileCache`; two requests with
         equal keys are guaranteed to compile to the same program.
         """
-        return (
-            f"{self.payload_fingerprint(payload, scalar_args)}"
-            f"@{self.device_state_key(device)}"
+        return self.compose_cache_key(
+            self.payload_fingerprint(payload), device, scalar_args
         )
+
+    def compose_cache_key(
+        self,
+        payload_fingerprint: str,
+        device: Any,
+        scalar_args: Mapping | None = None,
+    ) -> str:
+        """:meth:`cache_key` from a precomputed payload fingerprint.
+
+        Hot loops (``Executable.bind``) fingerprint the payload once
+        and recompose the key per parameter binding; the result is
+        byte-identical to :meth:`cache_key` on the same inputs.
+        """
+        base = payload_fingerprint
+        if scalar_args:
+            base += self._scalar_suffix(scalar_args)
+        return f"{base}@{self.device_state_key(device)}"
 
     # ---- compilation -----------------------------------------------------------------
 
@@ -141,19 +181,10 @@ class JITCompiler:
         a pulse MLIR module or its text, or a :class:`PulseSchedule`.
         """
         key = self.cache_key(payload, device, scalar_args)
-        if use_cache and key in self._cache:
-            self.stats["cache_hits"] += 1
-            cached = self._cache[key]
-            return CompiledProgram(
-                device_name=cached.device_name,
-                schedule=cached.schedule,
-                pulse_module=cached.pulse_module,
-                qir=cached.qir,
-                pass_report=cached.pass_report,
-                compile_time_s=cached.compile_time_s,
-                cache_hit=True,
-                metadata=dict(cached.metadata),
-            )
+        if use_cache:
+            cached = self.lookup(key)
+            if cached is not None:
+                return cached
 
         t0 = time.perf_counter()
         self.stats["compilations"] += 1
@@ -196,7 +227,7 @@ class JITCompiler:
             },
         )
         if use_cache:
-            self._cache[key] = program
+            self.store(key, program)
         return program
 
     def _to_schedule(
@@ -214,6 +245,32 @@ class JITCompiler:
         raise CompilationError(
             f"unsupported payload type {type(payload).__name__}"
         )
+
+    # ---- cache surface ---------------------------------------------------------------
+
+    def lookup(self, key: str) -> CompiledProgram | None:
+        """The memoized program under *key* (marked as a hit); None on miss.
+
+        Part of the public cache surface used by the unified execution
+        API: misses are silent so callers can probe before deciding how
+        to produce the artifact.
+        """
+        cached = self._cache.get(key)
+        if cached is None:
+            return None
+        self._cache.move_to_end(key)
+        self.stats["cache_hits"] += 1
+        return replace(cached, cache_hit=True, metadata=dict(cached.metadata))
+
+    def store(self, key: str, program: CompiledProgram) -> None:
+        """Remember *program* under *key* (bound-template artifacts use
+        this to make revisited parameter points cache hits), evicting
+        the least-recently-used entries beyond the memo bound."""
+        self._cache[key] = program
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.max_cache_entries:
+            self._cache.popitem(last=False)
+            self.stats["evictions"] += 1
 
     def clear_cache(self) -> None:
         """Drop all cached compilations."""

@@ -154,6 +154,26 @@ class PulseSchedule:
             out._place(item.t0, item.instruction)
         return out
 
+    def clone_with_items(
+        self, items: "list[ScheduledInstruction]"
+    ) -> "PulseSchedule":
+        """A structural copy carrying *items* in place of this
+        schedule's own, preserving placement bookkeeping.
+
+        The item list must be position-compatible (same ports, same
+        times) — e.g. this schedule's items with some instructions
+        swapped via :func:`dataclasses.replace`.  Used by the execution
+        API's parameter-binding templates; kept next to the class so a
+        new instance attribute cannot be silently missed by an external
+        field-by-field copy.
+        """
+        out = PulseSchedule.__new__(PulseSchedule)
+        out.name = self.name
+        out._items = list(items)
+        out._port_free = dict(self._port_free)
+        out._seq = self._seq
+        return out
+
     # ---- inspection ----------------------------------------------------------
 
     def ordered(self) -> list[ScheduledInstruction]:

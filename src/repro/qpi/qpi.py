@@ -184,29 +184,46 @@ def qExecute(device, circuit: QCircuit, nshots: int, *, seed: int | None = None)
     """Compile and run *circuit* on *device*; returns 0 on success.
 
     This is the JIT boundary: the op buffer is converted to a pulse
-    schedule through the device's calibrations, validated against the
-    device constraints, and submitted over QDMI.
+    schedule through the device's calibrations, compiled through the
+    unified execution core (constraint legalization included), and
+    dispatched on the session-free local fast path.
+
+    .. deprecated::
+        Superseded by the two-phase API: ``repro.compile(circuit,
+        device).run(shots=...)`` — see :mod:`repro.api`.  The C-style
+        return-code contract is kept: conversion errors raise
+        :class:`~repro.errors.ValidationError` exactly as before, while
+        compilation and execution failures return ``1`` and leave no
+        result on the handle.
     """
-    from repro.qdmi.job import QDMIJob
-    from repro.qdmi.properties import JobStatus, ProgramFormat
-    from repro.qpi.compile import qpi_to_schedule
+    import warnings
+
+    warnings.warn(
+        "qExecute is deprecated; use repro.compile(circuit, device)"
+        ".run(shots=...) (two-phase API)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.executable import Executable
+    from repro.api.program import Program
+    from repro.api.target import Target
+    from repro.errors import ReproError
 
     if circuit.open:
         raise ValidationError("circuit still open; call qCircuitEnd before qExecute")
-    schedule = qpi_to_schedule(circuit, device)
-    job = QDMIJob(
-        device.name,
-        ProgramFormat.PULSE_SCHEDULE,
-        schedule,
-        shots=nshots,
-        metadata={"seed": seed} if seed is not None else None,
+    # Payload conversion errors (bad register indices, unknown ports)
+    # raise, matching the old qpi_to_schedule behaviour.
+    executable = Executable.prepare(
+        Program.from_qpi(circuit), Target.from_device(device)
     )
-    device.submit_job(job)
-    if job.status is not JobStatus.DONE:
+    try:
+        result = executable.run(shots=nshots, seed=seed)
+    except ReproError:
         circuit.result = None
         return 1
-    r = job.result
-    circuit.result = QuantumResult(r.counts, r.ideal_probabilities, r.shots)
+    circuit.result = QuantumResult(
+        result.counts, result.probabilities, result.shots
+    )
     return 0
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import warnings
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Iterable
 
@@ -243,7 +244,28 @@ class PulseService:
         full — unless *block*, which waits up to *timeout* for space.
         Request-level errors (unknown device/adapter…) do not raise:
         they come back on the ticket.
+
+        .. deprecated::
+            Superseded by ``Executable.run_async()`` on a service
+            target (``Target.from_service``); kept as a shim over the
+            same admission core.
         """
+        warnings.warn(
+            "PulseService.submit is deprecated; use repro.compile(program, "
+            "Target.from_service(service, device)).run_async()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._admit_request(request, block=block, timeout=timeout)
+
+    def _admit_request(
+        self,
+        request: JobRequest,
+        *,
+        block: bool = False,
+        timeout: float | None = None,
+    ) -> JobTicket:
+        """Admission control + routing (internal, warning-free)."""
         ticket = JobTicket(request)
         with self._admit:
             if self._in_flight >= self.max_pending:
@@ -290,7 +312,7 @@ class PulseService:
         self, requests: Iterable[JobRequest], *, block: bool = True
     ) -> list[JobTicket]:
         """Submit a batch in order; blocks for admission by default."""
-        return [self.submit(r, block=block) for r in requests]
+        return [self._admit_request(r, block=block) for r in requests]
 
     def run(
         self, requests: Iterable[JobRequest], *, timeout: float | None = None
@@ -315,7 +337,21 @@ class PulseService:
         ``block=False``) never orphans the points already admitted:
         the failed point's ticket carries the error and the returned
         :class:`SweepTicket` stays complete and scan-ordered.
+
+        .. deprecated::
+            Superseded by ``Executable.sweep(grid)`` on a service
+            target; kept as a shim over the same fan-out core.
         """
+        warnings.warn(
+            "PulseService.submit_sweep is deprecated; use "
+            "Executable.sweep(grid) on a service target",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._admit_sweep(sweep, block=block)
+
+    def _admit_sweep(self, sweep: "SweepRequest", *, block: bool = True):
+        """Sweep fan-out over :meth:`_admit` (internal, warning-free)."""
         from repro.serving.sweeps import SweepTicket
 
         requests = sweep.expand()
@@ -324,7 +360,7 @@ class PulseService:
         tickets = []
         for request in requests:
             try:
-                tickets.append(self.submit(request, block=block))
+                tickets.append(self._admit_request(request, block=block))
             except Exception as exc:
                 ticket = JobTicket(request)
                 ticket._fail(exc)
@@ -428,23 +464,24 @@ class PulseService:
             if hook is not None:
                 for entry in group:
                     hook(entry)
+            from repro.api.core import compile_payload
+
             timings: dict[str, float] = {}
             _, target, _ = self.client.resolve_target(pool.device_name)
-            t0 = time.perf_counter()
-            program = self.cache.get_or_compile(
+            program = compile_payload(
                 self.client.compiler,
+                self.cache,
                 head.payload,
                 target,
                 scalar_args=head.request.scalar_args or None,
+                timings=timings,
             )
-            timings["compile"] = time.perf_counter() - t0
             self.metrics.observe("compile", timings["compile"])
             self.metrics.incr(
                 "cache_hits" if program.cache_hit else "cache_misses"
             )
             total_shots = sum(e.request.shots for e in group)
             with pool.exec_lock:
-                t0 = time.perf_counter()
                 combined = self.client.execute_compiled(
                     head.request,
                     program,
