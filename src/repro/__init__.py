@@ -25,6 +25,9 @@ Layering (bottom to top)::
     api         the unified two-phase execution API: Program ->
                 Target -> Executable with parameter binding; every
                 legacy entry point routes through its core
+    primitives  Sampler/Estimator over broadcastable PUBs and the
+                Observable expectation engine — the workload tier
+                batching whole parameter grids through the fast paths
     runtime     second-level scheduler and resource management
     serving     asynchronous execution service over client + runtime:
                 per-device worker pools, content-addressed compile
@@ -51,6 +54,14 @@ from repro.core import (
     PulseSchedule,
     Waveform,
 )
+from repro.primitives import (
+    DataBin,
+    Estimator,
+    Observable,
+    PrimitiveResult,
+    PubResult,
+    Sampler,
+)
 
 __all__ = [
     "__version__",
@@ -68,4 +79,11 @@ __all__ = [
     "Executable",
     "compile",
     "run",
+    # The primitives tier (repro.primitives).
+    "Sampler",
+    "Estimator",
+    "Observable",
+    "DataBin",
+    "PubResult",
+    "PrimitiveResult",
 ]

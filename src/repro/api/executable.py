@@ -37,8 +37,8 @@ the semantics never depend on the optimization.
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import replace as _replace
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.api.core import adapter_payload, compile_payload
@@ -75,15 +75,34 @@ class _ScheduleTemplate:
         )
 
     def specialize(self, params: Mapping[str, float]) -> PulseSchedule:
-        """A schedule with every scalar slot bound from *params*."""
+        """A schedule with every scalar slot bound from *params*.
+
+        Hot path of every per-point bind: the slotted (frozen
+        dataclass) items are shallow-copied field-for-field instead of
+        going through :func:`dataclasses.replace`, whose per-call field
+        introspection dominated sweep-sized binds. The only
+        ``__post_init__`` check this skips is scalar finiteness, which
+        is re-applied explicitly (range checks for frequency slots
+        happen in the callers, exactly as before).
+        """
         base = self.base
         items = list(base._items)
         for idx, pairs in self.by_index:
             item = items[idx]
-            fields = {fld: float(params[name]) for fld, name in pairs}
-            items[idx] = _replace(
-                item, instruction=_replace(item.instruction, **fields)
-            )
+            ins = item.instruction
+            new_ins = object.__new__(type(ins))
+            new_ins.__dict__.update(ins.__dict__)
+            for fld, name in pairs:
+                value = float(params[name])
+                if not math.isfinite(value):
+                    raise ValidationError(
+                        f"parameter {name!r} must be finite, got {value!r}"
+                    )
+                new_ins.__dict__[fld] = value
+            new_item = object.__new__(type(item))
+            new_item.__dict__.update(item.__dict__)
+            new_item.__dict__["instruction"] = new_ins
+            items[idx] = new_item
         return base.clone_with_items(items)
 
 
@@ -353,6 +372,41 @@ class Executable:
         )
 
     # ---- the two-phase hot loop ------------------------------------------------------
+
+    def specialize(
+        self, params: Mapping[str, float] | None = None
+    ) -> PulseSchedule | None:
+        """The bound schedule via the template fast path *only*.
+
+        Merges *params* over the executable's bindings and specializes
+        the pre-compiled schedule template — no artifact construction,
+        no cache write; the primitives tier uses this to mint one
+        schedule per PUB point at clone-and-swap cost before handing
+        the whole batch to the device executor. Returns ``None``
+        whenever the fast path is unavailable (non-parametric program,
+        no template, out-of-range frequency, incomplete bindings) —
+        callers then fall back to :meth:`bind`, whose semantics this
+        path matches exactly (the same frequency-range check
+        legalization would apply).
+        """
+        if not self.program.is_parametric:
+            return None
+        self._ensure_payload()
+        template = self._ensure_template()
+        if template is None:
+            return None
+        merged = dict(self.params)
+        if params:
+            merged.update({str(k): float(v) for k, v in dict(params).items()})
+        if set(self.program.parameters) - set(merged):
+            return None
+        try:
+            constraints = self.target.constraints
+            for name in template.frequency_params:
+                constraints.validate_frequency(float(merged[name]))
+            return template.specialize(merged)
+        except (ReproError, KeyError, TypeError, ValueError):
+            return None
 
     def bind(
         self, params: Mapping[str, float] | None = None, **kwargs: float

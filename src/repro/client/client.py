@@ -29,7 +29,6 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.client.adapters import Adapter, default_adapters
-from repro.core.distributions import distribution_expectation_z
 from repro.compiler.jit import CompiledProgram, JITCompiler
 from repro.errors import ExecutionError, QDMIError
 from repro.qdmi.driver import QDMIDriver
@@ -70,8 +69,22 @@ class ClientResult:
 
         Raises :class:`~repro.errors.ValidationError` on an empty
         distribution or an out-of-range slot.
+
+        .. deprecated::
+            Thin view over the Observable engine; use
+            ``repro.primitives.Observable.z(slot).expectation(...)``
+            (or an :class:`~repro.primitives.Estimator` PUB) directly.
         """
-        return distribution_expectation_z(self.probabilities, slot)
+        warnings.warn(
+            "ClientResult.expectation_z is deprecated; evaluate "
+            "repro.primitives.Observable.z(slot) (or run an Estimator "
+            "PUB) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.primitives.observables import expectation_z
+
+        return expectation_z(self.probabilities, slot)
 
 
 @dataclass

@@ -29,6 +29,7 @@ from repro.control.robustness import (
     amplitude_scan,
     decoherence_scan,
     detuning_scan,
+    estimator_scan,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "detuning_scan",
     "amplitude_scan",
     "decoherence_scan",
+    "estimator_scan",
 ]

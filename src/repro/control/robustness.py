@@ -47,6 +47,41 @@ def _lift(target: np.ndarray, subspace: np.ndarray) -> np.ndarray:
     return subspace @ target @ subspace.conj().T
 
 
+def estimator_scan(
+    program,
+    target,
+    observable,
+    parameter_values,
+    *,
+    seed: int | None = None,
+    timeout: float | None = None,
+) -> np.ndarray:
+    """Observable curve over a parameter grid — one broadcast PUB.
+
+    The primitives-tier robustness entry point: where the
+    matrix-level scans above perturb Hamiltonians directly, this scans
+    a *compiled program's* declared parameters (detuning knobs,
+    amplitude scale factors, phase offsets — whatever the parametric
+    MLIR kernel exposes) and reports the observable's expectation per
+    point. *program*/*target* are anything
+    :func:`repro.compile` accepts; *parameter_values* is a
+    ``{name: array}`` mapping or an array with a trailing parameter
+    axis; the whole scan executes as a single
+    :class:`~repro.primitives.Estimator` PUB — one compile, one
+    batched evolution (or served sweep), no per-point run loop.
+
+    Returns the expectation values shaped like the scan's broadcast
+    shape.
+    """
+    from repro.primitives import Estimator
+
+    estimator = Estimator(target, seed=seed)
+    result = estimator.run(
+        [(program, observable, parameter_values)], timeout=timeout
+    )
+    return result[0].data.evs
+
+
 # Bound on slices materialized at once by a scan: chunking over scan
 # points keeps the batched speedup while the peak footprint stays at
 # ~2 * _MAX_SCAN_SLICES * D^2 complex values instead of scaling with

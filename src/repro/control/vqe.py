@@ -65,6 +65,7 @@ class GateVQE:
         self._h_embedded = embed_qubit_operator(self.hamiltonian, self._dims)
         self._executor = device.executor
         self._last_duration = 0
+        self._observable = None  # Pauli decomposition, built on first use
 
     @property
     def num_parameters(self) -> int:
@@ -95,6 +96,34 @@ class GateVQE:
         self._last_duration = schedule.duration
         result = self._executor.execute(schedule, shots=0)
         return expectation(result.final_state, self._h_embedded)
+
+    def energies(self, param_sets: np.ndarray) -> np.ndarray:
+        """Ansatz energies for a batch of parameter vectors.
+
+        Evaluates through one :class:`~repro.primitives.Estimator`
+        request: every point's lowered schedule joins a single batched
+        evolution pass (:meth:`ScheduleExecutor.execute_batch
+        <repro.sim.executor.ScheduleExecutor.execute_batch>`) and the
+        Hamiltonian scores each final state through the Observable
+        engine — the same embedding :meth:`energy` uses, so the two
+        agree to numerical precision.
+        """
+        from repro.primitives import Estimator, Observable
+
+        param_sets = np.atleast_2d(np.asarray(param_sets, dtype=np.float64))
+        if self._observable is None:  # 4^n decomposition: pay once
+            self._observable = Observable.from_matrix(self.hamiltonian)
+        observable = self._observable
+        estimator = Estimator.from_executor(self._executor)
+        pubs = []
+        for p in param_sets:
+            schedule = quantum_module_to_schedule(
+                self.build_circuit(p).module, self.device
+            )
+            self._last_duration = schedule.duration
+            pubs.append((schedule, observable))
+        result = estimator.run(pubs)
+        return np.array([float(r.data.evs[()]) for r in result])
 
     def run(
         self, *, maxiter: int = 300, seed: int = 0, x0: np.ndarray | None = None

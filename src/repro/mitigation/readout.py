@@ -20,12 +20,12 @@ before its numbers are quoted against hardware.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.distributions import distribution_expectation_z
 from repro.errors import ValidationError
 from repro.sim.measurement import ReadoutModel
 
@@ -43,8 +43,22 @@ class MitigatedResult:
 
         Raises :class:`~repro.errors.ValidationError` on an empty
         distribution or an out-of-range slot.
+
+        .. deprecated::
+            Thin view over the Observable engine; use
+            ``repro.primitives.Observable.z(slot).expectation(...)``
+            directly.
         """
-        return distribution_expectation_z(self.distribution, slot)
+        warnings.warn(
+            "MitigatedResult.expectation_z is deprecated; evaluate "
+            "repro.primitives.Observable.z(slot) against the mitigated "
+            "distribution instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.primitives.observables import expectation_z
+
+        return expectation_z(self.distribution, slot)
 
 
 def _joint_confusion(models: Sequence[ReadoutModel]) -> np.ndarray:
@@ -162,29 +176,37 @@ def validate_readout_mitigation(
     returned distances measure mitigation quality *under* T1/T2 —
     e.g. whether confusion inversion stays well-conditioned while
     amplitude damping skews the populations.
+
+    Scoring runs through a mitigating
+    :class:`~repro.primitives.sampler.Sampler` over the executor: the
+    same DataBin fields (``counts``/``quasi_dists``/``probabilities``/
+    ``noisy_probabilities``/``condition_numbers``) any sampler PUB
+    exposes, just re-packed into the validation dataclass.
     """
-    result = executor.execute(schedule, shots=max(shots, 0), seed=seed)
-    if not result.measured_sites:
+    from repro.primitives import Sampler
+
+    sampler = Sampler.from_executor(
+        executor, default_shots=max(shots, 0), seed=seed, mitigation=True
+    )
+    bin_ = sampler.run([(schedule,)])[0].data
+    exact = dict(bin_.probabilities[()])
+    if not exact:
         raise ValidationError(
             "cannot validate mitigation: the schedule captured nothing"
         )
-    models = [
-        executor.readout.get(site, ReadoutModel())
-        for site in result.measured_sites
-    ]
+    counts = bin_.counts[()]
     if shots > 0:
-        total = sum(result.counts.values())
-        observed = {k: v / total for k, v in result.counts.items()}
+        total = sum(counts.values())
+        observed = {k: v / total for k, v in counts.items()}
     else:
-        observed = dict(result.probabilities)
-    mitigated = mitigate_distribution(observed, models)
-    exact = dict(result.ideal_probabilities)
+        observed = dict(bin_.noisy_probabilities[()])
+    mitigated = dict(bin_.quasi_dists[()])
     return MitigationValidation(
         exact=exact,
         observed=observed,
-        mitigated=mitigated.distribution,
+        mitigated=mitigated,
         tv_observed=total_variation_distance(observed, exact),
-        tv_mitigated=total_variation_distance(mitigated.distribution, exact),
-        condition_number=mitigated.condition_number,
+        tv_mitigated=total_variation_distance(mitigated, exact),
+        condition_number=float(bin_.condition_numbers[()]),
         shots=max(shots, 0),
     )

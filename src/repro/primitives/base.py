@@ -1,0 +1,234 @@
+"""Shared machinery of the Sampler/Estimator primitives.
+
+A primitive is constructed from any :class:`~repro.api.target.Target`
+(or a bare device, or — for in-process callers like the variational
+algorithms — directly from a :class:`~repro.sim.executor.ScheduleExecutor`)
+and owns one dispatch decision for all its PUBs:
+
+* **direct** — the target is a local simulated device (or a raw
+  executor): every PUB point across every PUB becomes one schedule,
+  and the whole batch runs through
+  :meth:`ScheduleExecutor.execute_batch
+  <repro.sim.executor.ScheduleExecutor.execute_batch>` — one stacked
+  propagator (or Lindblad superpropagator) call instead of a
+  per-point ``run()`` loop.
+* **service** — the target dispatches through a
+  :class:`~repro.serving.service.PulseService`: each PUB expands into
+  one sweep (``PulseService`` fan-out, coalescing, failover) and the
+  primitives collect the tickets.
+* **client** — anything else (remote QDMI routing): the per-point
+  ``Executable`` loop, kept as the correctness baseline.
+
+Schedules for parametric programs are minted through
+:meth:`Executable.specialize <repro.api.executable.Executable.specialize>`
+— the PR-4 template fast path — falling back to :meth:`Executable.bind`
+when the template is unavailable, so PUB evaluation never recompiles
+the front-end per point.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.api.executable import Executable
+from repro.api.target import Target
+from repro.errors import ValidationError
+
+#: Dispatch modes (documented above).
+_DIRECT, _SERVICE, _CLIENT = "direct", "service", "client"
+
+
+class BasePrimitive:
+    """Target resolution + batched PUB execution shared by primitives."""
+
+    #: Compiled executables kept warm per primitive (identity-keyed by
+    #: Program; optimizer loops re-submitting one Program skip the
+    #: re-prepare + template re-trace entirely).
+    _MAX_EXECUTABLE_MEMO = 128
+
+    def __init__(
+        self,
+        target: Any = None,
+        *,
+        executor: Any = None,
+        seed: int | None = None,
+    ) -> None:
+        self._seed = seed
+        self._executor = None
+        self._target: Target | None = None
+        self._executables: OrderedDict[Any, Executable] = OrderedDict()
+        if executor is not None:
+            if target is not None:
+                raise ValidationError(
+                    "pass either a target or an executor, not both"
+                )
+            self._executor = executor
+            self._mode = _DIRECT
+            return
+        if target is None:
+            raise ValidationError("a primitive needs a target (or executor)")
+        resolved = Target.resolve(target)
+        self._target = resolved
+        if resolved.is_async:
+            self._mode = _SERVICE
+        elif resolved.direct and not resolved.is_remote:
+            device = resolved.device
+            if hasattr(device, "executor"):
+                self._mode = _DIRECT
+                self._executor = device.executor
+            else:  # a direct target without a simulator: client loop
+                self._mode = _CLIENT
+        else:
+            self._mode = _CLIENT
+
+    @classmethod
+    def from_executor(cls, executor: Any, **kwargs: Any):
+        """A primitive over a bare :class:`ScheduleExecutor`.
+
+        The in-process route for callers that already hold an executor
+        (variational algorithms, mitigation validation): PUB programs
+        must be pulse schedules, and everything dispatches through
+        :meth:`ScheduleExecutor.execute_batch` with zero compile-layer
+        overhead.
+        """
+        return cls(executor=executor, **kwargs)
+
+    # ---- introspection ---------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``"direct"``, ``"service"`` or ``"client"`` dispatch."""
+        return self._mode
+
+    @property
+    def target(self) -> Target | None:
+        return self._target
+
+    def _device_name(self) -> str:
+        if self._target is not None:
+            return self._target.device_name
+        model = self._executor.model
+        return f"executor[{'x'.join(str(d) for d in model.dims)}]"
+
+    def _dims(self) -> tuple[int, ...]:
+        """Per-site dimensions of the simulated system (direct only)."""
+        return tuple(self._executor.model.dims)
+
+    # ---- schedule minting ------------------------------------------------------------
+
+    def _point_schedules(self, pub) -> list[Any]:
+        """One concrete schedule per *unique* binding point of *pub*.
+
+        Compiles the PUB's program once (template for parametric
+        programs), then specializes per point through the fast path.
+        In executor mode the program must already be a schedule.
+        """
+        bindings = pub.bindings
+        n_points = bindings.size
+        if self._executor is not None and self._target is None:
+            if pub.program.kind != "schedule":
+                raise ValidationError(
+                    "an executor-backed primitive takes pulse-schedule "
+                    f"programs only, got kind {pub.program.kind!r}; "
+                    "construct the primitive from a Target to compile "
+                    "other front ends"
+                )
+            if bindings.num_parameters:
+                raise ValidationError(
+                    "an executor-backed primitive cannot bind parametric "
+                    "programs; construct it from a Target instead"
+                )
+            return [pub.program.source] * n_points
+        executable = self._executables.get(pub.program)
+        if executable is None:
+            executable = Executable.prepare(pub.program, self._target)
+            executable.compile()
+            self._executables[pub.program] = executable
+            while len(self._executables) > self._MAX_EXECUTABLE_MEMO:
+                self._executables.popitem(last=False)
+        else:
+            self._executables.move_to_end(pub.program)
+        if not pub.program.is_parametric:
+            if self._mode == _CLIENT:
+                return [executable] * n_points
+            return [executable._ensure_compiled().schedule] * n_points
+        schedules: list[Any] = []
+        for i in range(n_points):
+            point = bindings.point(i)
+            if self._mode == _CLIENT:
+                schedules.append(executable.bind(point))
+                continue
+            schedule = executable.specialize(point)
+            if schedule is None:  # template unavailable: full bind
+                schedule = executable.bind(point).schedule
+            schedules.append(schedule)
+        return schedules
+
+    # ---- batched dispatch ------------------------------------------------------------
+
+    def _execute_all(
+        self,
+        per_pub: Sequence[tuple[Any, list[Any], int]],
+        *,
+        timeout: float | None = None,
+    ) -> list[list[Any]]:
+        """Execute every pub's points; returns per-pub result lists.
+
+        *per_pub* entries are ``(pub, point_handles, shots)`` where the
+        handles are schedules (direct/service) or executables (client).
+        Direct dispatch batches all pubs sharing a shot count into one
+        :meth:`execute_batch` call; service dispatch admits every sweep
+        before collecting any ticket, so pubs overlap in the worker
+        pools.
+        """
+        if self._mode == _DIRECT:
+            out: list[list[Any]] = [[None] * len(h) for _, h, _ in per_pub]
+            groups: dict[int, list[tuple[int, int, Any]]] = {}
+            for p, (_, handles, shots) in enumerate(per_pub):
+                for i, handle in enumerate(handles):
+                    groups.setdefault(shots, []).append((p, i, handle))
+            for shots, entries in groups.items():
+                results = self._executor.execute_batch(
+                    [e[2] for e in entries], shots=shots, seed=self._seed
+                )
+                for (p, i, _), result in zip(entries, results):
+                    out[p][i] = result
+            return out
+        if self._mode == _SERVICE:
+            from repro.serving.sweeps import SweepRequest
+
+            service = self._target.service
+            tickets = []
+            for _, handles, shots in per_pub:
+                sweep = SweepRequest.from_programs(
+                    list(handles),
+                    self._target.device_name,
+                    shots=shots,
+                    seed=self._seed,
+                )
+                tickets.append(service._admit_sweep(sweep))
+            return [t.results(timeout) for t in tickets]
+        return [
+            [
+                handle.run(shots=shots, seed=self._seed, timeout=timeout)
+                for handle in handles
+            ]
+            for _, handles, shots in per_pub
+        ]
+
+    # ---- result-shape helpers --------------------------------------------------------
+
+    @staticmethod
+    def _object_array(shape: tuple[int, ...], values: list[Any]) -> np.ndarray:
+        """Object ndarray of *shape* filled from flat *values*."""
+        out = np.empty(shape, dtype=object)
+        flat = out.reshape(-1) if shape else out
+        if shape:
+            for i, v in enumerate(values):
+                flat[i] = v
+        else:
+            out[()] = values[0]
+        return out

@@ -1,0 +1,132 @@
+"""Result containers for the primitives tier.
+
+One result shape for every workload: a primitive ``run`` returns a
+:class:`PrimitiveResult` — one :class:`PubResult` per input PUB, each
+holding a :class:`DataBin` whose fields are arrays shaped like the
+PUB's broadcast shape. Counts, quasi-distributions, expectation
+values and standard errors all travel through this one container
+instead of thirteen ad-hoc result dataclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class DataBin:
+    """A named bundle of result arrays sharing one leading shape.
+
+    Fields are exposed as attributes (``bin.evs``, ``bin.counts``,
+    ``bin.stds``...). Every field is an :class:`numpy.ndarray` whose
+    leading dimensions equal :attr:`shape` — object arrays for
+    per-point mappings (counts, distributions), float arrays for
+    numerics. Which fields are present depends on the primitive and
+    the dispatch path; ``in`` and :attr:`fields` let callers probe.
+    """
+
+    __slots__ = ("_fields", "_shape")
+
+    def __init__(self, *, shape: tuple[int, ...] = (), **fields: Any) -> None:
+        self._shape = tuple(int(s) for s in shape)
+        self._fields: dict[str, np.ndarray] = {}
+        for name, value in fields.items():
+            arr = value if isinstance(value, np.ndarray) else np.asarray(value)
+            if arr.shape[: len(self._shape)] != self._shape:
+                raise ValidationError(
+                    f"DataBin field {name!r} has shape {arr.shape}, "
+                    f"expected leading dims {self._shape}"
+                )
+            self._fields[name] = arr
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """The PUB's broadcast shape all fields share."""
+        return self._shape
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """Names of the fields present, sorted."""
+        return tuple(sorted(self._fields))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._fields
+
+    def __getattr__(self, name: str) -> np.ndarray:
+        # Underscore lookups must fail fast: copy/pickle protocols probe
+        # special attributes on a not-yet-initialized instance, and
+        # touching self._fields here would recurse back into __getattr__.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            fields = object.__getattribute__(self, "_fields")
+        except AttributeError:
+            raise AttributeError(name) from None
+        try:
+            return fields[name]
+        except KeyError:
+            raise AttributeError(
+                f"DataBin has no field {name!r}; present: "
+                f"{list(sorted(fields))}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self._fields:
+            raise ValidationError(
+                f"DataBin has no field {name!r}; present: "
+                f"{list(sorted(self._fields))}"
+            )
+        return self._fields[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{k}={v.dtype}{v.shape}" for k, v in sorted(self._fields.items())
+        )
+        return f"DataBin(shape={self._shape}, {inner})"
+
+
+class PubResult:
+    """The result of one PUB: a :class:`DataBin` plus metadata."""
+
+    __slots__ = ("data", "metadata")
+
+    def __init__(
+        self, data: DataBin, metadata: Mapping[str, Any] | None = None
+    ) -> None:
+        self.data = data
+        self.metadata: dict[str, Any] = dict(metadata or {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PubResult({self.data!r})"
+
+
+class PrimitiveResult(Sequence):
+    """Results of one primitive ``run``, aligned with the input PUBs."""
+
+    __slots__ = ("_pub_results", "metadata")
+
+    def __init__(
+        self,
+        pub_results: Sequence[PubResult],
+        metadata: Mapping[str, Any] | None = None,
+    ) -> None:
+        self._pub_results = list(pub_results)
+        self.metadata: dict[str, Any] = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self._pub_results)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._pub_results[index]
+
+    def __iter__(self) -> Iterator[PubResult]:
+        return iter(self._pub_results)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PrimitiveResult(<{len(self._pub_results)} pubs>, "
+            f"metadata={self.metadata})"
+        )

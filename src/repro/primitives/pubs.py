@@ -1,0 +1,275 @@
+"""PUBs — Primitive Unified Blocs — with NumPy-style broadcasting.
+
+A PUB is one unit of primitive work: a program plus the axes it is
+evaluated over. ``Sampler`` takes ``(program, parameter_values,
+shots)``; ``Estimator`` takes ``(program, observables,
+parameter_values)``. Parameter values and observables are *arrays*
+— any leading shape — and broadcast against each other exactly like
+NumPy operands (:func:`numpy.broadcast_shapes`), so a 1-D parameter
+scan against a ``(n_obs, 1)``-shaped observable array becomes a 2-D
+grid without the caller writing a loop.
+
+:class:`BindingsArray` normalizes parameter values (positional array
+with a trailing parameter axis, or a ``{name: array}`` mapping whose
+value shapes broadcast together); :class:`ObservablesArray` normalizes
+(nested) observable collections into an object ndarray. The PUB's
+:attr:`shape` is their :func:`numpy.broadcast_shapes`, and
+:meth:`binding_indices` / :meth:`observable_indices` give each
+broadcast point its source entry — the primitive executes each
+*unique* binding point once and fans the result out across the
+observable axes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.api.program import Program
+from repro.errors import ValidationError
+from repro.primitives.observables import Observable
+
+
+class BindingsArray:
+    """Parameter bindings for one program, any broadcast shape.
+
+    Normalized to a dense ``shape + (num_parameters,)`` float array in
+    the program's declared parameter order. ``None`` (no bindings) is
+    the scalar shape ``()`` with zero parameters — valid only for a
+    non-parametric program.
+    """
+
+    __slots__ = ("names", "shape", "_values")
+
+    def __init__(self, data: Any, parameter_names: Sequence[str]) -> None:
+        self.names = tuple(str(n) for n in parameter_names)
+        n = len(self.names)
+        if data is None:
+            if n:
+                raise ValidationError(
+                    f"program declares parameters {list(self.names)} but the "
+                    "PUB carries no parameter values"
+                )
+            self.shape: tuple[int, ...] = ()
+            self._values = np.zeros((0,), dtype=np.float64)
+            return
+        if isinstance(data, Mapping):
+            extra = set(map(str, data)) - set(self.names)
+            missing = set(self.names) - set(map(str, data))
+            if extra or missing:
+                raise ValidationError(
+                    f"parameter values do not match program parameters: "
+                    f"missing {sorted(missing)}, unknown {sorted(extra)}"
+                )
+            arrays = {str(k): np.asarray(v, dtype=np.float64) for k, v in data.items()}
+            self.shape = np.broadcast_shapes(*(a.shape for a in arrays.values()))
+            stacked = np.empty(self.shape + (n,), dtype=np.float64)
+            for j, name in enumerate(self.names):
+                stacked[..., j] = np.broadcast_to(arrays[name], self.shape)
+            self._values = stacked
+            return
+        arr = np.asarray(data, dtype=np.float64)
+        if n == 0:
+            raise ValidationError(
+                "the program declares no parameters; drop the parameter "
+                "values from the PUB"
+            )
+        if arr.ndim == 1 and n == 1:
+            # A flat array for a single-parameter program is always a
+            # scan — including length 1, so a degenerate 1-point grid
+            # keeps the same result shape as every other length (a
+            # single *point* is the mapping form, or shape ()).
+            arr = arr[:, None]
+        if arr.ndim == 0 or arr.shape[-1] != n:
+            raise ValidationError(
+                f"parameter values must have a trailing axis of length "
+                f"{n} (program parameters {list(self.names)}), got shape "
+                f"{arr.shape}"
+            )
+        self.shape = arr.shape[:-1]
+        self._values = np.ascontiguousarray(arr)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.names)
+
+    def values(self) -> np.ndarray:
+        """The dense ``shape + (num_parameters,)`` value array."""
+        return self._values
+
+    def point(self, flat_index: int) -> dict[str, float]:
+        """The ``{name: value}`` mapping of one flat point index."""
+        if not self.names:
+            return {}
+        flat = self._values.reshape(-1, len(self.names))
+        row = flat[flat_index]
+        return {name: float(v) for name, v in zip(self.names, row)}
+
+
+class ObservablesArray:
+    """An object ndarray of :class:`Observable`, any broadcast shape."""
+
+    __slots__ = ("shape", "_array")
+
+    def __init__(self, data: Any) -> None:
+        self._array = self._coerce(data)
+        self.shape = self._array.shape
+
+    @staticmethod
+    def _coerce(data: Any) -> np.ndarray:
+        if isinstance(data, ObservablesArray):
+            return data._array
+        if isinstance(data, (Observable, str, Mapping)):
+            out = np.empty((), dtype=object)
+            out[()] = Observable.coerce(data)
+            return out
+        if isinstance(data, np.ndarray):
+            # Any dtype: object arrays of Observables/mappings, but
+            # also plain string arrays of Pauli labels.
+            out = np.empty(data.shape, dtype=object)
+            for idx in np.ndindex(*data.shape):
+                entry = data[idx]
+                out[idx] = Observable.coerce(
+                    str(entry) if isinstance(entry, np.str_) else entry
+                )
+            return out
+        if isinstance(data, Sequence):
+            children = [ObservablesArray._coerce(c) for c in data]
+            if not children:
+                raise ValidationError("observables array cannot be empty")
+            shape = children[0].shape
+            if any(c.shape != shape for c in children):
+                raise ValidationError(
+                    "ragged observables array: nested entries have "
+                    "mismatched shapes"
+                )
+            out = np.empty((len(children),) + shape, dtype=object)
+            for i, c in enumerate(children):
+                for idx in np.ndindex(*shape):
+                    out[(i,) + idx] = c[idx]
+            return out
+        raise ValidationError(
+            f"cannot build observables from {type(data).__name__}"
+        )
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def flat(self) -> list[Observable]:
+        return list(self._array.reshape(-1))
+
+    def __getitem__(self, idx) -> Observable:
+        return self._array[idx]
+
+
+def _broadcast_flat_indices(
+    inner_shape: tuple[int, ...], inner_size: int, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Flat source index of each broadcast point, shaped *shape*."""
+    idx = np.arange(inner_size, dtype=np.intp).reshape(inner_shape or ())
+    return np.ascontiguousarray(np.broadcast_to(idx, shape))
+
+
+class SamplerPub:
+    """One Sampler work unit: ``(program, parameter_values, shots)``."""
+
+    __slots__ = ("program", "bindings", "shots", "shape")
+
+    def __init__(
+        self,
+        program: Any,
+        parameter_values: Any = None,
+        shots: int | None = None,
+    ) -> None:
+        self.program = Program.coerce(program)
+        self.bindings = BindingsArray(parameter_values, self.program.parameters)
+        if shots is not None and int(shots) < 0:
+            raise ValidationError(f"shots must be >= 0, got {shots}")
+        self.shots = None if shots is None else int(shots)
+        self.shape = self.bindings.shape
+
+    @classmethod
+    def coerce(cls, pub_like: Any) -> "SamplerPub":
+        if isinstance(pub_like, cls):
+            return pub_like
+        if isinstance(pub_like, tuple):
+            if not 1 <= len(pub_like) <= 3:
+                raise ValidationError(
+                    "a Sampler PUB is (program, parameter_values=None, "
+                    f"shots=None); got a {len(pub_like)}-tuple"
+                )
+            return cls(*pub_like)
+        return cls(pub_like)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def binding_indices(self) -> np.ndarray:
+        return _broadcast_flat_indices(
+            self.bindings.shape, self.bindings.size, self.shape
+        )
+
+
+class EstimatorPub:
+    """One Estimator work unit: ``(program, observables, parameter_values)``."""
+
+    __slots__ = ("program", "observables", "bindings", "shape")
+
+    def __init__(
+        self,
+        program: Any,
+        observables: Any,
+        parameter_values: Any = None,
+    ) -> None:
+        self.program = Program.coerce(program)
+        self.observables = ObservablesArray(observables)
+        for obs in self.observables.flat():
+            # Estimator results are real arrays; a non-Hermitian
+            # observable would silently lose its imaginary part.
+            if not obs.is_hermitian:
+                raise ValidationError(
+                    f"Estimator observables must be Hermitian (real "
+                    f"coefficients); got {obs!r}"
+                )
+        self.bindings = BindingsArray(parameter_values, self.program.parameters)
+        self.shape = np.broadcast_shapes(
+            self.observables.shape, self.bindings.shape
+        )
+
+    @classmethod
+    def coerce(cls, pub_like: Any) -> "EstimatorPub":
+        if isinstance(pub_like, cls):
+            return pub_like
+        if isinstance(pub_like, tuple):
+            if not 2 <= len(pub_like) <= 3:
+                raise ValidationError(
+                    "an Estimator PUB is (program, observables, "
+                    f"parameter_values=None); got a {len(pub_like)}-tuple"
+                )
+            return cls(*pub_like)
+        raise ValidationError(
+            "an Estimator PUB needs at least (program, observables)"
+        )
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def binding_indices(self) -> np.ndarray:
+        """Flat index into the bindings for each broadcast point."""
+        return _broadcast_flat_indices(
+            self.bindings.shape, self.bindings.size, self.shape
+        )
+
+    def observable_indices(self) -> np.ndarray:
+        """Flat index into the observables for each broadcast point."""
+        return _broadcast_flat_indices(
+            self.observables.shape, self.observables.size, self.shape
+        )

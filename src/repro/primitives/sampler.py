@@ -1,0 +1,189 @@
+"""Sampler: shot-based execution of broadcastable PUBs.
+
+``Sampler.run([(program, parameter_values, shots), ...])`` executes
+every parameter point of every PUB and returns one
+:class:`~repro.primitives.containers.PubResult` per PUB whose
+:class:`~repro.primitives.containers.DataBin` holds, per point:
+
+* ``counts`` — sampled shot counts after readout error (exactly what
+  ``Executable.run`` returns);
+* ``quasi_dists`` — normalized counts, or — with ``mitigation=True``
+  on a direct simulator target — the confusion-inverted readout
+  mitigation of them (:mod:`repro.mitigation.readout`), alongside the
+  per-point ``condition_numbers`` of the inversion;
+* ``probabilities`` — the exact pre-readout outcome distribution the
+  backend reports (shot-noise free);
+* direct simulator targets additionally expose the exact post-readout
+  ``noisy_probabilities`` — the ground truth the mitigation literature
+  scores against — and per-point ``leakage``.
+
+All points dispatch through one batched evolution pass on direct
+targets (:meth:`ScheduleExecutor.execute_batch`), a served sweep on
+service targets, or the per-point ``Executable`` loop on remote
+clients — see :mod:`repro.primitives.base`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.primitives.base import BasePrimitive
+from repro.primitives.containers import DataBin, PrimitiveResult, PubResult
+from repro.primitives.pubs import SamplerPub
+
+
+class Sampler(BasePrimitive):
+    """Shot sampler over one execution target.
+
+    Parameters
+    ----------
+    target:
+        A :class:`~repro.api.target.Target`, or anything
+        :meth:`Target.resolve <repro.api.target.Target.resolve>`
+        accepts (e.g. a bare device). Alternatively build from a raw
+        executor with :meth:`from_executor`.
+    default_shots:
+        Shots for PUBs that do not carry their own.
+    seed:
+        Seed forwarded to every execution (reproducible sampling).
+    mitigation:
+        Apply confusion-matrix readout mitigation to the counts; the
+        mitigated distributions land in ``quasi_dists`` and the
+        inversion's ``condition_numbers`` ride along. Direct simulator
+        targets only (the confusion matrices live on the executor).
+    """
+
+    def __init__(
+        self,
+        target: Any = None,
+        *,
+        executor: Any = None,
+        default_shots: int = 1024,
+        seed: int | None = None,
+        mitigation: bool = False,
+    ) -> None:
+        super().__init__(target, executor=executor, seed=seed)
+        if default_shots < 0:
+            raise ValidationError(
+                f"default_shots must be >= 0, got {default_shots}"
+            )
+        self.default_shots = int(default_shots)
+        self.mitigation = bool(mitigation)
+        if self.mitigation and self.mode != "direct":
+            raise ValidationError(
+                "readout mitigation needs a direct simulator target "
+                "(the confusion matrices live on the device executor)"
+            )
+
+    def run(
+        self,
+        pubs: Iterable[Any],
+        *,
+        shots: int | None = None,
+        timeout: float | None = None,
+    ) -> PrimitiveResult:
+        """Execute *pubs*; results align with the input order.
+
+        *shots* overrides the sampler default for PUBs that carry no
+        shot count of their own.
+        """
+        coerced = [SamplerPub.coerce(p) for p in pubs]
+        if not coerced:
+            raise ValidationError("Sampler.run needs at least one PUB")
+        per_pub = []
+        for pub in coerced:
+            pub_shots = (
+                pub.shots
+                if pub.shots is not None
+                else (self.default_shots if shots is None else int(shots))
+            )
+            per_pub.append((pub, self._point_schedules(pub), pub_shots))
+        results = self._execute_all(per_pub, timeout=timeout)
+        pub_results = [
+            self._assemble(pub, shots_, res)
+            for (pub, _, shots_), res in zip(per_pub, results)
+        ]
+        return PrimitiveResult(
+            pub_results, metadata={"dispatch": self.mode, "seed": self._seed}
+        )
+
+    # ---- assembly --------------------------------------------------------------------
+
+    def _assemble(self, pub: SamplerPub, shots: int, results: Sequence[Any]):
+        shape = pub.shape
+        counts: list[dict] = []
+        probabilities: list[dict] = []
+        noisy: list[dict] = []
+        quasi: list[dict] = []
+        conditions: list[float] = []
+        leakage: list[float] = []
+        direct = self.mode == "direct"
+        for r in results:
+            if direct:  # ExecutionResult
+                r_counts = dict(r.counts)
+                r_probs = dict(r.ideal_probabilities)
+                r_noisy = dict(r.probabilities)
+                noisy.append(r_noisy)
+                leakage.append(float(sum(r.leakage.values())))
+            else:  # ClientResult
+                r_counts = dict(r.counts)
+                r_probs = dict(r.probabilities)
+                r_noisy = {}
+            counts.append(r_counts)
+            probabilities.append(r_probs)
+            if self.mitigation:
+                mitigated, cond = self._mitigate(r, r_counts, r_noisy, shots)
+                quasi.append(mitigated)
+                conditions.append(cond)
+            elif shots > 0 and r_counts:
+                total = sum(r_counts.values())
+                quasi.append({k: v / total for k, v in r_counts.items()})
+            else:
+                quasi.append(dict(r_noisy if direct else r_probs))
+        fields: dict[str, Any] = {
+            "counts": self._object_array(shape, counts),
+            "quasi_dists": self._object_array(shape, quasi),
+            "probabilities": self._object_array(shape, probabilities),
+        }
+        if direct:
+            fields["noisy_probabilities"] = self._object_array(shape, noisy)
+            fields["leakage"] = np.asarray(leakage, dtype=np.float64).reshape(
+                shape
+            )
+        if self.mitigation:
+            fields["condition_numbers"] = np.asarray(
+                conditions, dtype=np.float64
+            ).reshape(shape)
+        return PubResult(
+            DataBin(shape=shape, **fields),
+            metadata={
+                "shots": shots,
+                "target": self._device_name(),
+                "dispatch": self.mode,
+                "mitigated": self.mitigation,
+            },
+        )
+
+    def _mitigate(
+        self, result: Any, counts: dict, noisy: dict, shots: int
+    ) -> tuple[dict, float]:
+        """Confusion-invert one point's observed distribution."""
+        from repro.mitigation.readout import mitigate_distribution
+        from repro.sim.measurement import ReadoutModel
+
+        observed = (
+            {k: v / sum(counts.values()) for k, v in counts.items()}
+            if shots > 0 and counts
+            else dict(noisy)
+        )
+        if not observed:
+            return {}, float("nan")
+        models = [
+            self._executor.readout.get(site, ReadoutModel())
+            for site in result.measured_sites
+        ]
+        mitigated = mitigate_distribution(observed, models)
+        return mitigated.distribution, mitigated.condition_number

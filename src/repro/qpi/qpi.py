@@ -25,7 +25,6 @@ import threading
 
 import numpy as np
 
-from repro.core.distributions import distribution_expectation_z
 from repro.errors import ValidationError
 
 # Opcodes (tuple layouts in comments).
@@ -68,8 +67,24 @@ class QuantumResult:
 
         Raises :class:`~repro.errors.ValidationError` on an empty
         distribution or an out-of-range slot.
+
+        .. deprecated::
+            Thin view over the Observable engine; use
+            ``repro.primitives.Observable.z(slot).expectation(...)``
+            (or an :class:`~repro.primitives.Estimator` PUB) directly.
         """
-        return distribution_expectation_z(self.probabilities, slot)
+        import warnings
+
+        warnings.warn(
+            "QuantumResult.expectation_z is deprecated; evaluate "
+            "repro.primitives.Observable.z(slot) (or run an Estimator "
+            "PUB) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.primitives.observables import expectation_z
+
+        return expectation_z(self.probabilities, slot)
 
 
 _tls = threading.local()

@@ -198,11 +198,41 @@ class SweepTicket:
         remaining = self._deadline(timeout)
         return [t.exception(remaining()) for t in self.tickets]
 
+    def expectations(
+        self, observable, timeout: float | None = None
+    ) -> np.ndarray:
+        """Expectation of a diagonal observable across the scan.
+
+        *observable* is anything
+        :meth:`~repro.primitives.observables.Observable.coerce`
+        accepts (an Observable, a Pauli label like ``"ZI"``, or a
+        ``{label: coeff}`` mapping); evaluation runs through the one
+        expectation engine the primitives use, against each point's
+        exact outcome distribution.
+        """
+        from repro.primitives.observables import Observable
+
+        obs = Observable.coerce(observable)
+        if not obs.is_hermitian:
+            raise ServiceError(
+                f"sweep expectations need a Hermitian observable (real "
+                f"coefficients); got {obs!r}"
+            )
+        return np.array(
+            [obs.expectation(r.probabilities) for r in self.results(timeout)],
+            dtype=np.float64,
+        )
+
     def expectation_z(
         self, slot: int = 0, timeout: float | None = None
     ) -> np.ndarray:
         """``<Z>`` of *slot* across the scan — the 1-D scan curve."""
+        from repro.primitives.observables import expectation_z
+
         return np.array(
-            [r.expectation_z(slot) for r in self.results(timeout)],
+            [
+                expectation_z(r.probabilities, slot)
+                for r in self.results(timeout)
+            ],
             dtype=np.float64,
         )

@@ -35,9 +35,10 @@ a pulse job reaches it. It interprets a
 from __future__ import annotations
 
 import math
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -51,7 +52,6 @@ from repro.core.instructions import (
     ShiftFrequency,
     ShiftPhase,
 )
-from repro.core.distributions import distribution_expectation_z
 from repro.core.port import Port
 from repro.core.schedule import PulseSchedule
 from repro.errors import ExecutionError, ValidationError
@@ -114,13 +114,28 @@ class ExecutionResult:
     metadata: dict = field(default_factory=dict)
 
     def expectation_z(self, slot: int = 0) -> float:
-        """``<Z>`` of the bit in *slot* from the exact probabilities."""
+        """``<Z>`` of the bit in *slot* from the exact probabilities.
+
+        .. deprecated::
+            Thin view over the Observable engine; use
+            ``repro.primitives.Observable.z(slot).expectation(...)``
+            (or an :class:`~repro.primitives.Estimator` PUB) directly.
+        """
+        warnings.warn(
+            "ExecutionResult.expectation_z is deprecated; evaluate "
+            "repro.primitives.Observable.z(slot) (or run an Estimator "
+            "PUB) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not self.measured_sites:
             raise ValidationError(
                 "expectation_z is undefined: the schedule captured no "
                 "measurement (no Capture instructions, empty distribution)"
             )
-        return distribution_expectation_z(
+        from repro.primitives.observables import expectation_z
+
+        return expectation_z(
             self.probabilities, slot, n_slots=len(self.measured_sites)
         )
 
@@ -231,14 +246,545 @@ class ScheduleExecutor:
         """Run *schedule* and sample *shots* measurement outcomes."""
         if rng is None:
             rng = np.random.default_rng(seed)
+        use_dm = self.model.has_decoherence()
+        state = self._initial_state(initial_state, use_dm)
+        if schedule.duration > 0:
+            state = self._evolve(schedule, state, use_dm, rng)
+        return self._finalize(schedule, state, shots, rng)
+
+    def execute_batch(
+        self,
+        schedules: Sequence[PulseSchedule],
+        *,
+        shots: int = 1024,
+        seed: int | None = None,
+        initial_state: np.ndarray | None = None,
+    ) -> list[ExecutionResult]:
+        """Run many schedules through one batched evolution pass.
+
+        The whole batch's constant-drive runs are stacked and
+        exponentiated together — one
+        :meth:`PropagatorCache.propagators` call for every driven run
+        of every schedule (closed system) or one
+        :meth:`OpenSystemEngine.superpropagators
+        <repro.sim.open_system.OpenSystemEngine.superpropagators>` call
+        (Lindblad) — instead of one small batched call per schedule.
+        This is the execution kernel the primitives tier
+        (:mod:`repro.primitives`) dispatches PUBs through: a 64-point
+        parameter scan costs one propagator batch, not 64.
+
+        Results are identical to ``[execute(s, shots=shots, seed=seed)
+        for s in schedules]``: each schedule's measurement tail draws
+        from a fresh ``default_rng(seed)``, so seeded runs reproduce
+        the per-point loop exactly. Paths the batch cannot help —
+        quantum-jump trajectories and the legacy ``"kraus"`` interleave
+        (both consume per-schedule RNG state during evolution) — fall
+        back to that loop.
+        """
+        schedules = list(schedules)
+        if not schedules:
+            return []
+        use_dm = self.model.has_decoherence()
+        if use_dm:
+            method = self.open_system_method
+            if method == "auto":
+                engine = self.open_system
+                method = (
+                    "superoperator"
+                    if engine.dim <= engine.max_superop_dim
+                    else "trajectories"
+                )
+            if method != "superoperator":
+                return [
+                    self.execute(
+                        s, shots=shots, seed=seed, initial_state=initial_state
+                    )
+                    for s in schedules
+                ]
+            states = self._batch_evolve_open(schedules, initial_state)
+        else:
+            states = None
+            if len(schedules) > 1 and schedules[0].duration > 0:
+                if self._is_template_family(schedules):
+                    states = self._family_evolve_closed(
+                        schedules, initial_state
+                    )
+                    return self._finalize_family(
+                        schedules[0], states, shots, seed
+                    )
+            states = self._batch_evolve_closed(schedules, initial_state)
+        return [
+            self._finalize(s, state, shots, np.random.default_rng(seed))
+            for s, state in zip(schedules, states)
+        ]
+
+    # A schedule *family*: structural clones differing only in scalar
+    # fields of virtual frame instructions — exactly what the execution
+    # API's schedule-template bind produces for a parameter sweep.
+    _FAMILY_EVENT_TYPES = (
+        SetFrequency,
+        ShiftFrequency,
+        SetPhase,
+        ShiftPhase,
+        FrameChange,
+    )
+
+    def _is_template_family(self, schedules: Sequence[PulseSchedule]) -> bool:
+        """Whether the batch shares one schedule structure.
+
+        Members must have identical item counts, placements and
+        instruction types; items may differ only by being distinct
+        frame-event instances on the same (port, frame) — i.e. the
+        clone-and-swap output of the schedule-template fast path. Play
+        items must be the *same object* (templates share them), so
+        waveforms and timings are guaranteed equal without comparing
+        samples.
+        """
+        items0 = schedules[0]._items
+        n = len(items0)
+        for s in schedules[1:]:
+            items = s._items
+            if items is items0:
+                continue
+            if len(items) != n:
+                return False
+            for a, b in zip(items0, items):
+                if a is b:
+                    continue
+                ia, ib = a.instruction, b.instruction
+                if (
+                    a.t0 != b.t0
+                    or a.seq != b.seq
+                    or type(ia) is not type(ib)
+                    or not isinstance(ia, self._FAMILY_EVENT_TYPES)
+                    or ia.port.name != ib.port.name
+                    or ia.frame.name != ib.frame.name
+                ):
+                    return False
+        return True
+
+    def _synthesize_drives_family(
+        self, schedules: Sequence[PulseSchedule]
+    ) -> tuple[np.ndarray, list[str]]:
+        """The ``(K, duration, n_channels)`` drive stack of a family.
+
+        One vectorized pass over the *shared* item structure: frame
+        timelines are ``(K, duration)`` arrays whose events apply to
+        all members at once (gathering the per-member scalar values),
+        detuning phases are one exclusive cumsum per (port, frame)
+        instead of one per play per member, and every play lands on
+        the whole stack with one broadcast multiply. Per-sample
+        arithmetic is element-for-element the scalar path's, so the
+        stack is bitwise what per-member :meth:`_synthesize_drives`
+        calls would produce.
+        """
+        base = schedules[0]
+        k_members = len(schedules)
+        duration = base.duration
+        model = self.model
+        timelines: dict[tuple[str, str], list[np.ndarray]] = {}
+
+        def timeline(port: Port, frame: Frame) -> list[np.ndarray]:
+            key = (port.name, frame.name)
+            tl = timelines.get(key)
+            if tl is None:
+                # float64 pinned explicitly (as _FrameTimeline does):
+                # an integer frame frequency/phase would otherwise set
+                # an integer dtype and truncate every later event.
+                tl = [
+                    np.full(
+                        (k_members, duration),
+                        frame.frequency,
+                        dtype=np.float64,
+                    ),
+                    np.full(
+                        (k_members, duration), frame.phase, dtype=np.float64
+                    ),
+                ]
+                timelines[key] = tl
+            return tl
+
+        def values(pos: int, fld: str) -> np.ndarray:
+            item0 = base._items[pos]
+            column = np.empty(k_members, dtype=np.float64)
+            for k, s in enumerate(schedules):
+                item = s._items[pos]
+                column[k] = (
+                    getattr(item0.instruction, fld)
+                    if item is item0
+                    else getattr(item.instruction, fld)
+                )
+            return column[:, None]
+
+        order = sorted(
+            range(len(base._items)),
+            key=lambda i: (base._items[i].t0, base._items[i].seq),
+        )
+        for pos in order:
+            item = base._items[pos]
+            ins = item.instruction
+            t0 = item.t0
+            if isinstance(ins, SetFrequency):
+                timeline(ins.port, ins.frame)[0][:, t0:] = values(
+                    pos, "frequency"
+                )
+            elif isinstance(ins, ShiftFrequency):
+                timeline(ins.port, ins.frame)[0][:, t0:] += values(pos, "delta")
+            elif isinstance(ins, SetPhase):
+                timeline(ins.port, ins.frame)[1][:, t0:] = values(pos, "phase")
+            elif isinstance(ins, ShiftPhase):
+                timeline(ins.port, ins.frame)[1][:, t0:] += values(pos, "delta")
+            elif isinstance(ins, FrameChange):
+                tl = timeline(ins.port, ins.frame)
+                tl[0][:, t0:] = values(pos, "frequency")
+                tl[1][:, t0:] = values(pos, "phase")
+
+        channel_names = sorted(model.channels)
+        col = {name: j for j, name in enumerate(channel_names)}
+        drives = np.zeros(
+            (k_members, duration, len(channel_names)), dtype=np.complex128
+        )
+        psis: dict[tuple[str, str, float], np.ndarray] = {}
+        from repro.core.port import PortKind
+
+        for item in base.instructions_of(Play):
+            ins = item.instruction
+            if ins.port.name not in model.channels:
+                if ins.port.kind is PortKind.READOUT:
+                    continue
+                raise ExecutionError(
+                    f"schedule plays on port {ins.port.name!r} which has no "
+                    f"channel coupling in the system model"
+                )
+            ch = model.channels[ins.port.name]
+            tl = timeline(ins.port, ins.frame)
+            psi_key = (ins.port.name, ins.frame.name, ch.reference_frequency)
+            psi = psis.get(psi_key)
+            if psi is None:
+                detuning = tl[0] - ch.reference_frequency
+                psi = np.cumsum(detuning, axis=1)
+                psi -= detuning  # exclusive, as _FrameTimeline does
+                psi *= _TWO_PI * model.dt
+                psis[psi_key] = psi
+            t0, t1 = item.t0, item.t1
+            phase = psi[:, t0:t1] + tl[1][:, t0:t1]
+            drives[:, t0:t1, col[ins.port.name]] += ins.waveform.samples()[
+                None, :
+            ] * np.exp(1j * phase)
+        return drives, channel_names
+
+    def _run_hamiltonians_stack(
+        self, rows: np.ndarray, channel_names: list[str]
+    ) -> np.ndarray:
+        """Vectorized :meth:`_run_hamiltonian` over a ``(N, C)`` stack.
+
+        Channel terms apply through masked broadcast multiplies in the
+        same channel order and with the same scalar factorization as
+        the per-run method, so each slice is bitwise identical to its
+        scalar counterpart.
+        """
+        model = self.model
+        n = rows.shape[0]
+        hs = np.repeat(model.drift[None, :, :], n, axis=0)
+        for j, name in enumerate(channel_names):
+            a = rows[:, j]
+            nz = a != 0
+            if not np.any(nz):
+                continue
+            ch = model.channels[name]
+            if ch.hermitian:
+                hs[nz] += (ch.rabi_rate * a[nz].real)[:, None, None] * (
+                    ch.operator
+                )
+            else:
+                half = 0.5 * ch.rabi_rate
+                hs[nz] += half * (
+                    np.conj(a[nz])[:, None, None] * ch.operator
+                    + a[nz][:, None, None] * ch.operator.conj().T
+                )
+        return hs
+
+    def _family_evolve_closed(
+        self,
+        schedules: Sequence[PulseSchedule],
+        initial_state: np.ndarray | None,
+    ) -> np.ndarray:
+        """Final states of a closed-system family, fully vectorized.
+
+        Run boundaries are the *union* of every member's constant-drive
+        boundaries (splitting a constant run is exact), propagators
+        stack position-major — so runs the members share (state prep,
+        fixed segments) sit consecutively and collapse to one cache
+        entry — and the states advance with one batched matmul per run
+        position.
+        """
+        drives, channel_names = self._synthesize_drives_family(schedules)
+        k_members, duration, _ = drives.shape
+        changed = np.any(drives[:, 1:, :] != drives[:, :-1, :], axis=(0, 2))
+        starts = np.concatenate(([0], np.nonzero(changed)[0] + 1))
+        lengths = np.diff(np.concatenate((starts, [duration])))
+        rows = drives[:, starts, :]  # (K, R, C)
+        n_runs = len(starts)
+        dim = self.model.dimension
+        # Position-major flattening: run r of every member, then r+1.
+        rows_t = np.ascontiguousarray(rows.transpose(1, 0, 2)).reshape(
+            n_runs * k_members, -1
+        )
+        steps_t = np.repeat(lengths.astype(np.int64), k_members)
+        zero_t = ~np.any(rows_t != 0, axis=1)
+        us = np.empty((n_runs * k_members, dim, dim), dtype=np.complex128)
+        driven = ~zero_t
+        if np.any(driven):
+            hs = self._run_hamiltonians_stack(rows_t[driven], channel_names)
+            us[driven] = self.propagator_cache.propagators(
+                hs, self.model.dt, steps_t[driven]
+            )
+        if np.any(zero_t):
+            for length in np.unique(steps_t[zero_t]):
+                sel = zero_t & (steps_t == length)
+                us[sel] = free_propagator(
+                    self._drift_eig, self.model.dt, int(length)
+                )
+        us = us.reshape(n_runs, k_members, dim, dim)
+        psi0 = self._initial_state(initial_state, use_dm=False)
+        states = np.repeat(psi0[None, ...], k_members, axis=0)
+        for r in range(n_runs):
+            if states.ndim == 2:  # stacked kets
+                states = np.einsum("kij,kj->ki", us[r], states)
+            else:  # stacked matrices (operator-valued initial state)
+                states = np.matmul(us[r], states)
+        return states
+
+    def _batch_evolve_closed(
+        self,
+        schedules: Sequence[PulseSchedule],
+        initial_state: np.ndarray | None,
+    ) -> list[np.ndarray]:
+        """Final kets for a heterogeneous batch: one stacked call."""
+        plans: list[list[tuple[int, int]]] = []  # (length, slot) per run
+        drift_props: list[np.ndarray] = []
+        drift_by_length: dict[int, int] = {}
+        driven_hs: list[np.ndarray] = []
+        driven_steps: list[int] = []
+        for schedule in schedules:
+            plan: list[tuple[int, int]] = []
+            if schedule.duration > 0:
+                drives, channel_names = self._synthesize_drives(schedule)
+                for start, length in segment_runs(drives):
+                    row = drives[start]
+                    if np.all(row == 0):
+                        # Negative slots index the drift list (offset by
+                        # 1 so slot 0 stays unambiguous); drift
+                        # propagators dedup per unique run length.
+                        slot = drift_by_length.get(length)
+                        if slot is None:
+                            slot = len(drift_props)
+                            drift_by_length[length] = slot
+                            drift_props.append(
+                                free_propagator(
+                                    self._drift_eig, self.model.dt, length
+                                )
+                            )
+                        plan.append((length, -slot - 1))
+                    else:
+                        plan.append((length, len(driven_hs)))
+                        driven_hs.append(
+                            self._run_hamiltonian(row, channel_names)
+                        )
+                        driven_steps.append(length)
+            plans.append(plan)
+        if driven_hs:
+            us = self.propagator_cache.propagators(
+                np.stack(driven_hs),
+                self.model.dt,
+                np.asarray(driven_steps, dtype=np.int64),
+            )
+        else:
+            us = np.empty((0,))
+        states: list[np.ndarray] = []
+        for plan in plans:
+            state = self._initial_state(initial_state, use_dm=False)
+            for _, slot in plan:
+                u = drift_props[-slot - 1] if slot < 0 else us[slot]
+                state = u @ state
+            states.append(state)
+        return states
+
+    #: Superoperator slices materialized at once by a batched open run
+    #: (a (D^2, D^2) slice is D^2 times a unitary's footprint).
+    _MAX_OPEN_BATCH_SLICES = 512
+
+    def _batch_evolve_open(
+        self,
+        schedules: Sequence[PulseSchedule],
+        initial_state: np.ndarray | None,
+    ) -> list[np.ndarray]:
+        """Final density matrices: stacked superpropagator calls.
+
+        Chunked over schedules so the materialized ``(n, D^2, D^2)``
+        stack stays bounded for large batches; the shared propagator
+        cache still dedups runs across chunks.
+        """
+        from repro.sim.open_system import (
+            unvectorize_density,
+            vectorize_density,
+        )
+
+        engine = self.open_system
+        states: list[np.ndarray] = []
+        pending: list[tuple[list[np.ndarray], list[int]]] = []
+        pending_slices = 0
+
+        def flush() -> None:
+            nonlocal pending, pending_slices
+            if not pending:
+                return
+            all_hs = [h for hs, _ in pending for h in hs]
+            all_steps = [s for _, steps in pending for s in steps]
+            props = engine.superpropagators(
+                np.stack(all_hs), np.asarray(all_steps, dtype=np.int64)
+            )
+            offset = 0
+            for hs, _ in pending:
+                rho = self._initial_state(initial_state, use_dm=True)
+                vec = vectorize_density(rho)
+                for k in range(offset, offset + len(hs)):
+                    vec = props[k] @ vec
+                states.append(unvectorize_density(vec, engine.dim))
+                offset += len(hs)
+            pending, pending_slices = [], 0
+
+        for schedule in schedules:
+            if schedule.duration == 0:
+                flush()
+                states.append(self._initial_state(initial_state, use_dm=True))
+                continue
+            drives, channel_names = self._synthesize_drives(schedule)
+            runs = segment_runs(drives)
+            hs = [
+                self._run_hamiltonian(drives[start], channel_names)
+                for start, _ in runs
+            ]
+            steps = [length for _, length in runs]
+            pending.append((hs, steps))
+            pending_slices += len(hs)
+            if pending_slices >= self._MAX_OPEN_BATCH_SLICES:
+                flush()
+        flush()
+        return states
+
+    def _finalize_family(
+        self,
+        base: PulseSchedule,
+        states: np.ndarray,
+        shots: int,
+        seed: int | None,
+    ) -> list[ExecutionResult]:
+        """Measurement tails for a family, sharing the vector work.
+
+        The family members share capture structure, so site resolution
+        and the level-to-bit outcome mapping happen once; the exact
+        probabilities of all members marginalize in one pass. Readout
+        corruption and shot sampling stay per-member through the same
+        functions :meth:`_finalize` uses (with a fresh
+        ``default_rng(seed)`` each), keeping results bit-for-bit equal
+        to the per-schedule path.
+        """
+        model = self.model
+        dims = model.dims
+        k_members = states.shape[0]
+        duration = base.duration
+        captures = base.instructions_of(Capture)
+        slots = sorted(
+            (it.instruction.memory_slot, it.instruction) for it in captures
+        )
+        measured_sites = tuple(self._capture_site(ins) for _, ins in slots)
+        if len(set(measured_sites)) != len(measured_sites):
+            # Same guard measured_bit_distribution applies on the
+            # per-schedule path.
+            raise ValidationError("measured sites must be distinct")
+        if states.ndim == 2:  # kets
+            probs = np.abs(states) ** 2
+        else:  # density matrices
+            probs = np.real(np.diagonal(states, axis1=1, axis2=2)).copy()
+        probs = np.clip(probs, 0.0, None)
+        norms = probs.sum(axis=1)
+        if np.any(norms <= 0):
+            raise ValidationError("state has zero norm")
+        probs /= norms[:, None]
+        full = probs.reshape((k_members,) + tuple(dims))
+
+        # Per-member exact distributions over the measured sites, with
+        # the same marginalization/key construction as
+        # measured_bit_distribution (one vector pass for the family).
+        ideals: list[dict[str, float]] = [dict() for _ in range(k_members)]
+        if measured_sites:
+            keep = list(measured_sites)
+            others = [s + 1 for s in range(len(dims)) if s not in keep]
+            marg = full.sum(axis=tuple(others)) if others else full
+            sorted_keep = sorted(keep)
+            for labels in np.ndindex(*[dims[s] for s in sorted_keep]):
+                bits = {
+                    site: ("1" if lbl >= 1 else "0")
+                    for site, lbl in zip(sorted_keep, labels)
+                }
+                key = "".join(bits[s] for s in keep)
+                column = marg[(slice(None),) + labels]
+                for k in range(k_members):
+                    p = float(column[k])
+                    if p != 0.0:
+                        ideals[k][key] = ideals[k].get(key, 0.0) + p
+        # Per-site leakage, one marginal per site for the whole family.
+        site_leakage: list[np.ndarray] = []
+        for site, d in enumerate(dims):
+            if d <= 2:
+                site_leakage.append(np.zeros(k_members))
+                continue
+            axes = tuple(a + 1 for a in range(len(dims)) if a != site)
+            marginal = full.sum(axis=axes)
+            site_leakage.append(marginal[:, 2:].sum(axis=1))
+
+        models = [
+            self.readout.get(site, ReadoutModel()) for site in measured_sites
+        ]
+        results: list[ExecutionResult] = []
+        for k in range(k_members):
+            ideal = ideals[k]
+            if measured_sites:
+                noisy = apply_readout_error(ideal, models)
+                counts = sample_counts(
+                    noisy, shots, np.random.default_rng(seed)
+                )
+            else:
+                noisy, counts = {}, {}
+            results.append(
+                ExecutionResult(
+                    counts=counts,
+                    probabilities=noisy,
+                    ideal_probabilities=ideal,
+                    final_state=states[k],
+                    measured_sites=measured_sites,
+                    leakage={
+                        site: float(site_leakage[site][k])
+                        for site in range(len(dims))
+                    },
+                    duration_samples=duration,
+                    duration_seconds=duration * model.dt,
+                    shots=shots if measured_sites else 0,
+                )
+            )
+        return results
+
+    def _finalize(
+        self,
+        schedule: PulseSchedule,
+        state: np.ndarray,
+        shots: int,
+        rng: np.random.Generator,
+    ) -> ExecutionResult:
+        """Measurement tail: distributions, readout error, sampling."""
         model = self.model
         duration = schedule.duration
-        use_dm = model.has_decoherence()
-
-        state = self._initial_state(initial_state, use_dm)
-        if duration > 0:
-            state = self._evolve(schedule, state, use_dm, rng)
-
         captures = schedule.instructions_of(Capture)
         slots = sorted(
             (it.instruction.memory_slot, it.instruction) for it in captures

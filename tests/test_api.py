@@ -505,6 +505,12 @@ PUBLIC_API_SNAPSHOT = frozenset(
         "Executable",
         "compile",
         "run",
+        "Sampler",
+        "Estimator",
+        "Observable",
+        "DataBin",
+        "PubResult",
+        "PrimitiveResult",
     }
 )
 
