@@ -11,6 +11,11 @@ Floors are deliberately the *contractual* minima (the same numbers the
 benchmarks assert), not the best observed values: CI runners are noisy
 shared machines, and a gate that flakes gets deleted.
 
+A baseline value is either a bare number (a floor: fail when the
+measured value drops below it) or an object with ``min``/``max``
+bounds — ``{"max": 2.0}`` gates an overhead metric that must stay
+*under* its ceiling (e.g. ``obs_overhead.disabled_overhead_pct``).
+
 Usage:
 
     python benchmarks/check_regression.py [--artifacts-dir DIR]
@@ -36,20 +41,35 @@ def check(baselines_path: str, artifacts_dir: str) -> int:
             continue
         with open(path) as fh:
             artifact = json.load(fh)
-        for metric, floor in sorted(floors.items()):
+        for metric, spec in sorted(floors.items()):
             value = artifact.get(metric)
             if value is None:
                 failures.append(f"{bench}.{metric}: not in artifact")
                 continue
-            status = "ok" if value >= floor else "REGRESSION"
+            if isinstance(spec, dict):
+                floor = spec.get("min")
+                ceiling = spec.get("max")
+            else:
+                floor, ceiling = spec, None
+            bounds = []
+            violations = []
+            if floor is not None:
+                bounds.append(f"floor {floor:g}")
+                if value < floor:
+                    violations.append(f"{value:.3f} below floor {floor:g}")
+            if ceiling is not None:
+                bounds.append(f"ceiling {ceiling:g}")
+                if value > ceiling:
+                    violations.append(
+                        f"{value:.3f} above ceiling {ceiling:g}"
+                    )
+            status = "ok" if not violations else "REGRESSION"
             print(
                 f"{bench:<24} {metric:<18} {value:10.3f}  "
-                f"(floor {floor:g})  {status}"
+                f"({', '.join(bounds)})  {status}"
             )
-            if value < floor:
-                failures.append(
-                    f"{bench}.{metric}: {value:.3f} below floor {floor:g}"
-                )
+            for violation in violations:
+                failures.append(f"{bench}.{metric}: {violation}")
     if failures:
         print("\nFAIL:")
         for failure in failures:

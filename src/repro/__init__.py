@@ -35,6 +35,8 @@ Layering (bottom to top)::
                 shot-splitting, capability failover, latency metrics
     control     GRAPE, parametric optimization, ctrl-VQE
     calibration Rabi/Ramsey/DRAG/readout calibration + planning
+    obs         cross-cutting observability: structured tracing,
+                the process-wide metrics registry, profiling hooks
 
 The serving layer sits above ``client`` and beside ``runtime``: the
 scheduler's :meth:`~repro.runtime.scheduler.SecondLevelScheduler.drain`
@@ -43,8 +45,10 @@ applications needing asynchronous submission talk to the service
 directly (see ``examples/serving_quickstart.py``).
 """
 
+from repro import obs
 from repro._version import __version__
 from repro.api import Executable, Program, Target, compile, run
+from repro.obs import exposition, span, trace
 from repro.core import (
     Frame,
     MixedFrame,
@@ -86,4 +90,9 @@ __all__ = [
     "DataBin",
     "PubResult",
     "PrimitiveResult",
+    # Observability (repro.obs): tracing, metrics, profiling.
+    "obs",
+    "span",
+    "trace",
+    "exposition",
 ]

@@ -29,6 +29,8 @@ from __future__ import annotations
 import time
 from typing import Any, Mapping
 
+from repro.obs.tracing import span
+
 
 def adapter_payload(
     client: Any,
@@ -47,8 +49,11 @@ def adapter_payload(
     from repro.client.client import JobRequest
 
     t0 = time.perf_counter()
-    request = JobRequest(program, compile_device.name, adapter=adapter)
-    payload = client.select_adapter(request).to_payload(program, compile_device)
+    with span("adapter", device=compile_device.name):
+        request = JobRequest(program, compile_device.name, adapter=adapter)
+        payload = client.select_adapter(request).to_payload(
+            program, compile_device
+        )
     if timings is not None:
         timings["adapter"] = time.perf_counter() - t0
     return payload
@@ -72,12 +77,16 @@ def compile_payload(
     passes through this function.
     """
     t0 = time.perf_counter()
-    if cache is not None:
-        program = cache.get_or_compile(
-            compiler, payload, device, scalar_args=scalar_args
-        )
-    else:
-        program = compiler.compile(payload, device, scalar_args=scalar_args)
+    with span("compile", device=device.name) as sp:
+        if cache is not None:
+            program = cache.get_or_compile(
+                compiler, payload, device, scalar_args=scalar_args
+            )
+        else:
+            program = compiler.compile(
+                payload, device, scalar_args=scalar_args
+            )
+        sp.annotate(cache_hit=program.cache_hit)
     if timings is not None:
         timings["compile"] = time.perf_counter() - t0
     return program

@@ -46,6 +46,7 @@ from repro.api.program import Program
 from repro.api.target import Target
 from repro.core.schedule import PulseSchedule
 from repro.errors import ExecutionError, ReproError, ValidationError
+from repro.obs.tracing import span
 
 #: Instruction fields a pulse.sequence scalar argument can feed.
 _SCALAR_FIELDS = ("frequency", "phase", "delta")
@@ -265,17 +266,19 @@ class Executable:
 
     def _ensure_template(self) -> "_ScheduleTemplate | None":
         if self._template is None:
-            try:
-                constraints = self.target.constraints
-            except ReproError:
-                constraints = None
-            template = (
-                _build_template(
-                    self.program, self.target.compile_device, constraints
+            with span("template.trace", program=self.program.name) as sp:
+                try:
+                    constraints = self.target.constraints
+                except ReproError:
+                    constraints = None
+                template = (
+                    _build_template(
+                        self.program, self.target.compile_device, constraints
+                    )
+                    if constraints is not None
+                    else None
                 )
-                if constraints is not None
-                else None
-            )
+                sp.annotate(templated=template is not None)
             self._template = template if template is not None else False
         return self._template or None
 
@@ -319,23 +322,33 @@ class Executable:
         device = self.target.compile_device
         t0 = time.perf_counter()
         key = self._cache_key()
-        cached = cache.lookup(key) if cache is not None else compiler.lookup(key)
-        if cached is not None:
-            self.compiled = cached
-            self._timings["compile"] = time.perf_counter() - t0
-            return cached
-        template = self._ensure_template() if self.is_bound else None
-        if template is not None:
-            compiled = self._specialize(template, compiler, device, t0)
-            if compiled is not None:
-                if cache is not None:
-                    cache.store(key, compiled)
-                else:
-                    compiler.store(key, compiled)
-                self.compiled = compiled
+        with span("compile", bound=True) as sp:
+            with span("cache.lookup", cache="artifact") as lsp:
+                cached = (
+                    cache.lookup(key)
+                    if cache is not None
+                    else compiler.lookup(key)
+                )
+                lsp.annotate(hit=cached is not None)
+            if cached is not None:
+                self.compiled = cached
                 self._timings["compile"] = time.perf_counter() - t0
-                return compiled
-        return self._ensure_compiled()
+                sp.annotate(path="cache-hit")
+                return cached
+            template = self._ensure_template() if self.is_bound else None
+            if template is not None:
+                compiled = self._specialize(template, compiler, device, t0)
+                if compiled is not None:
+                    if cache is not None:
+                        cache.store(key, compiled)
+                    else:
+                        compiler.store(key, compiled)
+                    self.compiled = compiled
+                    self._timings["compile"] = time.perf_counter() - t0
+                    sp.annotate(path="template")
+                    return compiled
+            sp.annotate(path="jit")
+            return self._ensure_compiled()
 
     def _specialize(
         self, template: _ScheduleTemplate, compiler: Any, device: Any, t0: float
@@ -450,17 +463,26 @@ class Executable:
         Service targets submit asynchronously and block on the ticket
         (bounded by *timeout*); everything else dispatches inline.
         """
-        compiled = self._ensure_compiled()
-        if self.target.is_async:
-            ticket = self.run_async(shots=shots, seed=seed, metadata=metadata)
-            return ticket.result(timeout)
-        timings = dict(self._timings)
-        if self.target.direct and not self.target.is_remote:
-            return self._run_direct(compiled, shots, seed, metadata, timings)
-        request = self._as_request(shots, seed, metadata)
-        return self.target.client.execute_compiled(
-            request, compiled, timings=timings
-        )
+        with span(
+            "run", device=self.target.device_name, shots=shots
+        ):
+            compiled = self._ensure_compiled()
+            if self.target.is_async:
+                ticket = self.run_async(
+                    shots=shots, seed=seed, metadata=metadata
+                )
+                return ticket.result(timeout)
+            timings = dict(self._timings)
+            if self.target.direct and not self.target.is_remote:
+                with span("dispatch", mode="direct"):
+                    return self._run_direct(
+                        compiled, shots, seed, metadata, timings
+                    )
+            request = self._as_request(shots, seed, metadata)
+            with span("dispatch", mode="client"):
+                return self.target.client.execute_compiled(
+                    request, compiled, timings=timings
+                )
 
     def run_async(
         self,

@@ -36,6 +36,8 @@ from repro.compiler.lowering import (
     schedule_to_pulse_module,
 )
 from repro.mlir.context import MLIRContext, default_context
+from repro.obs.metrics import REGISTRY, CacheStats
+from repro.obs.tracing import span
 from repro.mlir.ir import Module, print_module
 from repro.mlir.passes import (
     DeadWaveformEliminationPass,
@@ -91,7 +93,21 @@ class JITCompiler:
         self.context = context if context is not None else default_context()
         self.max_cache_entries = max_cache_entries
         self._cache: OrderedDict[str, CompiledProgram] = OrderedDict()
-        self.stats = {"compilations": 0, "cache_hits": 0, "evictions": 0}
+        # CacheStats keeps the historical key names (``compilations``,
+        # ``cache_hits``) for dict access while ``stats()`` maps them
+        # onto the uniform hits/misses/evictions shape shared with
+        # CompileCache and PropagatorCache.
+        self.stats = CacheStats(
+            lambda: len(self._cache),
+            lambda: self.max_cache_entries,
+            aliases={"hits": "cache_hits", "misses": "compilations"},
+            compilations=0,
+            cache_hits=0,
+            evictions=0,
+        )
+        REGISTRY.register_cache(
+            REGISTRY.autoname("jit"), self, kind="jit-artifact"
+        )
 
     # ---- cache keys ---------------------------------------------------------------
 
@@ -186,6 +202,19 @@ class JITCompiler:
             if cached is not None:
                 return cached
 
+        with span("compile.jit", device=device.name):
+            return self._compile_cold(
+                payload, device, scalar_args, key, use_cache
+            )
+
+    def _compile_cold(
+        self,
+        payload: Any,
+        device: Any,
+        scalar_args: Mapping[str, float] | None,
+        key: str,
+        use_cache: bool,
+    ) -> CompiledProgram:
         t0 = time.perf_counter()
         self.stats["compilations"] += 1
 

@@ -36,6 +36,8 @@ import numpy as np
 from repro.api.executable import Executable
 from repro.api.target import Target
 from repro.errors import ValidationError
+from repro.obs.metrics import REGISTRY, CacheStats
+from repro.obs.tracing import span
 
 #: Dispatch modes (documented above).
 _DIRECT, _SERVICE, _CLIENT = "direct", "service", "client"
@@ -60,6 +62,19 @@ class BasePrimitive:
         self._executor = None
         self._target: Target | None = None
         self._executables: OrderedDict[Any, Executable] = OrderedDict()
+        #: Uniform hit/miss/eviction accounting for the executable memo
+        #: (the "template cache"), exported to the metrics registry like
+        #: every other cache in the stack.
+        self.stats = CacheStats(
+            lambda: len(self._executables),
+            lambda: self._MAX_EXECUTABLE_MEMO,
+            hits=0,
+            misses=0,
+            evictions=0,
+        )
+        REGISTRY.register_cache(
+            REGISTRY.autoname("template"), self, kind="template"
+        )
         if executor is not None:
             if target is not None:
                 raise ValidationError(
@@ -144,27 +159,32 @@ class BasePrimitive:
             return [pub.program.source] * n_points
         executable = self._executables.get(pub.program)
         if executable is None:
-            executable = Executable.prepare(pub.program, self._target)
-            executable.compile()
+            self.stats["misses"] += 1
+            with span("compile", program=pub.program.name):
+                executable = Executable.prepare(pub.program, self._target)
+                executable.compile()
             self._executables[pub.program] = executable
             while len(self._executables) > self._MAX_EXECUTABLE_MEMO:
                 self._executables.popitem(last=False)
+                self.stats["evictions"] += 1
         else:
+            self.stats["hits"] += 1
             self._executables.move_to_end(pub.program)
         if not pub.program.is_parametric:
             if self._mode == _CLIENT:
                 return [executable] * n_points
             return [executable._ensure_compiled().schedule] * n_points
         schedules: list[Any] = []
-        for i in range(n_points):
-            point = bindings.point(i)
-            if self._mode == _CLIENT:
-                schedules.append(executable.bind(point))
-                continue
-            schedule = executable.specialize(point)
-            if schedule is None:  # template unavailable: full bind
-                schedule = executable.bind(point).schedule
-            schedules.append(schedule)
+        with span("specialize", points=n_points):
+            for i in range(n_points):
+                point = bindings.point(i)
+                if self._mode == _CLIENT:
+                    schedules.append(executable.bind(point))
+                    continue
+                schedule = executable.specialize(point)
+                if schedule is None:  # template unavailable: full bind
+                    schedule = executable.bind(point).schedule
+                schedules.append(schedule)
         return schedules
 
     # ---- batched dispatch ------------------------------------------------------------
@@ -184,42 +204,59 @@ class BasePrimitive:
         before collecting any ticket, so pubs overlap in the worker
         pools.
         """
-        if self._mode == _DIRECT:
-            out: list[list[Any]] = [[None] * len(h) for _, h, _ in per_pub]
-            groups: dict[int, list[tuple[int, int, Any]]] = {}
-            for p, (_, handles, shots) in enumerate(per_pub):
-                for i, handle in enumerate(handles):
-                    groups.setdefault(shots, []).append((p, i, handle))
-            for shots, entries in groups.items():
-                results = self._executor.execute_batch(
-                    [e[2] for e in entries], shots=shots, seed=self._seed
-                )
-                for (p, i, _), result in zip(entries, results):
-                    out[p][i] = result
-            return out
-        if self._mode == _SERVICE:
-            from repro.serving.sweeps import SweepRequest
+        with span("dispatch", mode=self._mode, pubs=len(per_pub)):
+            if self._mode == _DIRECT:
+                out: list[list[Any]] = [
+                    [None] * len(h) for _, h, _ in per_pub
+                ]
+                groups: dict[int, list[tuple[int, int, Any]]] = {}
+                for p, (_, handles, shots) in enumerate(per_pub):
+                    for i, handle in enumerate(handles):
+                        groups.setdefault(shots, []).append((p, i, handle))
+                for shots, entries in groups.items():
+                    results = self._executor.execute_batch(
+                        [e[2] for e in entries], shots=shots, seed=self._seed
+                    )
+                    for (p, i, _), result in zip(entries, results):
+                        out[p][i] = result
+                return out
+            if self._mode == _SERVICE:
+                from repro.serving.sweeps import SweepRequest
 
-            service = self._target.service
-            tickets = []
-            for _, handles, shots in per_pub:
-                sweep = SweepRequest.from_programs(
-                    list(handles),
-                    self._target.device_name,
-                    shots=shots,
-                    seed=self._seed,
-                )
-                tickets.append(service._admit_sweep(sweep))
-            return [t.results(timeout) for t in tickets]
-        return [
-            [
-                handle.run(shots=shots, seed=self._seed, timeout=timeout)
-                for handle in handles
+                service = self._target.service
+                tickets = []
+                for _, handles, shots in per_pub:
+                    sweep = SweepRequest.from_programs(
+                        list(handles),
+                        self._target.device_name,
+                        shots=shots,
+                        seed=self._seed,
+                    )
+                    tickets.append(service._admit_sweep(sweep))
+                return [t.results(timeout) for t in tickets]
+            return [
+                [
+                    handle.run(shots=shots, seed=self._seed, timeout=timeout)
+                    for handle in handles
+                ]
+                for _, handles, shots in per_pub
             ]
-            for _, handles, shots in per_pub
-        ]
 
     # ---- result-shape helpers --------------------------------------------------------
+
+    @staticmethod
+    def _batch_profile(results: Sequence[Any]) -> dict | None:
+        """The shared ``metadata["profile"]`` of a result batch, if any.
+
+        Present on direct-dispatch results when profiling is enabled
+        (:func:`repro.obs.enable_profiling`); every result of a batch
+        carries the same summary object, so the first one wins.
+        """
+        for result in results:
+            meta = getattr(result, "metadata", None)
+            if isinstance(meta, dict) and "profile" in meta:
+                return meta["profile"]
+        return None
 
     @staticmethod
     def _object_array(shape: tuple[int, ...], values: list[Any]) -> np.ndarray:

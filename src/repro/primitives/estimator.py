@@ -41,6 +41,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs.tracing import span
 from repro.primitives.base import BasePrimitive
 from repro.primitives.containers import DataBin, PrimitiveResult, PubResult
 from repro.primitives.pubs import EstimatorPub
@@ -83,11 +84,16 @@ class Estimator(BasePrimitive):
         coerced = [EstimatorPub.coerce(p) for p in pubs]
         if not coerced:
             raise ValidationError("Estimator.run needs at least one PUB")
-        per_pub = [(pub, self._point_schedules(pub), 0) for pub in coerced]
-        results = self._execute_all(per_pub, timeout=timeout)
-        pub_results = [
-            self._assemble(pub, res) for (pub, _, _), res in zip(per_pub, results)
-        ]
+        with span("estimator.run", pubs=len(coerced), mode=self.mode):
+            per_pub = [
+                (pub, self._point_schedules(pub), 0) for pub in coerced
+            ]
+            results = self._execute_all(per_pub, timeout=timeout)
+            with span("measurement", pubs=len(coerced)):
+                pub_results = [
+                    self._assemble(pub, res)
+                    for (pub, _, _), res in zip(per_pub, results)
+                ]
         return PrimitiveResult(
             pub_results, metadata={"dispatch": self.mode, "seed": self._seed}
         )
@@ -132,14 +138,15 @@ class Estimator(BasePrimitive):
         }
         if leakage is not None:
             fields["leakage"] = leakage.reshape(shape)
-        return PubResult(
-            DataBin(shape=shape, **fields),
-            metadata={
-                "shots": self.shots,
-                "target": self._device_name(),
-                "dispatch": self.mode,
-            },
-        )
+        metadata: dict[str, Any] = {
+            "shots": self.shots,
+            "target": self._device_name(),
+            "dispatch": self.mode,
+        }
+        profile = self._batch_profile(results)
+        if profile is not None:
+            metadata["profile"] = profile
+        return PubResult(DataBin(shape=shape, **fields), metadata=metadata)
 
     def _evaluate(
         self,

@@ -30,6 +30,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs.tracing import span
 from repro.primitives.base import BasePrimitive
 from repro.primitives.containers import DataBin, PrimitiveResult, PubResult
 from repro.primitives.pubs import SamplerPub
@@ -93,19 +94,21 @@ class Sampler(BasePrimitive):
         coerced = [SamplerPub.coerce(p) for p in pubs]
         if not coerced:
             raise ValidationError("Sampler.run needs at least one PUB")
-        per_pub = []
-        for pub in coerced:
-            pub_shots = (
-                pub.shots
-                if pub.shots is not None
-                else (self.default_shots if shots is None else int(shots))
-            )
-            per_pub.append((pub, self._point_schedules(pub), pub_shots))
-        results = self._execute_all(per_pub, timeout=timeout)
-        pub_results = [
-            self._assemble(pub, shots_, res)
-            for (pub, _, shots_), res in zip(per_pub, results)
-        ]
+        with span("sampler.run", pubs=len(coerced), mode=self.mode):
+            per_pub = []
+            for pub in coerced:
+                pub_shots = (
+                    pub.shots
+                    if pub.shots is not None
+                    else (self.default_shots if shots is None else int(shots))
+                )
+                per_pub.append((pub, self._point_schedules(pub), pub_shots))
+            results = self._execute_all(per_pub, timeout=timeout)
+            with span("measurement", pubs=len(coerced)):
+                pub_results = [
+                    self._assemble(pub, shots_, res)
+                    for (pub, _, shots_), res in zip(per_pub, results)
+                ]
         return PrimitiveResult(
             pub_results, metadata={"dispatch": self.mode, "seed": self._seed}
         )
@@ -157,15 +160,16 @@ class Sampler(BasePrimitive):
             fields["condition_numbers"] = np.asarray(
                 conditions, dtype=np.float64
             ).reshape(shape)
-        return PubResult(
-            DataBin(shape=shape, **fields),
-            metadata={
-                "shots": shots,
-                "target": self._device_name(),
-                "dispatch": self.mode,
-                "mitigated": self.mitigation,
-            },
-        )
+        metadata: dict[str, Any] = {
+            "shots": shots,
+            "target": self._device_name(),
+            "dispatch": self.mode,
+            "mitigated": self.mitigation,
+        }
+        profile = self._batch_profile(results)
+        if profile is not None:
+            metadata["profile"] = profile
+        return PubResult(DataBin(shape=shape, **fields), metadata=metadata)
 
     def _mitigate(
         self, result: Any, counts: dict, noisy: dict, shots: int

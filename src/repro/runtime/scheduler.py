@@ -69,6 +69,7 @@ class SecondLevelScheduler:
     def __init__(self, client: MQSSClient) -> None:
         self.client = client
         self.telemetry = Telemetry()
+        self.telemetry.register("scheduler")
         self._queue: list[ScheduledJob] = []
         self._arrivals = 0
 

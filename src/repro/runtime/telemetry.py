@@ -8,14 +8,27 @@ and benchmarks write into.
 (:mod:`repro.serving`) writes into one instance from every device
 worker thread, so all counter/timer mutation happens under a lock.
 Richer aggregation (latency histograms, text exposition) lives in
-:mod:`repro.serving.metrics`, layered on top of this class.
+:mod:`repro.serving.metrics`; process-wide exposition lives in
+:mod:`repro.obs` — call :meth:`Telemetry.register` to publish an
+instance on the global :data:`repro.obs.REGISTRY`.
+
+.. note::
+   :meth:`Telemetry.snapshot` now namespaces counters and timers
+   under distinct keys. The historical flat merge (where a counter
+   literally named ``foo_s`` silently collided with timer ``foo``'s
+   suffixed entry) survives as the deprecated
+   :meth:`Telemetry.flat_snapshot`.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 import time
+import warnings
 from contextlib import contextmanager
+
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 class Telemetry:
@@ -41,6 +54,11 @@ class Telemetry:
         with self._lock:
             self.timers[name] = self.timers.get(name, 0.0) + seconds
 
+    def get_time(self, name: str) -> float:
+        """Accumulated seconds under timer *name* (0 when unset)."""
+        with self._lock:
+            return self.timers.get(name, 0.0)
+
     @contextmanager
     def timer(self, name: str):
         """Accumulate wall-clock time under *name*."""
@@ -50,9 +68,86 @@ class Telemetry:
         finally:
             self.add_time(name, time.perf_counter() - t0)
 
-    def snapshot(self) -> dict[str, float]:
-        """Counters and timers merged into one dict (timers suffixed)."""
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``{"counters": {...}, "timers": {...}}`` (timers in s).
+
+        Counters and timers live under distinct keys, so a counter
+        named ``foo_s`` can no longer collide with timer ``foo``.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": dict(self.timers),
+            }
+
+    def flat_snapshot(self) -> dict[str, float]:
+        """Deprecated: the historical flat counter/timer merge.
+
+        Timer names gain an ``_s`` suffix and overwrite any counter
+        of the same suffixed name — the collision :meth:`snapshot`
+        exists to avoid. Kept one release for migration.
+        """
+        warnings.warn(
+            "Telemetry.flat_snapshot() is deprecated; use "
+            "snapshot()['counters'] / snapshot()['timers'] instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         with self._lock:
             out = dict(self.counters)
             out.update({f"{k}_s": v for k, v in self.timers.items()})
         return out
+
+    def register(self, name: str | None = None) -> str:
+        """Publish this instance on the global obs registry.
+
+        Emits ``repro_telemetry_counter_total{instance=...,name=...}``
+        and ``repro_telemetry_timer_seconds_total`` series via a
+        weak-reference collector (the series vanish when the
+        instance is garbage-collected). *name* is used as a prefix —
+        each registration gets a unique ``name-N`` instance label so
+        two same-named registrants never emit duplicate series.
+        Returns the instance label.
+        """
+        import weakref
+
+        from repro.obs.metrics import REGISTRY
+
+        name = REGISTRY.autoname(name or "telemetry")
+        ref = weakref.ref(self)
+
+        def collect():
+            obj = ref()
+            if obj is None:
+                return None
+            snap = obj.snapshot()
+            samples = []
+            for key, value in snap["counters"].items():
+                samples.append(
+                    (
+                        "repro_telemetry_counter_total",
+                        "counter",
+                        {
+                            "instance": name,
+                            "name": _SANITIZE_RE.sub("_", key),
+                        },
+                        value,
+                    )
+                )
+            for key, value in snap["timers"].items():
+                samples.append(
+                    (
+                        "repro_telemetry_timer_seconds_total",
+                        "counter",
+                        {
+                            "instance": name,
+                            "name": _SANITIZE_RE.sub("_", key),
+                        },
+                        value,
+                    )
+                )
+            return samples
+
+        collect._obs_alive = lambda: ref() is not None
+        REGISTRY.register_collector(collect)
+        return name

@@ -21,10 +21,19 @@ from dataclasses import replace
 from typing import Any, Mapping
 
 from repro.compiler.jit import CompiledProgram, JITCompiler
+from repro.obs.metrics import REGISTRY, CacheStats
+from repro.obs.tracing import span
 
 
 class CompileCache:
     """Bounded, thread-safe, content-addressed compile cache.
+
+    ``stats`` is a :class:`~repro.obs.CacheStats`: index it like the
+    historical dict (``cache.stats["hits"]``) or call it
+    (``cache.stats()``) for the uniform shape shared with
+    :class:`~repro.sim.evolve.PropagatorCache` and
+    :class:`~repro.compiler.jit.JITCompiler`. Every instance
+    self-registers on the global obs registry.
 
     Parameters
     ----------
@@ -43,19 +52,31 @@ class CompileCache:
         # pipeline are shared mutable state not audited for concurrent
         # use, and cold-path latency is dominated by execution anyway.
         self._compile_lock = threading.Lock()
-        self.stats = {"hits": 0, "misses": 0, "evictions": 0}
+        self.stats = CacheStats(
+            self.__len__,
+            lambda: self.max_entries,
+            hits=0,
+            misses=0,
+            evictions=0,
+        )
+        REGISTRY.register_cache(
+            REGISTRY.autoname("compile"), self, kind="compile"
+        )
 
     # ---- core API ------------------------------------------------------------------
 
     def lookup(self, key: str) -> CompiledProgram | None:
         """The cached program for *key*, marked as a cache hit; None on miss."""
-        with self._lock:
-            program = self._entries.get(key)
-            if program is None:
-                self.stats["misses"] += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats["hits"] += 1
+        with span("cache.lookup", cache="compile") as sp:
+            with self._lock:
+                program = self._entries.get(key)
+                if program is None:
+                    self.stats["misses"] += 1
+                    sp.annotate(hit=False)
+                    return None
+                self._entries.move_to_end(key)
+                self.stats["hits"] += 1
+            sp.annotate(hit=True)
         return replace(program, cache_hit=True, metadata=dict(program.metadata))
 
     def store(self, key: str, program: CompiledProgram) -> None:

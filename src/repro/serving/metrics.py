@@ -7,65 +7,57 @@ counters every worker thread emits plus a latency histogram per
 pipeline stage (queue wait, compile, execute, end-to-end), and renders
 a Prometheus-style text exposition for scrapers and humans alike.
 
-Built on the (also thread-safe) :class:`repro.runtime.telemetry.Telemetry`
-counter/timer sink so scheduler-level and service-level telemetry share
-one vocabulary.
+Since the :mod:`repro.obs` unification this module is a thin
+compatibility shim: :class:`LatencyHistogram` is the registry
+histogram (:class:`repro.obs.Histogram`) with its historical
+seconds-flavoured accessors, and every :class:`ServingMetrics`
+instance self-registers on the global :data:`repro.obs.REGISTRY`
+so ``repro.obs.exposition()`` includes the serving series
+(``repro_serving_*``) alongside caches and sim kernels. The
+legacy per-service :meth:`ServingMetrics.render_text` format is
+unchanged.
 """
 
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
 import time
+import weakref
+from contextlib import contextmanager
 
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS_S, REGISTRY, Histogram
 from repro.runtime.telemetry import Telemetry
 
 #: Histogram bucket upper bounds in seconds: log-spaced from 2 us to
 #: ~134 s (powers of four), plus the implicit +Inf overflow bucket.
-BUCKET_BOUNDS_S: tuple[float, ...] = tuple(2e-6 * 4**i for i in range(14))
+#: (Now the registry-wide default, re-exported for compatibility.)
+BUCKET_BOUNDS_S: tuple[float, ...] = DEFAULT_TIME_BUCKETS_S
 
 
-class LatencyHistogram:
-    """A fixed-bucket latency histogram (thread-safe)."""
+class LatencyHistogram(Histogram):
+    """A fixed-bucket latency histogram (thread-safe).
 
-    __slots__ = ("_lock", "_counts", "_overflow", "_sum", "_count", "_max")
+    The registry :class:`~repro.obs.Histogram` specialised to the
+    serving bucket layout, keeping the original seconds-flavoured
+    accessors (``sum_s``/``max_s``/``mean_s``) and quantile
+    semantics (overflow quantiles report the observed max).
+    """
+
+    __slots__ = ()
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts = [0] * len(BUCKET_BOUNDS_S)
-        self._overflow = 0
-        self._sum = 0.0
-        self._count = 0
-        self._max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one latency sample."""
-        with self._lock:
-            self._sum += seconds
-            self._count += 1
-            if seconds > self._max:
-                self._max = seconds
-            for i, bound in enumerate(BUCKET_BOUNDS_S):
-                if seconds <= bound:
-                    self._counts[i] += 1
-                    return
-            self._overflow += 1
-
-    @property
-    def count(self) -> int:
-        return self._count
+        super().__init__(BUCKET_BOUNDS_S)
 
     @property
     def sum_s(self) -> float:
-        return self._sum
+        return self.sum_value
 
     @property
     def max_s(self) -> float:
-        return self._max
+        return self.max_value
 
     def mean_s(self) -> float:
-        with self._lock:
-            return self._sum / self._count if self._count else 0.0
+        return self.mean()
 
     def quantile(self, q: float) -> float:
         """Approximate *q*-quantile (bucket upper bound), q in [0, 1]."""
@@ -76,31 +68,67 @@ class LatencyHistogram:
                 return 0.0
             target = q * self._count
             running = 0
-            for i, bound in enumerate(BUCKET_BOUNDS_S):
-                running += self._counts[i]
+            for bound, n in zip(self.bounds, self._counts):
+                running += n
                 if running >= target:
                     return bound
             return self._max
-
-    def cumulative_buckets(self) -> list[tuple[float, int]]:
-        """``(upper_bound_s, cumulative_count)`` rows, +Inf last."""
-        with self._lock:
-            rows: list[tuple[float, int]] = []
-            running = 0
-            for bound, n in zip(BUCKET_BOUNDS_S, self._counts):
-                running += n
-                rows.append((bound, running))
-            rows.append((float("inf"), running + self._overflow))
-            return rows
 
 
 class ServingMetrics:
     """Counters + per-stage latency histograms for a :class:`PulseService`."""
 
-    def __init__(self) -> None:
+    def __init__(self, name: str | None = None) -> None:
         self.telemetry = Telemetry()
         self._lock = threading.Lock()
         self._histograms: dict[str, LatencyHistogram] = {}
+        self.name = name or REGISTRY.autoname("serving")
+        self._register()
+
+    def _register(self) -> None:
+        """Publish this instance's series on the global registry."""
+        ref = weakref.ref(self)
+        service = self.name
+
+        def collect():
+            obj = ref()
+            if obj is None:
+                return None
+            snap = obj.telemetry.snapshot()
+            samples = []
+            for key, value in snap["counters"].items():
+                samples.append(
+                    (
+                        "repro_serving_events_total",
+                        "counter",
+                        {"service": service, "name": key},
+                        value,
+                    )
+                )
+            for key, value in snap["timers"].items():
+                samples.append(
+                    (
+                        "repro_serving_stage_seconds_total",
+                        "counter",
+                        {"service": service, "stage": key},
+                        value,
+                    )
+                )
+            with obj._lock:
+                stages = dict(obj._histograms)
+            for stage, hist in stages.items():
+                samples.append(
+                    (
+                        "repro_serving_latency_seconds",
+                        "histogram",
+                        {"service": service, "stage": stage},
+                        hist,
+                    )
+                )
+            return samples
+
+        collect._obs_alive = lambda: ref() is not None
+        REGISTRY.register_collector(collect)
 
     # ---- recording -----------------------------------------------------------------
 
@@ -134,9 +162,16 @@ class ServingMetrics:
 
     # ---- export --------------------------------------------------------------------
 
+    def _flat_telemetry(self) -> dict[str, float]:
+        """Counters plus ``_s``-suffixed timers (legacy key layout)."""
+        snap = self.telemetry.snapshot()
+        out = dict(snap["counters"])
+        out.update({f"{k}_s": v for k, v in snap["timers"].items()})
+        return out
+
     def snapshot(self) -> dict[str, float]:
         """Counters/timers plus ``<stage>_p50_s``/``_p99_s``/``_count``."""
-        out = self.telemetry.snapshot()
+        out = self._flat_telemetry()
         with self._lock:
             stages = dict(self._histograms)
         for stage, hist in stages.items():
@@ -148,7 +183,7 @@ class ServingMetrics:
     def render_text(self) -> str:
         """Prometheus-style text exposition of counters and histograms."""
         lines: list[str] = []
-        snap = self.telemetry.snapshot()
+        snap = self._flat_telemetry()
         for name in sorted(snap):
             lines.append(f"serving_{name} {snap[name]:.9g}")
         with self._lock:

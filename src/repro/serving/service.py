@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.client.client import ClientResult, JobRequest, MQSSClient
 from repro.errors import BackpressureError, ServiceError
+from repro.obs.tracing import span
 from repro.serving.batching import RequestBatcher
 from repro.serving.cache import CompileCache
 from repro.serving.metrics import ServingMetrics
@@ -460,37 +461,42 @@ class PulseService:
                 )
         head = group[0]
         try:
-            hook = self.before_execute
-            if hook is not None:
-                for entry in group:
-                    hook(entry)
-            from repro.api.core import compile_payload
+            with span(
+                "serving.execute",
+                device=pool.device_name,
+                group=len(group),
+            ):
+                hook = self.before_execute
+                if hook is not None:
+                    for entry in group:
+                        hook(entry)
+                from repro.api.core import compile_payload
 
-            timings: dict[str, float] = {}
-            _, target, _ = self.client.resolve_target(pool.device_name)
-            program = compile_payload(
-                self.client.compiler,
-                self.cache,
-                head.payload,
-                target,
-                scalar_args=head.request.scalar_args or None,
-                timings=timings,
-            )
-            self.metrics.observe("compile", timings["compile"])
-            self.metrics.incr(
-                "cache_hits" if program.cache_hit else "cache_misses"
-            )
-            total_shots = sum(e.request.shots for e in group)
-            with pool.exec_lock:
-                combined = self.client.execute_compiled(
-                    head.request,
-                    program,
-                    device_name=pool.device_name,
-                    shots=total_shots,
+                timings: dict[str, float] = {}
+                _, target, _ = self.client.resolve_target(pool.device_name)
+                program = compile_payload(
+                    self.client.compiler,
+                    self.cache,
+                    head.payload,
+                    target,
+                    scalar_args=head.request.scalar_args or None,
                     timings=timings,
                 )
-            self.metrics.observe("execute", timings["execute"])
-            self._resolve_group(group, combined, timings)
+                self.metrics.observe("compile", timings["compile"])
+                self.metrics.incr(
+                    "cache_hits" if program.cache_hit else "cache_misses"
+                )
+                total_shots = sum(e.request.shots for e in group)
+                with pool.exec_lock:
+                    combined = self.client.execute_compiled(
+                        head.request,
+                        program,
+                        device_name=pool.device_name,
+                        shots=total_shots,
+                        timings=timings,
+                    )
+                self.metrics.observe("execute", timings["execute"])
+                self._resolve_group(group, combined, timings)
         except Exception as exc:
             self._handle_failure(group, exc)
 

@@ -41,12 +41,16 @@ from __future__ import annotations
 import hashlib
 import math
 import threading
+import time
 from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs import profile as _profile
+from repro.obs.metrics import REGISTRY, CacheStats
+from repro.obs.tracing import span
 
 _TWO_PI = 2.0 * np.pi
 
@@ -183,8 +187,11 @@ def _expm_skew_batched(
     coeff: np.ndarray | complex,
     shift: np.ndarray,
     out: np.ndarray,
-) -> None:
+) -> int:
     """``out = exp(coeff * hs - diag(shift))`` for a Hermitian stack.
+
+    Returns the squaring level ``s`` used for this chunk (profiling
+    reads it; the result in *out* is unaffected).
 
     Scaling-and-squaring with a degree-12 Paterson-Stockmeyer Taylor
     evaluation — pure batched matmuls, no per-matrix LAPACK calls. The
@@ -237,12 +244,13 @@ def _expm_skew_batched(
     u += b0
     if s == 0:
         out[...] = u
-        return
+        return 0
     scratch = t1
     for i in range(s):
         out_buf = out if i == s - 1 else scratch
         np.matmul(u, u, out=out_buf)
         u, scratch = out_buf, u
+    return s
 
 
 def batched_propagators(
@@ -322,25 +330,46 @@ def batched_propagators(
         )
 
     if method == "eigh":
+        t0 = time.perf_counter()
         evals, evecs = np.linalg.eigh(hs)  # (n, D), (n, D, D)
         if durations.ndim == 1:
             durations = durations[:, None]
         phases = np.exp(-1j * _TWO_PI * evals * durations)
-        return (evecs * phases[:, None, :]) @ evecs.conj().transpose(0, 2, 1)
+        us = (evecs * phases[:, None, :]) @ evecs.conj().transpose(0, 2, 1)
+        _profile.kernel(
+            "propagators",
+            n=n,
+            dim=dim,
+            seconds=time.perf_counter() - t0,
+            method="eigh",
+        )
+        return us
 
     # expm route: theta_k = -2*pi*i * dt * steps_k * (H_k - mu_k I),
     # with the trace shift mu_k = tr(H_k)/D peeled off as a scalar
     # phase — it halves the spectral radius for the lopsided spectra
     # (transmon anharmonicity ladders) seen here, saving squarings.
+    t0 = time.perf_counter()
     coeff = np.asarray(-1j * _TWO_PI * durations)  # scalar or (n,)
     mu = np.real(np.trace(hs, axis1=1, axis2=2)) / dim
     shift = coeff * mu
     out = np.empty_like(hs)
+    levels = 0
     for a in range(0, n, _EXPM_CHUNK):
         b = min(a + _EXPM_CHUNK, n)
         c = coeff if coeff.ndim == 0 else coeff[a:b]
-        _expm_skew_batched(hs[a:b], c, shift[a:b], out[a:b])
+        s = _expm_skew_batched(hs[a:b], c, shift[a:b], out[a:b])
+        if s > levels:
+            levels = s
     out *= np.exp(shift)[:, None, None]
+    _profile.kernel(
+        "propagators",
+        n=n,
+        dim=dim,
+        seconds=time.perf_counter() - t0,
+        levels=levels,
+        method="expm",
+    )
     return out
 
 
@@ -403,14 +432,35 @@ def batched_expm(
             else "expm"
         )
     if method == "dense":
-        return _dense_expm(a, coeff)
+        t0 = time.perf_counter()
+        dense = _dense_expm(a, coeff)
+        _profile.kernel(
+            "expm",
+            n=n,
+            dim=m,
+            seconds=time.perf_counter() - t0,
+            method="dense",
+        )
+        return dense
+    t0 = time.perf_counter()
     shift = np.broadcast_to(coeff * mu, (n,))  # mu is (n,), so shift is too
     out = np.empty_like(a)
+    levels = 0
     for lo in range(0, n, _EXPM_CHUNK):
         hi = min(lo + _EXPM_CHUNK, n)
         c = coeff if coeff.ndim == 0 else coeff[lo:hi]
-        _expm_skew_batched(a[lo:hi], c, shift[lo:hi], out[lo:hi])
+        s = _expm_skew_batched(a[lo:hi], c, shift[lo:hi], out[lo:hi])
+        if s > levels:
+            levels = s
     out *= np.exp(shift)[:, None, None]
+    _profile.kernel(
+        "expm",
+        n=n,
+        dim=m,
+        seconds=time.perf_counter() - t0,
+        levels=levels,
+        method="expm",
+    )
     return out
 
 
@@ -490,6 +540,14 @@ class PropagatorCache:
     :meth:`propagator` returns the stored arrays themselves, frozen
     read-only (``.copy()`` before mutating); :meth:`propagators`
     returns a freshly assembled, writable stack.
+
+    Hit/miss/eviction accounting lives in a
+    :class:`~repro.obs.CacheStats` whose every mutation happens under
+    the cache lock (concurrent ``compute=`` overrides used to race the
+    bare integer attributes); ``stats()`` returns the same dict shape
+    as :class:`~repro.serving.cache.CompileCache` and
+    :class:`~repro.compiler.jit.JITCompiler`, and each instance
+    self-registers on the global obs registry.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -500,8 +558,16 @@ class PropagatorCache:
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.stats = CacheStats(
+            self.__len__,
+            lambda: self.max_entries,
+            hits=0,
+            misses=0,
+            evictions=0,
+        )
+        REGISTRY.register_cache(
+            REGISTRY.autoname("propagator"), self, kind="propagator"
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -512,9 +578,22 @@ class PropagatorCache:
             self._entries.clear()
 
     @property
+    def hits(self) -> int:
+        """Total slice lookups served from the cache."""
+        with self._lock:
+            return self.stats["hits"]
+
+    @property
+    def misses(self) -> int:
+        """Total slice lookups that had to be computed."""
+        with self._lock:
+            return self.stats["misses"]
+
+    @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.stats["hits"] + self.stats["misses"]
+            return self.stats["hits"] / total if total else 0.0
 
     def _key(
         self, fingerprint: bytes, dt: float, steps: int, tag: str = ""
@@ -545,9 +624,9 @@ class PropagatorCache:
             u = self._entries.get(key)
             if u is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self.stats["hits"] += 1
                 return u
-            self.misses += 1
+            self.stats["misses"] += 1
         u = step_propagator(hamiltonian, dt, steps)
         self._store(key, u)
         return u
@@ -604,28 +683,44 @@ class PropagatorCache:
         ]
         run_props: list[np.ndarray | None] = [None] * len(reps)
         miss_runs: OrderedDict[tuple, list[int]] = OrderedDict()
+        hit_count = miss_count = 0
         with self._lock:
             for i, key in enumerate(keys):
                 u = self._entries.get(key)
                 if u is not None:
                     self._entries.move_to_end(key)
-                    self.hits += int(run_sizes[i])
+                    hit_count += int(run_sizes[i])
                     run_props[i] = u
                 else:
-                    self.misses += int(run_sizes[i])
+                    miss_count += int(run_sizes[i])
                     miss_runs.setdefault(key, []).append(i)
-        if miss_runs:
-            sel = reps[[runs[0] for runs in miss_runs.values()]]
-            fresh = (compute or batched_propagators)(hs[sel], dt, steps_arr[sel])
-            for u, runs in zip(fresh, miss_runs.values()):
-                # Copy before storing: a row view would pin the whole
-                # (n_miss, D, D) batch in memory for the entry's LRU
-                # lifetime.
-                u = u.copy()
-                for i in runs:
-                    run_props[i] = u
-                self._store(keys[runs[0]], u)
-        return np.stack(run_props)[inverse]
+            self.stats["hits"] += hit_count
+            self.stats["misses"] += miss_count
+        with span(
+            "cache",
+            cache="propagator",
+            slices=n,
+            unique=len(reps),
+            hits=hit_count,
+            misses=miss_count,
+        ):
+            _profile.cache_batch(
+                n=n, unique=len(reps), hits=hit_count, misses=miss_count
+            )
+            if miss_runs:
+                sel = reps[[runs[0] for runs in miss_runs.values()]]
+                fresh = (compute or batched_propagators)(
+                    hs[sel], dt, steps_arr[sel]
+                )
+                for u, runs in zip(fresh, miss_runs.values()):
+                    # Copy before storing: a row view would pin the whole
+                    # (n_miss, D, D) batch in memory for the entry's LRU
+                    # lifetime.
+                    u = u.copy()
+                    for i in runs:
+                        run_props[i] = u
+                    self._store(keys[runs[0]], u)
+            return np.stack(run_props)[inverse]
 
     def _store(self, key: tuple, u: np.ndarray) -> None:
         # Lookups hand out the stored array itself (no copy on the hot
@@ -637,6 +732,7 @@ class PropagatorCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.stats["evictions"] += 1
 
 
 def propagator_sequence(

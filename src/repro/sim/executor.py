@@ -55,6 +55,8 @@ from repro.core.instructions import (
 from repro.core.port import Port
 from repro.core.schedule import PulseSchedule
 from repro.errors import ExecutionError, ValidationError
+from repro.obs import profile as _profile
+from repro.obs.tracing import span
 from repro.sim.evolve import (
     PropagatorCache,
     free_propagator,
@@ -280,10 +282,39 @@ class ScheduleExecutor:
         quantum-jump trajectories and the legacy ``"kraus"`` interleave
         (both consume per-schedule RNG state during evolution) — fall
         back to that loop.
+
+        With profiling enabled (:func:`repro.obs.enable_profiling`)
+        every result carries a shared ``metadata["profile"]`` summary
+        of the batch: stack sizes, Hilbert dimension, squaring levels,
+        cache dedup ratio, and GEMM wall-time.
         """
         schedules = list(schedules)
         if not schedules:
             return []
+        profiling = _profile.profiling_enabled()
+        with span(
+            "execute_batch", schedules=len(schedules), shots=shots
+        ):
+            prev = _profile.begin_collect() if profiling else None
+            try:
+                results = self._execute_batch_inner(
+                    schedules, shots, seed, initial_state
+                )
+            finally:
+                records = _profile.end_collect(prev) if profiling else None
+        if records is not None:
+            summary = _profile.summarize(records, batch=len(schedules))
+            for result in results:
+                result.metadata["profile"] = summary
+        return results
+
+    def _execute_batch_inner(
+        self,
+        schedules: list[PulseSchedule],
+        shots: int,
+        seed: int | None,
+        initial_state: np.ndarray | None,
+    ) -> list[ExecutionResult]:
         use_dm = self.model.has_decoherence()
         if use_dm:
             method = self.open_system_method
@@ -309,14 +340,16 @@ class ScheduleExecutor:
                     states = self._family_evolve_closed(
                         schedules, initial_state
                     )
-                    return self._finalize_family(
-                        schedules[0], states, shots, seed
-                    )
+                    with span("measurement", points=len(schedules)):
+                        return self._finalize_family(
+                            schedules[0], states, shots, seed
+                        )
             states = self._batch_evolve_closed(schedules, initial_state)
-        return [
-            self._finalize(s, state, shots, np.random.default_rng(seed))
-            for s, state in zip(schedules, states)
-        ]
+        with span("measurement", points=len(schedules)):
+            return [
+                self._finalize(s, state, shots, np.random.default_rng(seed))
+                for s, state in zip(schedules, states)
+            ]
 
     # A schedule *family*: structural clones differing only in scalar
     # fields of virtual frame instructions — exactly what the execution
@@ -518,7 +551,8 @@ class ScheduleExecutor:
         entry — and the states advance with one batched matmul per run
         position.
         """
-        drives, channel_names = self._synthesize_drives_family(schedules)
+        with span("synthesize", family=True, points=len(schedules)):
+            drives, channel_names = self._synthesize_drives_family(schedules)
         k_members, duration, _ = drives.shape
         changed = np.any(drives[:, 1:, :] != drives[:, :-1, :], axis=(0, 2))
         starts = np.concatenate(([0], np.nonzero(changed)[0] + 1))
@@ -566,33 +600,37 @@ class ScheduleExecutor:
         drift_by_length: dict[int, int] = {}
         driven_hs: list[np.ndarray] = []
         driven_steps: list[int] = []
-        for schedule in schedules:
-            plan: list[tuple[int, int]] = []
-            if schedule.duration > 0:
-                drives, channel_names = self._synthesize_drives(schedule)
-                for start, length in segment_runs(drives):
-                    row = drives[start]
-                    if np.all(row == 0):
-                        # Negative slots index the drift list (offset by
-                        # 1 so slot 0 stays unambiguous); drift
-                        # propagators dedup per unique run length.
-                        slot = drift_by_length.get(length)
-                        if slot is None:
-                            slot = len(drift_props)
-                            drift_by_length[length] = slot
-                            drift_props.append(
-                                free_propagator(
-                                    self._drift_eig, self.model.dt, length
+        with span("synthesize", points=len(schedules)):
+            for schedule in schedules:
+                plan: list[tuple[int, int]] = []
+                if schedule.duration > 0:
+                    drives, channel_names = self._synthesize_drives(schedule)
+                    for start, length in segment_runs(drives):
+                        row = drives[start]
+                        if np.all(row == 0):
+                            # Negative slots index the drift list
+                            # (offset by 1 so slot 0 stays unambiguous);
+                            # drift propagators dedup per unique run
+                            # length.
+                            slot = drift_by_length.get(length)
+                            if slot is None:
+                                slot = len(drift_props)
+                                drift_by_length[length] = slot
+                                drift_props.append(
+                                    free_propagator(
+                                        self._drift_eig,
+                                        self.model.dt,
+                                        length,
+                                    )
                                 )
+                            plan.append((length, -slot - 1))
+                        else:
+                            plan.append((length, len(driven_hs)))
+                            driven_hs.append(
+                                self._run_hamiltonian(row, channel_names)
                             )
-                        plan.append((length, -slot - 1))
-                    else:
-                        plan.append((length, len(driven_hs)))
-                        driven_hs.append(
-                            self._run_hamiltonian(row, channel_names)
-                        )
-                        driven_steps.append(length)
-            plans.append(plan)
+                            driven_steps.append(length)
+                plans.append(plan)
         if driven_hs:
             us = self.propagator_cache.propagators(
                 np.stack(driven_hs),

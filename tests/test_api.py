@@ -511,6 +511,10 @@ PUBLIC_API_SNAPSHOT = frozenset(
         "DataBin",
         "PubResult",
         "PrimitiveResult",
+        "obs",
+        "span",
+        "trace",
+        "exposition",
     }
 )
 

@@ -261,5 +261,22 @@ class TestTelemetry:
         with t.timer("work"):
             pass
         snap = t.snapshot()
-        assert snap["jobs"] == 3
-        assert "work_s" in snap
+        assert snap["counters"]["jobs"] == 3
+        assert "work" in snap["timers"]
+        assert t.get_time("work") >= 0.0
+
+    def test_flat_snapshot_deprecated(self):
+        import warnings
+
+        from repro.runtime import Telemetry
+
+        t = Telemetry()
+        t.incr("jobs")
+        t.add_time("work", 0.5)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            flat = t.flat_snapshot()
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert flat == {"jobs": 1.0, "work_s": 0.5}
