@@ -43,6 +43,7 @@ from repro.sim.evolve import (
     step_propagator,
 )
 from repro.sim.operators import destroy_on, number_on
+from repro.xp import use_backend
 
 DT = 1e-9
 
@@ -201,6 +202,22 @@ def main() -> None:
         f"{cache.hit_rate:.2f})   max|dU|={err_warm:.2e}"
     )
 
+    # 5. Backend/dtype axis: the identical batched path under the
+    #    repro.xp complex64 policy (numpy backend, single precision) —
+    #    the seam's low-precision lane, gated on its own 1e-5 parity
+    #    contract and on not being slower than half the c128 path.
+    def batched_c64():
+        with use_backend(dtype="complex64"):
+            return propagator_sequence(drift, control_ops, rand, DT)
+
+    t_c64, us_c64 = best_of(batched_c64, repeats)
+    err_c64 = max_abs_diff(us_loop_rand, us_c64)
+    c64_vs_c128 = t_batch / t_c64
+    print(
+        f"c64 policy            {t_c64*1e3:8.2f} ms   "
+        f"({c64_vs_c128:5.1f}x vs c128 batched)   max|dU|={err_c64:.2e}"
+    )
+
     write_artifact(
         "batched_evolution",
         {
@@ -212,11 +229,14 @@ def main() -> None:
             "wall_loop_random_s": t_loop_rand,
             "wall_batched_random_s": t_batch,
             "wall_warm_s": t_warm,
+            "wall_batched_c64_s": t_c64,
             "speedup_segment": speedup_seg,
             "speedup_batching": speedup_rand,
             "speedup_frechet": t_floop / t_fbatch,
+            "c64_vs_c128": c64_vs_c128,
             "max_err_segment": err_seg,
             "max_err_random": err_rand,
+            "max_err_c64": err_c64,
         },
     )
 
@@ -231,6 +251,16 @@ def main() -> None:
     assert speedup_rand >= 3.0, (
         f"pure batching only {speedup_rand:.1f}x over the per-slice loop "
         f"(required >= 3x)"
+    )
+    assert us_c64[0].dtype == np.complex64, "c64 scope ran in double"
+    assert err_c64 <= 1e-5, (
+        f"complex64-policy mismatch: {err_c64:.2e} > 1e-5 (the c64 "
+        f"parity contract)"
+    )
+    assert c64_vs_c128 >= 0.5, (
+        f"complex64 path only {c64_vs_c128:.2f}x the c128 batched path "
+        f"(required >= 0.5x: single precision must not be slower than "
+        f"half of double)"
     )
     print(
         f"OK: engine {speedup_seg:.1f}x (gate >= 5x) on the segment "

@@ -39,6 +39,7 @@ from repro.core import Delay, Frame, Play, Port, PulseSchedule, constant_wavefor
 from repro.sim.executor import ScheduleExecutor
 from repro.sim.model import DecoherenceSpec, transmon_model
 from repro.sim.open_system import lindblad_superoperators
+from repro.xp import use_backend
 
 RABI = 50e6
 DT = 1e-9
@@ -203,6 +204,24 @@ def main() -> None:
         f"(shot-noise max|drho|={err_traj:.2e})"
     )
 
+    # 6. Backend/dtype axis: the batched engine under the repro.xp
+    #    complex64 policy. Single precision through a D^2 = 81
+    #    superpropagator chain accumulates ~1e-4, so the parity gate
+    #    here is 1e-3 (the per-propagator 1e-5 contract lives in the
+    #    unitary bench and the test suite).
+    def engine_c64():
+        with use_backend(dtype="complex64"):
+            engine.cache.clear()
+            return engine.evolve_density_matrix(hs, steps, rho0)
+
+    t_c64, rho_c64 = best_of(engine_c64, repeats)
+    err_c64 = float(np.abs(rho_c64 - rho_loop).max())
+    c64_vs_c128 = t_engine / t_c64
+    print(
+        f"c64 policy            {t_c64 * 1e3:8.2f} ms   "
+        f"({c64_vs_c128:5.1f}x vs c128 engine)   max|drho|={err_c64:.2e}"
+    )
+
     write_artifact(
         "open_system",
         {
@@ -214,10 +233,13 @@ def main() -> None:
             "wall_engine_s": t_engine,
             "wall_warm_s": t_warm,
             "wall_kraus_s": t_kraus,
+            "wall_engine_c64_s": t_c64,
             "speedup": speedup,
             "speedup_warm": t_loop / t_warm,
+            "c64_vs_c128": c64_vs_c128,
             "max_err": err,
             "max_err_warm": err_warm,
+            "max_err_c64": err_c64,
             "kraus_splitting_err": err_kraus,
         },
     )
@@ -228,6 +250,14 @@ def main() -> None:
     assert speedup >= 5.0, (
         f"engine only {speedup:.1f}x over the per-slice density-matrix "
         f"loop (required >= 5x)"
+    )
+    assert err_c64 <= 1e-3, (
+        f"complex64-policy mismatch: {err_c64:.2e} > 1e-3 (single-"
+        f"precision Lindblad parity contract)"
+    )
+    assert c64_vs_c128 >= 0.5, (
+        f"complex64 engine only {c64_vs_c128:.2f}x the c128 engine "
+        f"(required >= 0.5x)"
     )
     print(
         f"OK: batched Lindblad engine {speedup:.1f}x (gate >= 5x) over the "

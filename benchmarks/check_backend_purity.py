@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Static gate: backend-neutral engine modules must not touch numpy.
+
+The array-backend seam (:mod:`repro.xp`) only holds if the hot-path
+engine modules route every array operation through the active backend.
+A stray ``import numpy`` (or a helper that closes over ``np``) would
+silently pin that code to the host and break CuPy/torch execution —
+and nothing at runtime would notice until someone ran a non-NumPy
+backend. This check makes the contract a lint failure instead.
+
+Rules, per gated module:
+
+* ``import numpy`` / ``import numpy as np`` / ``from numpy import x``
+  are forbidden — with one carve-out: a module listed in
+  ``MODULE_CONSTANT_ALLOWLIST`` may import numpy *if every use of the
+  imported name sits at module level* (constants computed at import
+  time, e.g. ``_TWO_PI = 2 * np.pi``). Uses inside any function or
+  method body fail regardless.
+* Deliberate host-side work goes through the documented alias
+  ``from repro.xp import hostnp as hnp`` (re-exported NumPy): allowed
+  everywhere, and greppable, so host work stays visible.
+
+Run from the repository root::
+
+    python benchmarks/check_backend_purity.py
+
+Exit status is non-zero when any violation is found; each violation
+prints as ``path:line: message``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules that must stay backend-neutral. Paths are repo-relative.
+#: (repro/xp/backend.py is deliberately NOT gated: its NumPy reference
+#: backend is the one place direct numpy use is the point.)
+GATED_MODULES = (
+    "src/repro/sim/evolve.py",
+    "src/repro/sim/open_system.py",
+)
+
+#: Modules whose numpy imports are tolerated for module-level
+#: constants only. Empty today: the gated modules use ``hnp`` instead.
+MODULE_CONSTANT_ALLOWLIST: frozenset[str] = frozenset()
+
+_HINT = "route through the active backend (repro.xp.active) or the hostnp alias"
+
+
+def _numpy_bindings(tree: ast.Module) -> dict[str, int]:
+    """Names bound by numpy imports anywhere in *tree* -> first lineno."""
+    bindings: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "numpy":
+                    name = alias.asname or alias.name.split(".")[0]
+                    bindings.setdefault(name, node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".")[0] == "numpy":
+                for alias in node.names:
+                    bindings.setdefault(alias.asname or alias.name, node.lineno)
+    return bindings
+
+
+def _uses_inside_functions(tree: ast.Module, names: set[str]) -> list[ast.Name]:
+    """Load-context uses of *names* inside any function/method body."""
+    uses: list[ast.Name] = []
+    scopes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+    for outer in ast.walk(tree):
+        if not isinstance(outer, scopes):
+            continue
+        for node in ast.walk(outer):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in names
+            ):
+                uses.append(node)
+    return uses
+
+
+def check_module(path: Path, repo_root: Path) -> list[str]:
+    rel = path.relative_to(repo_root).as_posix()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    bindings = _numpy_bindings(tree)
+    if not bindings:
+        return []
+    if rel not in MODULE_CONSTANT_ALLOWLIST:
+        return [
+            f"{rel}:{lineno}: numpy import binds {name!r} — {_HINT}"
+            for name, lineno in sorted(bindings.items(), key=lambda kv: kv[1])
+        ]
+    # Allowlisted: the import itself passes, but only module-level
+    # (constant-folding) uses of the bound names are tolerated.
+    return [
+        f"{rel}:{use.lineno}: {use.id!r} used inside a function — the "
+        f"allowlist covers module-level constants only; {_HINT}"
+        for use in _uses_inside_functions(tree, set(bindings))
+    ]
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    violations: list[str] = []
+    for rel in GATED_MODULES:
+        path = repo_root / rel
+        if not path.exists():
+            violations.append(f"{rel}: gated module missing")
+            continue
+        violations.extend(check_module(path, repo_root))
+    if violations:
+        print("backend-purity check FAILED:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(
+        f"backend-purity check passed: {len(GATED_MODULES)} gated "
+        "modules clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -174,9 +174,15 @@ class Executable:
         target: Target,
         *,
         params: Mapping[str, float] | None = None,
+        backend: str | None = None,
     ) -> None:
         self.program = program
         self.target = target
+        #: Array backend/dtype spec ("numpy/complex64", ...) executions
+        #: of this artifact run under; None keeps the device's ambient
+        #: repro.xp scope. Part of the compilation cache key so one
+        #: numeric policy's artifacts never answer for another's.
+        self.backend = backend
         # Coerce to float exactly like bind() does, so compile-time and
         # bind-time keys for the same logical point agree (1 vs 1.0).
         self.params: dict[str, float] = {
@@ -287,6 +293,7 @@ class Executable:
             self._payload_fingerprint(),
             self.target.compile_device,
             self.params or None,
+            backend=self.backend,
         )
 
     def _ensure_compiled(self) -> Any:
@@ -440,7 +447,9 @@ class Executable:
         self._ensure_payload()
         if self.program.is_parametric:
             self._ensure_template()  # built once, shared by every bind
-        bound = Executable(self.program, self.target, params=merged)
+        bound = Executable(
+            self.program, self.target, params=merged, backend=self.backend
+        )
         bound._payload = self._payload
         bound._payload_fp = self._payload_fp
         bound._template = self._template
@@ -457,12 +466,25 @@ class Executable:
         seed: int | None = None,
         metadata: Mapping[str, Any] | None = None,
         timeout: float | None = None,
+        backend: str | None = None,
     ) -> Any:
         """Execute and return a :class:`~repro.client.client.ClientResult`.
 
         Service targets submit asynchronously and block on the ticket
         (bounded by *timeout*); everything else dispatches inline.
+        *backend* overrides the executable's array backend/dtype spec
+        for this call (local direct targets only — the spec rides the
+        job metadata down to the device executor).
         """
+        spec = backend if backend is not None else self.backend
+        if spec is not None and not (
+            self.target.direct and not self.target.is_remote
+        ):
+            raise ValidationError(
+                "backend= needs a local direct target (the array-backend "
+                "spec travels as job metadata to the device executor); "
+                "scope remote/service processes with repro.xp.use_backend"
+            )
         with span(
             "run", device=self.target.device_name, shots=shots
         ):
@@ -476,7 +498,7 @@ class Executable:
             if self.target.direct and not self.target.is_remote:
                 with span("dispatch", mode="direct"):
                     return self._run_direct(
-                        compiled, shots, seed, metadata, timings
+                        compiled, shots, seed, metadata, timings, backend=spec
                     )
             request = self._as_request(shots, seed, metadata)
             with span("dispatch", mode="client"):
@@ -562,6 +584,7 @@ class Executable:
         seed: int | None,
         metadata: Mapping[str, Any] | None,
         timings: dict[str, float],
+        backend: str | None = None,
     ) -> Any:
         """Session-free dispatch straight to the device (local targets)."""
         from repro.client.client import ClientResult
@@ -571,6 +594,8 @@ class Executable:
         job_metadata: dict[str, Any] = {}
         if seed is not None:
             job_metadata["seed"] = seed
+        if backend is not None:
+            job_metadata["backend"] = backend
         if metadata and metadata.get("decoherence") is not None:
             job_metadata["decoherence"] = metadata["decoherence"]
         device = self.target.device

@@ -152,16 +152,28 @@ class JITCompiler:
         return f"{device.name}:{digest}"
 
     def cache_key(
-        self, payload: Any, device: Any, scalar_args: Mapping | None = None
+        self,
+        payload: Any,
+        device: Any,
+        scalar_args: Mapping | None = None,
+        *,
+        backend: str | None = None,
     ) -> str:
         """Content-addressed compilation key: payload x device state.
 
         This is the public cache-key surface consumed by
         :class:`repro.serving.cache.CompileCache`; two requests with
         equal keys are guaranteed to compile to the same program.
+        *backend* namespaces the key by array backend/dtype spec
+        (``"numpy/complex64"``) when execution is scoped to one — an
+        artifact compiled for one numeric policy never answers for
+        another.
         """
         return self.compose_cache_key(
-            self.payload_fingerprint(payload), device, scalar_args
+            self.payload_fingerprint(payload),
+            device,
+            scalar_args,
+            backend=backend,
         )
 
     def compose_cache_key(
@@ -169,6 +181,8 @@ class JITCompiler:
         payload_fingerprint: str,
         device: Any,
         scalar_args: Mapping | None = None,
+        *,
+        backend: str | None = None,
     ) -> str:
         """:meth:`cache_key` from a precomputed payload fingerprint.
 
@@ -179,7 +193,10 @@ class JITCompiler:
         base = payload_fingerprint
         if scalar_args:
             base += self._scalar_suffix(scalar_args)
-        return f"{base}@{self.device_state_key(device)}"
+        key = f"{base}@{self.device_state_key(device)}"
+        if backend:
+            key += f"#{backend}"
+        return key
 
     # ---- compilation -----------------------------------------------------------------
 

@@ -469,6 +469,7 @@ class SimulatedDevice(QDMIDevice):
                 schedule,
                 shots=job.shots,
                 seed=job.metadata.get("seed", job.job_id),
+                backend=job.metadata.get("backend"),
             )
             job.complete(result)
         except Exception as exc:  # deliberate: device must not crash the stack

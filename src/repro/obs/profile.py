@@ -60,8 +60,12 @@ def profiling_enabled() -> bool:
     return _enabled
 
 
-def _observe_kernel(name: str, n: int, seconds: float) -> None:
+def _observe_kernel(
+    name: str, n: int, seconds: float, backend: str = ""
+) -> None:
     labels = {"kernel": name}
+    if backend:
+        labels["backend"] = backend
     REGISTRY.histogram(
         "repro_sim_kernel_seconds",
         "Wall time of one batched sim kernel call.",
@@ -87,9 +91,15 @@ def kernel(
     seconds: float,
     levels: int = 0,
     method: str = "",
+    backend: str = "",
 ) -> None:
-    """Report one batched-kernel invocation (always feeds REGISTRY)."""
-    _observe_kernel(name, n, seconds)
+    """Report one batched-kernel invocation (always feeds REGISTRY).
+
+    *backend* is the array-backend spec (``"numpy/complex128"``) the
+    kernel ran on; it becomes a metric label and a record field so
+    profiles from different backend/dtype scopes stay separable.
+    """
+    _observe_kernel(name, n, seconds, backend)
     if not _enabled:
         return
     sink = _sink()
@@ -103,6 +113,7 @@ def kernel(
                 "seconds": float(seconds),
                 "levels": int(levels),
                 "method": method,
+                "backend": backend,
             }
         )
 

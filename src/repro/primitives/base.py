@@ -57,8 +57,13 @@ class BasePrimitive:
         *,
         executor: Any = None,
         seed: int | None = None,
+        backend: str | None = None,
     ) -> None:
         self._seed = seed
+        #: Array backend/dtype spec ("numpy/complex64", "cupy", ...)
+        #: every dispatch runs its evolution under; None keeps the
+        #: ambient repro.xp scope.
+        self._backend = backend
         self._executor = None
         self._target: Target | None = None
         self._executables: OrderedDict[Any, Executable] = OrderedDict()
@@ -215,7 +220,10 @@ class BasePrimitive:
                         groups.setdefault(shots, []).append((p, i, handle))
                 for shots, entries in groups.items():
                     results = self._executor.execute_batch(
-                        [e[2] for e in entries], shots=shots, seed=self._seed
+                        [e[2] for e in entries],
+                        shots=shots,
+                        seed=self._seed,
+                        backend=self._backend,
                     )
                     for (p, i, _), result in zip(entries, results):
                         out[p][i] = result
@@ -223,6 +231,13 @@ class BasePrimitive:
             if self._mode == _SERVICE:
                 from repro.serving.sweeps import SweepRequest
 
+                if self._backend is not None:
+                    raise ValidationError(
+                        "backend= is not supported on service dispatch: "
+                        "sweep workers own their execution scope; run "
+                        "against a direct target, or scope the service "
+                        "process with repro.xp.use_backend"
+                    )
                 service = self._target.service
                 tickets = []
                 for _, handles, shots in per_pub:
@@ -236,7 +251,12 @@ class BasePrimitive:
                 return [t.results(timeout) for t in tickets]
             return [
                 [
-                    handle.run(shots=shots, seed=self._seed, timeout=timeout)
+                    handle.run(
+                        shots=shots,
+                        seed=self._seed,
+                        timeout=timeout,
+                        backend=self._backend,
+                    )
                     for handle in handles
                 ]
                 for _, handles, shots in per_pub

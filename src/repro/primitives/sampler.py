@@ -65,8 +65,9 @@ class Sampler(BasePrimitive):
         default_shots: int = 1024,
         seed: int | None = None,
         mitigation: bool = False,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(target, executor=executor, seed=seed)
+        super().__init__(target, executor=executor, seed=seed, backend=backend)
         if default_shots < 0:
             raise ValidationError(
                 f"default_shots must be >= 0, got {default_shots}"

@@ -13,18 +13,27 @@ Two complementary strategies keep the Python overhead off the hot path:
   BLAS/LAPACK calls instead of ``n`` Python-level round trips. Entry
   points: :func:`build_hamiltonians`, :func:`batched_propagators`, and
   :func:`propagator_sequence` (which composes the two). Two batched
-  methods are implemented: a stacked ``np.linalg.eigh`` (exact, and
-  the basis the Daleckii-Krein kernels need), and the default
+  methods are implemented: a stacked ``eigh`` (exact, and the basis
+  the Daleckii-Krein kernels need), and the default
   scaling-and-squaring Paterson-Stockmeyer Taylor evaluation, which is
   pure batched matmuls — on a single core the LAPACK per-matrix
   overhead of small-``D`` eigendecompositions makes the matmul route
   decisively faster, while agreeing with ``eigh`` to ~1e-13.
 * **Caching** — :class:`PropagatorCache` memoizes propagators keyed on
-  ``(H fingerprint, dt, steps)``, so repeated slices (flat-top pulses,
-  sweeps re-visiting the same amplitudes, drift segments) skip the
-  decomposition entirely. :meth:`PropagatorCache.propagators` combines
-  both: cache misses are deduplicated *within* the batch and
-  diagonalized together.
+  ``(backend/dtype, H fingerprint, dt, steps)``, so repeated slices
+  (flat-top pulses, sweeps re-visiting the same amplitudes, drift
+  segments) skip the decomposition entirely.
+  :meth:`PropagatorCache.propagators` combines both: cache misses are
+  deduplicated *within* the batch and diagonalized together.
+
+Every device-array operation routes through the active
+:class:`repro.xp.Active` backend (see :mod:`repro.xp.backend`): the
+numpy/complex128 default is bitwise-identical to direct ``np.`` calls,
+while ``use_backend(..., dtype="complex64")`` (or a GPU backend) runs
+the same code at a different precision/placement. Host-side metadata
+work (segment bookkeeping, fingerprints, scipy fallbacks) deliberately
+stays on :data:`repro.xp.hostnp`; the
+``benchmarks/check_backend_purity.py`` lint gate enforces the split.
 
 Identical consecutive samples (flat-top pulses, delays) are still
 collapsed into a single propagator with the phase factor raised to the
@@ -45,63 +54,65 @@ import time
 from collections import OrderedDict
 from typing import Sequence
 
-import numpy as np
-
 from repro.errors import ValidationError
 from repro.obs import profile as _profile
 from repro.obs.metrics import REGISTRY, CacheStats
 from repro.obs.tracing import span
+from repro.xp import Active, active
+from repro.xp import hostnp as hnp
 
-_TWO_PI = 2.0 * np.pi
+_TWO_PI = 2.0 * math.pi
 
 
-def step_propagator(hamiltonian: np.ndarray, dt: float, steps: int = 1) -> np.ndarray:
+def step_propagator(hamiltonian, dt: float, steps: int = 1):
     """Exact propagator for a constant Hamiltonian over ``steps * dt``.
 
     ``U = exp(-2*pi*i * H * dt * steps)`` with *H* Hermitian, in Hz.
     """
-    h = np.asarray(hamiltonian, dtype=np.complex128)
+    xp = active()
+    h = xp.asarray(hamiltonian, dtype=xp.cdtype)
     if h.ndim != 2 or h.shape[0] != h.shape[1]:
         raise ValidationError(f"Hamiltonian must be square, got shape {h.shape}")
     if dt <= 0:
         raise ValidationError(f"dt must be > 0, got {dt}")
     if steps < 1:
         raise ValidationError(f"steps must be >= 1, got {steps}")
-    evals, evecs = np.linalg.eigh(h)
-    phases = np.exp(-1j * _TWO_PI * evals * dt * steps)
-    return (evecs * phases) @ evecs.conj().T
+    evals, evecs = xp.eigh(h)
+    phases = xp.exp(
+        xp.asarray(-1j * _TWO_PI * xp.to_host(evals) * dt * steps, dtype=xp.cdtype)
+    )
+    return xp.matmul(evecs * phases, xp.adjoint(evecs))
 
 
-def free_propagator(
-    drift_eig: tuple[np.ndarray, np.ndarray], dt: float, steps: int
-) -> np.ndarray:
+def free_propagator(drift_eig: tuple, dt: float, steps: int):
     """Propagator for the drift alone, from its cached eigendecomposition.
 
-    *drift_eig* is the ``(evals, evecs)`` pair from ``np.linalg.eigh``.
+    *drift_eig* is the (host) ``(evals, evecs)`` pair from ``eigh``.
     """
+    xp = active()
     evals, evecs = drift_eig
-    phases = np.exp(-1j * _TWO_PI * evals * dt * steps)
-    return (evecs * phases) @ evecs.conj().T
+    evecs = xp.asarray(evecs, dtype=xp.cdtype)
+    phases = xp.exp(
+        xp.asarray(-1j * _TWO_PI * evals * dt * steps, dtype=xp.cdtype)
+    )
+    return xp.matmul(evecs * phases, xp.adjoint(evecs))
 
 
-def evolve_unitary(unitary: np.ndarray, state: np.ndarray) -> np.ndarray:
+def evolve_unitary(unitary, state):
     """Apply *unitary* to a ket (1-D) or density matrix (2-D)."""
-    state = np.asarray(state, dtype=np.complex128)
+    xp = active()
+    state = xp.asarray(state, dtype=xp.cdtype)
     if state.ndim == 1:
-        return unitary @ state
+        return xp.matmul(unitary, state)
     if state.ndim == 2:
-        return unitary @ state @ unitary.conj().T
+        return xp.matmul(xp.matmul(unitary, state), xp.adjoint(unitary))
     raise ValidationError(f"state must be 1-D or 2-D, got ndim={state.ndim}")
 
 
 # ---- batched engine --------------------------------------------------------------
 
 
-def build_hamiltonians(
-    drift: np.ndarray,
-    control_ops: Sequence[np.ndarray],
-    controls: np.ndarray,
-) -> np.ndarray:
+def build_hamiltonians(drift, control_ops: Sequence, controls):
     """Stack the per-slice Hamiltonians ``H_k = drift + sum_j u_kj C_j``.
 
     Parameters
@@ -111,21 +122,26 @@ def build_hamiltonians(
 
     Returns
     -------
-    Complex array of shape ``(n_steps, D, D)``.
+    Complex array of shape ``(n_steps, D, D)`` on the active backend.
     """
-    controls = np.asarray(controls, dtype=np.float64)
+    xp = active()
+    controls = hnp.asarray(controls, dtype=hnp.float64)
     if controls.ndim != 2 or controls.shape[1] != len(control_ops):
         raise ValidationError(
             f"controls shape {controls.shape} does not match "
             f"{len(control_ops)} control operators"
         )
-    drift = np.asarray(drift, dtype=np.complex128)
+    drift = xp.asarray(drift, dtype=xp.cdtype)
     if not control_ops:
-        return np.broadcast_to(drift, (controls.shape[0],) + drift.shape).copy()
+        return xp.ascontiguousarray(
+            xp.broadcast_to(drift, (controls.shape[0],) + tuple(drift.shape))
+        )
     # One GEMM builds every slice: (n, j) @ (j, D*D) -> (n, D*D).
-    ops = np.stack([np.asarray(c, dtype=np.complex128) for c in control_ops])
+    ops = xp.stack([xp.asarray(c, dtype=xp.cdtype) for c in control_ops])
     j, d = ops.shape[0], ops.shape[1]
-    flat = controls.astype(np.complex128) @ ops.reshape(j, d * d)
+    flat = xp.matmul(
+        xp.asarray(controls, dtype=xp.cdtype), ops.reshape(j, d * d)
+    )
     return flat.reshape(-1, d, d) + drift
 
 
@@ -134,7 +150,7 @@ def build_hamiltonians(
 # Degree 12 at the scaled radius 0.7 leaves a truncation error below
 # 0.7^13 / 13! ~ 2e-12 per factor — two orders under the engine's
 # 1e-10 equivalence contract even after squaring amplification.
-_PS_COEFFS = np.array(
+_PS_COEFFS = hnp.array(
     [[1.0 / math.factorial(4 * j + k) for k in range(4)] for j in range(3)]
 )
 _PS_SCALE_THRESHOLD = 0.7
@@ -152,42 +168,43 @@ _EXPM_CHUNK = 256
 # multi-megabyte allocation per call costs more in first-touch page
 # faults than the matmuls that fill it; the hot paths (GRAPE line
 # searches, schedule sweeps) call with identical shapes thousands of
-# times, so the buffers are keyed by shape and recycled per thread.
+# times, so the buffers are keyed by (backend/dtype, tag) and recycled
+# per thread — a complex64 scope and the complex128 default never
+# alias one another's storage.
 _SCRATCH = threading.local()
 
 
 def _scratch(
-    tag: str, shape: tuple[int, ...], dtype=np.complex128
-) -> tuple[np.ndarray, bool]:
+    xp: Active, tag: str, shape: tuple[int, ...], dtype=None
+) -> tuple:
     """``(buffer, fresh)`` — a recycled work array for *tag*.
 
-    One flat allocation per tag, grown to the largest capacity seen
-    and viewed at the requested shape — varying chunk shapes reuse the
-    same storage instead of accumulating per-shape buffers. ``fresh``
-    is True whenever the returned view does not hold the previous
-    call's contents for this tag (new allocation or shape change).
+    One flat allocation per (backend/dtype, tag), grown to the largest
+    capacity seen and viewed at the requested shape — varying chunk
+    shapes reuse the same storage instead of accumulating per-shape
+    buffers. ``fresh`` is True whenever the returned view does not
+    hold the previous call's contents for this key (new allocation or
+    shape change).
     """
+    if dtype is None:
+        dtype = xp.cdtype
     pool = getattr(_SCRATCH, "pool", None)
     if pool is None:
         pool = _SCRATCH.pool = {}
-    size = int(np.prod(shape))
-    entry = pool.get(tag)
+    size = math.prod(shape)
+    key = (xp.spec, tag)
+    entry = pool.get(key)
     if entry is not None:
         flat, last_shape = entry
-        if flat.size >= size and flat.dtype == np.dtype(dtype):
-            pool[tag] = (flat, shape)
+        if flat.shape[0] >= size and flat.dtype == dtype:
+            pool[key] = (flat, shape)
             return flat[:size].reshape(shape), last_shape != shape
-    flat = np.empty(size, dtype=dtype)
-    pool[tag] = (flat, shape)
+    flat = xp.empty(size, dtype=dtype)
+    pool[key] = (flat, shape)
     return flat.reshape(shape), True
 
 
-def _expm_skew_batched(
-    hs: np.ndarray,
-    coeff: np.ndarray | complex,
-    shift: np.ndarray,
-    out: np.ndarray,
-) -> int:
+def _expm_skew_batched(xp: Active, hs, coeff, shift, out) -> int:
     """``out = exp(coeff * hs - diag(shift))`` for a Hermitian stack.
 
     Returns the squaring level ``s`` used for this chunk (profiling
@@ -206,21 +223,23 @@ def _expm_skew_batched(
     All intermediates live in recycled per-thread scratch buffers; only
     *out* (the caller's array) is written.
     """
-    n, dim, _ = hs.shape
-    powers, fresh = _scratch("powers", (5, n, dim, dim))
+    n, dim = hs.shape[0], hs.shape[1]
+    powers, fresh = _scratch(xp, "powers", (5, n, dim, dim))
     if fresh:
-        powers[0] = np.eye(dim)
+        powers[0] = xp.eye(dim)
     theta = powers[1]
-    np.multiply(hs, coeff if np.ndim(coeff) == 0 else coeff[:, None, None], out=theta)
-    idx = np.arange(dim)
+    xp.multiply(
+        hs, coeff if coeff.ndim == 0 else coeff[:, None, None], out=theta
+    )
+    idx = hnp.arange(dim)
     theta[:, idx, idx] -= shift[:, None]
-    np.matmul(theta, theta, out=powers[2])  # theta^2
-    np.matmul(powers[2], theta, out=powers[3])  # theta^3
-    np.matmul(powers[2], powers[2], out=powers[4])  # theta^4
-    absbuf, _ = _scratch("abs", (n, dim, dim), np.float64)
-    np.abs(powers[4], out=absbuf)
-    rho = float(absbuf.sum(axis=2).max()) ** 0.25
-    s = max(0, int(np.ceil(np.log2(max(rho, 1e-300) / _PS_SCALE_THRESHOLD))))
+    xp.matmul(theta, theta, out=powers[2])  # theta^2
+    xp.matmul(powers[2], theta, out=powers[3])  # theta^3
+    xp.matmul(powers[2], powers[2], out=powers[4])  # theta^4
+    absbuf, _ = _scratch(xp, "abs", (n, dim, dim), xp.rdtype)
+    xp.abs(powers[4], out=absbuf)
+    rho = float(xp.to_host(xp.amax(xp.sum(absbuf, axis=2)))) ** 0.25
+    s = max(0, int(hnp.ceil(hnp.log2(max(rho, 1e-300) / _PS_SCALE_THRESHOLD))))
     # Squaring doubles the truncation error per level, so the norm-based
     # scale alone degrades linearly in 2^s for long constant runs (large
     # steps). Keep adding levels until the accumulated bound
@@ -229,18 +248,22 @@ def _expm_skew_batched(
         s += 1
     sc = 2.0**-s
     # Blocks B0..B2 in one GEMM; B3 = I/12! contributes F12 * x^4 to B2.
-    coeffs = np.zeros((3, 5), dtype=np.complex128)
-    coeffs[:, :4] = _PS_COEFFS * sc ** np.arange(4)
+    coeffs = hnp.zeros((3, 5), dtype=hnp.complex128)
+    coeffs[:, :4] = _PS_COEFFS * sc ** hnp.arange(4)
     coeffs[2, 4] = sc**4 / math.factorial(12)
-    blocks, _ = _scratch("blocks", (3, n, dim, dim))
-    np.matmul(coeffs, powers.reshape(5, -1), out=blocks.reshape(3, -1))
+    blocks, _ = _scratch(xp, "blocks", (3, n, dim, dim))
+    xp.matmul(
+        xp.asarray(coeffs, dtype=xp.cdtype),
+        powers.reshape(5, -1),
+        out=blocks.reshape(3, -1),
+    )
     b0, b1, b2 = blocks
     x4 = powers[4]
     x4 *= sc**4
-    t1, _ = _scratch("horner", (n, dim, dim))
-    np.matmul(b2, x4, out=t1)
+    t1, _ = _scratch(xp, "horner", (n, dim, dim))
+    xp.matmul(b2, x4, out=t1)
     t1 += b1
-    u = np.matmul(t1, x4, out=b2)
+    u = xp.matmul(t1, x4, out=b2)
     u += b0
     if s == 0:
         out[...] = u
@@ -248,22 +271,17 @@ def _expm_skew_batched(
     scratch = t1
     for i in range(s):
         out_buf = out if i == s - 1 else scratch
-        np.matmul(u, u, out=out_buf)
+        xp.matmul(u, u, out=out_buf)
         u, scratch = out_buf, u
     return s
 
 
-def batched_propagators(
-    hamiltonians: np.ndarray,
-    dt: float,
-    steps: int | np.ndarray = 1,
-    *,
-    method: str = "auto",
-) -> np.ndarray:
+def batched_propagators(hamiltonians, dt: float, steps=1, *, method: str = "auto"):
     """Exact propagators for a stack of constant Hamiltonians.
 
     ``U_k = exp(-2*pi*i * H_k * dt * steps_k)`` for the whole
-    ``(n, D, D)`` stack in a handful of batched array operations.
+    ``(n, D, D)`` stack in a handful of batched array operations on
+    the active backend/dtype (:func:`repro.xp.use_backend`).
 
     Parameters
     ----------
@@ -275,9 +293,10 @@ def batched_propagators(
         ``"expm"`` — scaling-and-squaring Paterson-Stockmeyer Taylor
         after a per-matrix trace shift; pure batched matmuls, the
         fastest route for the small dimensions simulated here.
-        ``"eigh"`` — one stacked ``np.linalg.eigh`` then broadcast
-        phase application ``V exp(-2*pi*i E dt s) V†``; exact to
-        machine precision but pays LAPACK's per-matrix overhead.
+        ``"eigh"`` — one stacked Hermitian eigendecomposition then
+        broadcast phase application ``V exp(-2*pi*i E dt s) V†``;
+        exact to machine precision but pays LAPACK's per-matrix
+        overhead.
         ``"auto"`` (default) selects ``"expm"`` for typical slice
         durations (where the two agree to ~1e-13) and falls back to
         ``"eigh"`` when any slice's phase radius would need so many
@@ -288,14 +307,15 @@ def batched_propagators(
     -------
     Complex array of shape ``(n, D, D)``.
     """
-    hs = np.asarray(hamiltonians, dtype=np.complex128)
+    xp = active()
+    hs = xp.asarray(hamiltonians, dtype=xp.cdtype)
     if hs.ndim != 3 or hs.shape[1] != hs.shape[2]:
         raise ValidationError(
             f"Hamiltonian stack must have shape (n, D, D), got {hs.shape}"
         )
     if dt <= 0:
         raise ValidationError(f"dt must be > 0, got {dt}")
-    steps_arr = np.asarray(steps)
+    steps_arr = hnp.asarray(steps)
     if steps_arr.ndim not in (0, 1) or (
         steps_arr.ndim == 1 and steps_arr.shape[0] != hs.shape[0]
     ):
@@ -303,7 +323,7 @@ def batched_propagators(
             f"steps must be a scalar or length-{hs.shape[0]} array, "
             f"got shape {steps_arr.shape}"
         )
-    if np.any(steps_arr < 1):
+    if hnp.any(steps_arr < 1):
         raise ValidationError("steps must be >= 1")
     if method not in ("auto", "expm", "eigh"):
         raise ValidationError(
@@ -311,8 +331,8 @@ def batched_propagators(
         )
     n, dim = hs.shape[0], hs.shape[1]
     if n == 0:
-        return hs.copy()
-    durations = dt * steps_arr.astype(np.float64)
+        return xp.copy(hs)
+    durations = dt * steps_arr.astype(hnp.float64)
 
     if method == "auto":
         # Each squaring level amplifies rounding by ~2x, so past
@@ -320,9 +340,9 @@ def batched_propagators(
         # (and, with that much squaring, also the cheaper) choice.
         # Cheap per-slice radius bound: |coeff| * inf-norm of the
         # trace-shifted Hamiltonian.
-        mu_est = np.real(np.trace(hs, axis1=1, axis2=2)) / dim
-        row_sums = np.abs(hs).sum(axis=2).max(axis=1)
-        radius = _TWO_PI * durations * (row_sums + np.abs(mu_est))
+        mu_est = xp.to_host(xp.real(xp.trace(hs, axis1=1, axis2=2))) / dim
+        row_sums = xp.to_host(xp.amax(xp.sum(xp.abs(hs), axis=2), axis=1))
+        radius = _TWO_PI * durations * (row_sums + hnp.abs(mu_est))
         method = (
             "eigh"
             if radius.max() > _PS_SCALE_THRESHOLD * 2.0**_EXPM_MAX_LEVELS
@@ -331,17 +351,22 @@ def batched_propagators(
 
     if method == "eigh":
         t0 = time.perf_counter()
-        evals, evecs = np.linalg.eigh(hs)  # (n, D), (n, D, D)
+        evals, evecs = xp.eigh(hs)  # (n, D), (n, D, D)
         if durations.ndim == 1:
             durations = durations[:, None]
-        phases = np.exp(-1j * _TWO_PI * evals * durations)
-        us = (evecs * phases[:, None, :]) @ evecs.conj().transpose(0, 2, 1)
+        phases = xp.exp(
+            xp.asarray(
+                -1j * _TWO_PI * xp.to_host(evals) * durations, dtype=xp.cdtype
+            )
+        )
+        us = xp.matmul(evecs * phases[:, None, :], xp.adjoint(evecs))
         _profile.kernel(
             "propagators",
             n=n,
             dim=dim,
             seconds=time.perf_counter() - t0,
             method="eigh",
+            backend=xp.spec,
         )
         return us
 
@@ -350,18 +375,20 @@ def batched_propagators(
     # phase — it halves the spectral radius for the lopsided spectra
     # (transmon anharmonicity ladders) seen here, saving squarings.
     t0 = time.perf_counter()
-    coeff = np.asarray(-1j * _TWO_PI * durations)  # scalar or (n,)
-    mu = np.real(np.trace(hs, axis1=1, axis2=2)) / dim
+    coeff = xp.asarray(
+        hnp.asarray(-1j * _TWO_PI * durations), dtype=xp.cdtype
+    )  # scalar or (n,)
+    mu = xp.real(xp.trace(hs, axis1=1, axis2=2)) / dim
     shift = coeff * mu
-    out = np.empty_like(hs)
+    out = xp.empty_like(hs)
     levels = 0
     for a in range(0, n, _EXPM_CHUNK):
         b = min(a + _EXPM_CHUNK, n)
         c = coeff if coeff.ndim == 0 else coeff[a:b]
-        s = _expm_skew_batched(hs[a:b], c, shift[a:b], out[a:b])
+        s = _expm_skew_batched(xp, hs[a:b], c, shift[a:b], out[a:b])
         if s > levels:
             levels = s
-    out *= np.exp(shift)[:, None, None]
+    out *= xp.exp(shift)[:, None, None]
     _profile.kernel(
         "propagators",
         n=n,
@@ -369,16 +396,12 @@ def batched_propagators(
         seconds=time.perf_counter() - t0,
         levels=levels,
         method="expm",
+        backend=xp.spec,
     )
     return out
 
 
-def batched_expm(
-    matrices: np.ndarray,
-    *,
-    scale: float | np.ndarray = 1.0,
-    method: str = "auto",
-) -> np.ndarray:
+def batched_expm(matrices, *, scale=1.0, method: str = "auto"):
     """``exp(scale_k * A_k)`` for a stack of *general* square matrices.
 
     The open-system engine exponentiates Lindblad superoperators —
@@ -401,7 +424,8 @@ def batched_expm(
         (e.g. ``dt * steps`` in seconds for superoperator stacks whose
         rates are per-second).
     """
-    a = np.asarray(matrices, dtype=np.complex128)
+    xp = active()
+    a = xp.asarray(matrices, dtype=xp.cdtype)
     if a.ndim != 3 or a.shape[1] != a.shape[2]:
         raise ValidationError(
             f"matrix stack must have shape (n, m, m), got {a.shape}"
@@ -412,8 +436,8 @@ def batched_expm(
         )
     n, m = a.shape[0], a.shape[1]
     if n == 0:
-        return a.copy()
-    scale_arr = np.asarray(scale)
+        return xp.copy(a)
+    scale_arr = hnp.asarray(scale)
     if scale_arr.ndim not in (0, 1) or (
         scale_arr.ndim == 1 and scale_arr.shape[0] != n
     ):
@@ -421,11 +445,13 @@ def batched_expm(
             f"scale must be a scalar or length-{n} array, got shape "
             f"{scale_arr.shape}"
         )
-    coeff = np.asarray(scale_arr, dtype=np.complex128)
-    mu = np.trace(a, axis1=1, axis2=2) / m
+    coeff = xp.asarray(scale_arr, dtype=xp.cdtype)
+    mu = xp.trace(a, axis1=1, axis2=2) / m
     if method == "auto":
-        row_sums = np.abs(a).sum(axis=2).max(axis=1)
-        radius = np.abs(coeff) * (row_sums + np.abs(mu))
+        row_sums = xp.to_host(xp.amax(xp.sum(xp.abs(a), axis=2), axis=1))
+        radius = hnp.abs(xp.to_host(coeff)) * (
+            row_sums + hnp.abs(xp.to_host(mu))
+        )
         method = (
             "dense"
             if radius.max() > _PS_SCALE_THRESHOLD * 2.0**_EXPM_MAX_LEVELS
@@ -433,26 +459,29 @@ def batched_expm(
         )
     if method == "dense":
         t0 = time.perf_counter()
-        dense = _dense_expm(a, coeff)
+        dense = xp.asarray(
+            _dense_expm(xp.to_host(a), xp.to_host(coeff)), dtype=xp.cdtype
+        )
         _profile.kernel(
             "expm",
             n=n,
             dim=m,
             seconds=time.perf_counter() - t0,
             method="dense",
+            backend=xp.spec,
         )
         return dense
     t0 = time.perf_counter()
-    shift = np.broadcast_to(coeff * mu, (n,))  # mu is (n,), so shift is too
-    out = np.empty_like(a)
+    shift = xp.broadcast_to(coeff * mu, (n,))  # mu is (n,), so shift is too
+    out = xp.empty_like(a)
     levels = 0
     for lo in range(0, n, _EXPM_CHUNK):
         hi = min(lo + _EXPM_CHUNK, n)
         c = coeff if coeff.ndim == 0 else coeff[lo:hi]
-        s = _expm_skew_batched(a[lo:hi], c, shift[lo:hi], out[lo:hi])
+        s = _expm_skew_batched(xp, a[lo:hi], c, shift[lo:hi], out[lo:hi])
         if s > levels:
             levels = s
-    out *= np.exp(shift)[:, None, None]
+    out *= xp.exp(shift)[:, None, None]
     _profile.kernel(
         "expm",
         n=n,
@@ -460,37 +489,78 @@ def batched_expm(
         seconds=time.perf_counter() - t0,
         levels=levels,
         method="expm",
+        backend=xp.spec,
     )
     return out
 
 
-def _dense_expm(a: np.ndarray, coeff: np.ndarray) -> np.ndarray:
-    """Per-matrix dense exponential fallback (scipy Pade when present)."""
-    scaled = a * np.broadcast_to(coeff, (a.shape[0],))[:, None, None]
+def _coerce_expm_result(r, stack_dtype):
+    """Normalize one per-matrix dense-expm result to the stack dtype.
+
+    ``scipy.linalg.expm`` may return a wider (or, in principle,
+    different-kind) dtype than the stack it came from; stacking those
+    raw would silently promote the whole result. Widening results are
+    folded back down explicitly — failing loud when the downcast
+    overflows — and kind-changing results (complex -> real would drop
+    the imaginary part) are rejected outright.
+    """
+    r = hnp.asarray(r)
+    if r.dtype == stack_dtype:
+        return r
+    if not hnp.can_cast(r.dtype, stack_dtype, casting="same_kind"):
+        raise ValidationError(
+            f"dense expm returned dtype {r.dtype}, which cannot be "
+            f"coerced to the stack dtype {stack_dtype} without silently "
+            "dropping components"
+        )
+    with hnp.errstate(over="ignore"):  # overflow is checked explicitly below
+        coerced = r.astype(stack_dtype)
+    if not bool(hnp.all(hnp.isfinite(coerced))) and bool(
+        hnp.all(hnp.isfinite(r))
+    ):
+        raise ValidationError(
+            f"dense expm result overflowed while downcasting from "
+            f"{r.dtype} to the stack dtype {stack_dtype}"
+        )
+    return coerced
+
+
+def _dense_expm(a, coeff):
+    """Per-matrix dense exponential fallback (scipy Pade when present).
+
+    Host-resident by design: scipy has no device-array path, so the
+    caller moves the stack to the host first and re-wraps the result.
+    """
+    scaled = a * hnp.broadcast_to(coeff, (a.shape[0],))[:, None, None]
     try:
         from scipy.linalg import expm as _scipy_expm
     except ImportError:  # scipy is optional at runtime: diagonalize instead
-        out = np.empty_like(scaled)
+        out = hnp.empty_like(scaled)
         for k in range(scaled.shape[0]):
-            evals, vecs = np.linalg.eig(scaled[k])
+            evals, vecs = hnp.linalg.eig(scaled[k])
             # Non-normal matrices can be near-defective; eig+inv then
             # returns garbage silently. Fail loud instead: scipy's Pade
             # route is the supported path for these inputs.
-            cond = np.linalg.cond(vecs)
-            if not np.isfinite(cond) or cond > 1e12:
+            cond = hnp.linalg.cond(vecs)
+            if not hnp.isfinite(cond) or cond > 1e12:
                 raise ValidationError(
                     "dense expm fallback: eigenvector matrix is "
                     f"ill-conditioned (cond ~ {cond:.1e}); install scipy "
                     "for the Pade route"
                 )
-            out[k] = (vecs * np.exp(evals)) @ np.linalg.inv(vecs)
+            out[k] = _coerce_expm_result(
+                (vecs * hnp.exp(evals)) @ hnp.linalg.inv(vecs), scaled.dtype
+            )
         return out
-    return np.stack([_scipy_expm(scaled[k]) for k in range(scaled.shape[0])])
+    return hnp.stack(
+        [
+            _coerce_expm_result(_scipy_expm(scaled[k]), scaled.dtype)
+            for k in range(scaled.shape[0])
+        ]
+    )
 
 
-def batched_expm_and_frechet(
-    hamiltonians: np.ndarray, dt: float
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def batched_expm_and_frechet(hamiltonians, dt: float):
     """Batched eigendecomposition plus the Daleckii-Krein kernel.
 
     For every Hamiltonian in the ``(n, D, D)`` stack, returns
@@ -501,40 +571,54 @@ def batched_expm_and_frechet(
     kernel is elementwise on the stacked eigenbasis, so the whole
     construction is a handful of broadcast operations.
     """
-    hs = np.asarray(hamiltonians, dtype=np.complex128)
+    xp = active()
+    hs = xp.asarray(hamiltonians, dtype=xp.cdtype)
     if hs.ndim != 3 or hs.shape[1] != hs.shape[2]:
         raise ValidationError(
             f"Hamiltonian stack must have shape (n, D, D), got {hs.shape}"
         )
-    evals, vecs = np.linalg.eigh(hs)  # (n, D), (n, D, D)
-    f = np.exp(-1j * _TWO_PI * evals * dt)  # (n, D)
-    us = (vecs * f[:, None, :]) @ vecs.conj().transpose(0, 2, 1)
+    evals, vecs = xp.eigh(hs)  # (n, D), (n, D, D)
+    f = xp.exp(
+        xp.asarray(-1j * _TWO_PI * xp.to_host(evals) * dt, dtype=xp.cdtype)
+    )  # (n, D)
+    us = xp.matmul(vecs * f[:, None, :], xp.adjoint(vecs))
     lam = evals[:, :, None] - evals[:, None, :]  # (n, D, D)
     df = f[:, :, None] - f[:, None, :]
-    with np.errstate(divide="ignore", invalid="ignore"):
-        gamma = np.where(np.abs(lam) > 1e-12, df / lam, 0.0)
+    with xp.errstate(divide="ignore", invalid="ignore"):
+        gamma = xp.where(xp.abs(lam) > 1e-12, df / lam, 0.0)
     # Fill the (near-)degenerate entries with the derivative f'(lambda).
     diag = -1j * _TWO_PI * dt * f
-    near = np.abs(lam) <= 1e-12
-    gamma = np.where(near, 0.5 * (diag[:, :, None] + diag[:, None, :]), gamma)
+    near = xp.abs(lam) <= 1e-12
+    gamma = xp.where(
+        near, 0.5 * (diag[:, :, None] + diag[:, None, :]), gamma
+    )
     return us, vecs, gamma
 
 
-def hamiltonian_fingerprint(hamiltonian: np.ndarray) -> bytes:
-    """Content digest of a Hamiltonian, for propagator-cache keys."""
-    h = np.ascontiguousarray(hamiltonian, dtype=np.complex128)
+def hamiltonian_fingerprint(hamiltonian) -> bytes:
+    """Content digest of a Hamiltonian, for propagator-cache keys.
+
+    The digest covers the raw bytes, the shape, **and the dtype**: a
+    complex64 and a complex128 Hamiltonian never alias to one cache
+    entry, even where truncated byte prefixes would collide.
+    """
+    h = hnp.ascontiguousarray(active().to_host(hamiltonian))
     digest = hashlib.blake2b(h.tobytes(), digest_size=16)
     digest.update(str(h.shape).encode())
+    digest.update(str(h.dtype).encode())
     return digest.digest()
 
 
 class PropagatorCache:
     """Bounded LRU cache of slice propagators.
 
-    Keys are ``(H fingerprint, dt, steps)``; values are the exact
-    propagators ``exp(-2*pi*i*H*dt*steps)``. Repeated slices — flat-top
-    pulses, parameter sweeps re-visiting the same amplitudes, drift
-    segments between pulses — skip the eigendecomposition entirely.
+    Keys are ``(backend/dtype, H fingerprint, dt, steps)``; values are
+    the exact propagators ``exp(-2*pi*i*H*dt*steps)`` as arrays of the
+    backend that computed them. Repeated slices — flat-top pulses,
+    parameter sweeps re-visiting the same amplitudes, drift segments
+    between pulses — skip the eigendecomposition entirely. Entries
+    namespace on the active :attr:`repro.xp.Active.spec`, so a
+    complex64 scope never serves (or poisons) complex128 results.
     Thread-safe; one instance can be shared across executors.
 
     :meth:`propagator` returns the stored arrays themselves, frozen
@@ -556,7 +640,7 @@ class PropagatorCache:
                 f"max_entries must be >= 1, got {max_entries}"
             )
         self.max_entries = max_entries
-        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats(
             self.__len__,
@@ -596,7 +680,12 @@ class PropagatorCache:
             return self.stats["hits"] / total if total else 0.0
 
     def _key(
-        self, fingerprint: bytes, dt: float, steps: int, tag: str = ""
+        self,
+        fingerprint: bytes,
+        dt: float,
+        steps: int,
+        tag: str = "",
+        spec: str | None = None,
     ) -> tuple:
         # Non-integral steps would compute one propagator but file it
         # under the truncated key, poisoning later integer lookups.
@@ -605,21 +694,27 @@ class PropagatorCache:
         # The tag namespaces entries produced by different compute
         # functions (e.g. Lindblad superoperator propagators keyed on
         # the same Hamiltonian fingerprints) so they cannot collide
-        # with plain unitary propagators in a shared cache.
-        return (tag, fingerprint, float(dt), int(steps))
+        # with plain unitary propagators in a shared cache; the
+        # backend/dtype spec namespaces entries per working precision
+        # and device placement.
+        if spec is None:
+            spec = active().spec
+        return (tag, spec, fingerprint, float(dt), int(steps))
 
     def propagator(
         self,
-        hamiltonian: np.ndarray,
+        hamiltonian,
         dt: float,
         steps: int = 1,
         *,
         fingerprint: bytes | None = None,
-    ) -> np.ndarray:
+    ):
         """Cached equivalent of :func:`step_propagator`."""
+        xp = active()
+        h = xp.asarray(hamiltonian, dtype=xp.cdtype)
         if fingerprint is None:
-            fingerprint = hamiltonian_fingerprint(hamiltonian)
-        key = self._key(fingerprint, dt, steps)
+            fingerprint = hamiltonian_fingerprint(h)
+        key = self._key(fingerprint, dt, steps, spec=xp.spec)
         with self._lock:
             u = self._entries.get(key)
             if u is not None:
@@ -627,24 +722,24 @@ class PropagatorCache:
                 self.stats["hits"] += 1
                 return u
             self.stats["misses"] += 1
-        u = step_propagator(hamiltonian, dt, steps)
-        self._store(key, u)
+        u = step_propagator(h, dt, steps)
+        self._store(key, xp.freeze(u))
         return u
 
     def propagators(
         self,
-        hamiltonians: np.ndarray,
+        hamiltonians,
         dt: float,
-        steps: int | np.ndarray = 1,
+        steps=1,
         *,
         compute=None,
         tag: str = "",
-    ) -> np.ndarray:
+    ):
         """Cached equivalent of :func:`batched_propagators`.
 
-        Looks every slice up by ``(fingerprint, dt, steps)``; the
-        misses are deduplicated within the batch, diagonalized with a
-        single batched call, and inserted.
+        Looks every slice up by ``(backend/dtype, fingerprint, dt,
+        steps)``; the misses are deduplicated within the batch,
+        diagonalized with a single batched call, and inserted.
 
         *compute* overrides the batched computation for the misses —
         any ``(hamiltonians, dt, steps) -> stack`` callable; the
@@ -654,34 +749,41 @@ class PropagatorCache:
         those entries (the key stays the *Hamiltonian* fingerprint,
         which is cheaper to hash than the ``D^2 x D^2`` superoperator).
         """
-        hs = np.asarray(hamiltonians, dtype=np.complex128)
+        xp = active()
+        hs = xp.asarray(hamiltonians, dtype=xp.cdtype)
         if hs.ndim != 3 or hs.shape[1] != hs.shape[2]:
             raise ValidationError(
                 f"Hamiltonian stack must have shape (n, D, D), got {hs.shape}"
             )
         n = hs.shape[0]
         if n == 0:
-            return hs.copy()
-        steps_in = np.asarray(steps)
-        if np.any(steps_in != steps_in.astype(np.int64)):
+            return xp.copy(hs)
+        steps_in = hnp.asarray(steps)
+        if hnp.any(steps_in != steps_in.astype(hnp.int64)):
             raise ValidationError(f"steps must be integral, got {steps}")
-        steps_arr = np.broadcast_to(steps_in.astype(np.int64), (n,))
+        steps_arr = hnp.broadcast_to(steps_in.astype(hnp.int64), (n,))
         # Consecutive identical (H, steps) slices — flat-top pulses,
         # segment ansatzes — collapse to one representative per run in
         # a single vectorized comparison pass; non-adjacent repeats
         # collapse through the shared cache key. Only representatives
         # are hashed, and the results scatter back with one gather.
-        changed = np.any(hs[1:] != hs[:-1], axis=(1, 2)) | (
+        changed = xp.to_host(xp.any(hs[1:] != hs[:-1], axis=(1, 2))) | (
             steps_arr[1:] != steps_arr[:-1]
         )
-        inverse = np.concatenate(([0], np.cumsum(changed)))
-        reps = np.concatenate(([0], np.nonzero(changed)[0] + 1))
-        run_sizes = np.diff(np.concatenate((reps, [n])))
+        inverse = hnp.concatenate(([0], hnp.cumsum(changed)))
+        reps = hnp.concatenate(([0], hnp.nonzero(changed)[0] + 1))
+        run_sizes = hnp.diff(hnp.concatenate((reps, [n])))
         keys = [
-            self._key(hamiltonian_fingerprint(hs[k]), dt, steps_arr[k], tag)
+            self._key(
+                hamiltonian_fingerprint(hs[k]),
+                dt,
+                steps_arr[k],
+                tag,
+                spec=xp.spec,
+            )
             for k in reps
         ]
-        run_props: list[np.ndarray | None] = [None] * len(reps)
+        run_props: list = [None] * len(reps)
         miss_runs: OrderedDict[tuple, list[int]] = OrderedDict()
         hit_count = miss_count = 0
         with self._lock:
@@ -716,17 +818,17 @@ class PropagatorCache:
                     # Copy before storing: a row view would pin the whole
                     # (n_miss, D, D) batch in memory for the entry's LRU
                     # lifetime.
-                    u = u.copy()
+                    u = xp.freeze(xp.copy(u))
                     for i in runs:
                         run_props[i] = u
                     self._store(keys[runs[0]], u)
-            return np.stack(run_props)[inverse]
+            return xp.stack(run_props)[inverse]
 
-    def _store(self, key: tuple, u: np.ndarray) -> None:
+    def _store(self, key: tuple, u) -> None:
         # Lookups hand out the stored array itself (no copy on the hot
-        # path); freezing it turns an accidental in-place edit into an
-        # immediate error instead of silent cache poisoning.
-        u.flags.writeable = False
+        # path); the caller freezes it first (where the backend supports
+        # it) so an accidental in-place edit becomes an immediate error
+        # instead of silent cache poisoning.
         with self._lock:
             self._entries[key] = u
             self._entries.move_to_end(key)
@@ -736,13 +838,13 @@ class PropagatorCache:
 
 
 def propagator_sequence(
-    drift: np.ndarray,
-    control_ops: Sequence[np.ndarray],
-    controls: np.ndarray,
+    drift,
+    control_ops: Sequence,
+    controls,
     dt: float,
     *,
     cache: PropagatorCache | None = None,
-) -> list[np.ndarray]:
+) -> list:
     """Per-slice propagators for GRAPE-style piecewise-constant control.
 
     ``H_k = drift + sum_j controls[k, j] * control_ops[j]`` (all in Hz).
@@ -769,33 +871,37 @@ def propagator_sequence(
 
 
 def evolve_piecewise(
-    drift: np.ndarray,
-    control_ops: Sequence[np.ndarray],
-    controls: np.ndarray,
+    drift,
+    control_ops: Sequence,
+    controls,
     dt: float,
-    state: np.ndarray | None = None,
+    state=None,
     *,
     cache: PropagatorCache | None = None,
-) -> np.ndarray:
+):
     """Total propagator (or final state) of a piecewise-constant control.
 
     When *state* is given, the propagators are applied to it step by
     step (cheaper than accumulating the full unitary for large D).
     """
+    xp = active()
     steps = propagator_sequence(drift, control_ops, controls, dt, cache=cache)
     if state is not None:
-        psi = np.asarray(state, dtype=np.complex128)
+        psi = xp.asarray(state, dtype=xp.cdtype)
         for u in steps:
             psi = evolve_unitary(u, psi)
         return psi
-    total = np.eye(drift.shape[0], dtype=np.complex128)
+    total = xp.eye(hnp.asarray(drift).shape[0], dtype=xp.cdtype)
     for u in steps:
-        total = u @ total
+        total = xp.matmul(u, total)
     return total
 
 
-def segment_runs(samples: np.ndarray, decimals: int = 12) -> list[tuple[int, int]]:
+def segment_runs(samples, decimals: int = 12) -> list[tuple[int, int]]:
     """Split a per-sample drive matrix into runs of identical rows.
+
+    Host-resident metadata pass (the drive matrices are synthesized on
+    the host; only run representatives reach the device backend).
 
     Parameters
     ----------
@@ -810,8 +916,10 @@ def segment_runs(samples: np.ndarray, decimals: int = 12) -> list[tuple[int, int
     n = samples.shape[0]
     if n == 0:
         return []
-    rounded = np.round(samples, decimals)
-    changed = np.any(rounded[1:] != rounded[:-1], axis=tuple(range(1, rounded.ndim)))
-    starts = np.concatenate(([0], np.nonzero(changed)[0] + 1))
-    ends = np.concatenate((starts[1:], [n]))
+    rounded = hnp.round(samples, decimals)
+    changed = hnp.any(
+        rounded[1:] != rounded[:-1], axis=tuple(range(1, rounded.ndim))
+    )
+    starts = hnp.concatenate(([0], hnp.nonzero(changed)[0] + 1))
+    ends = hnp.concatenate((starts[1:], [n]))
     return [(int(s), int(e - s)) for s, e in zip(starts, ends)]

@@ -76,6 +76,7 @@ from repro.sim.open_system import (
     dephasing_rate,
 )
 from repro.sim.operators import basis_state, identity
+from repro.xp import active, use_backend
 
 _TWO_PI = 2.0 * math.pi
 
@@ -244,14 +245,22 @@ class ScheduleExecutor:
         rng: np.random.Generator | None = None,
         seed: int | None = None,
         initial_state: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> ExecutionResult:
-        """Run *schedule* and sample *shots* measurement outcomes."""
+        """Run *schedule* and sample *shots* measurement outcomes.
+
+        *backend* scopes the evolution to an array backend/dtype spec
+        (``"numpy/complex64"``, ``"cupy"``, ...; see
+        :func:`repro.xp.use_backend`); ``None`` keeps the ambient
+        scope. Measurement always runs on the host.
+        """
         if rng is None:
             rng = np.random.default_rng(seed)
         use_dm = self.model.has_decoherence()
-        state = self._initial_state(initial_state, use_dm)
-        if schedule.duration > 0:
-            state = self._evolve(schedule, state, use_dm, rng)
+        with use_backend(backend):
+            state = self._initial_state(initial_state, use_dm)
+            if schedule.duration > 0:
+                state = self._evolve(schedule, state, use_dm, rng)
         return self._finalize(schedule, state, shots, rng)
 
     def execute_batch(
@@ -261,6 +270,7 @@ class ScheduleExecutor:
         shots: int = 1024,
         seed: int | None = None,
         initial_state: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> list[ExecutionResult]:
         """Run many schedules through one batched evolution pass.
 
@@ -287,6 +297,11 @@ class ScheduleExecutor:
         every result carries a shared ``metadata["profile"]`` summary
         of the batch: stack sizes, Hilbert dimension, squaring levels,
         cache dedup ratio, and GEMM wall-time.
+
+        *backend* scopes every evolution kernel of the batch to an
+        array backend/dtype spec (see :func:`repro.xp.use_backend`);
+        the batch's stacks then stay on that backend until the
+        measurement tail pulls the final states to the host.
         """
         schedules = list(schedules)
         if not schedules:
@@ -297,9 +312,10 @@ class ScheduleExecutor:
         ):
             prev = _profile.begin_collect() if profiling else None
             try:
-                results = self._execute_batch_inner(
-                    schedules, shots, seed, initial_state
-                )
+                with use_backend(backend):
+                    results = self._execute_batch_inner(
+                        schedules, shots, seed, initial_state
+                    )
             finally:
                 records = _profile.end_collect(prev) if profiling else None
         if records is not None:
@@ -549,10 +565,12 @@ class ScheduleExecutor:
         stack position-major — so runs the members share (state prep,
         fixed segments) sit consecutively and collapse to one cache
         entry — and the states advance with one batched matmul per run
-        position.
+        position on the active array backend; only the final state
+        stack comes back to the host for measurement.
         """
         with span("synthesize", family=True, points=len(schedules)):
             drives, channel_names = self._synthesize_drives_family(schedules)
+        xp = active()
         k_members, duration, _ = drives.shape
         changed = np.any(drives[:, 1:, :] != drives[:, :-1, :], axis=(0, 2))
         starts = np.concatenate(([0], np.nonzero(changed)[0] + 1))
@@ -566,7 +584,7 @@ class ScheduleExecutor:
         )
         steps_t = np.repeat(lengths.astype(np.int64), k_members)
         zero_t = ~np.any(rows_t != 0, axis=1)
-        us = np.empty((n_runs * k_members, dim, dim), dtype=np.complex128)
+        us = xp.empty((n_runs * k_members, dim, dim), dtype=xp.cdtype)
         driven = ~zero_t
         if np.any(driven):
             hs = self._run_hamiltonians_stack(rows_t[driven], channel_names)
@@ -581,13 +599,15 @@ class ScheduleExecutor:
                 )
         us = us.reshape(n_runs, k_members, dim, dim)
         psi0 = self._initial_state(initial_state, use_dm=False)
-        states = np.repeat(psi0[None, ...], k_members, axis=0)
+        states = xp.asarray(
+            np.repeat(psi0[None, ...], k_members, axis=0), dtype=xp.cdtype
+        )
         for r in range(n_runs):
             if states.ndim == 2:  # stacked kets
-                states = np.einsum("kij,kj->ki", us[r], states)
+                states = xp.einsum("kij,kj->ki", us[r], states)
             else:  # stacked matrices (operator-valued initial state)
-                states = np.matmul(us[r], states)
-        return states
+                states = xp.matmul(us[r], states)
+        return xp.to_host(states)
 
     def _batch_evolve_closed(
         self,
@@ -631,6 +651,7 @@ class ScheduleExecutor:
                             )
                             driven_steps.append(length)
                 plans.append(plan)
+        xp = active()
         if driven_hs:
             us = self.propagator_cache.propagators(
                 np.stack(driven_hs),
@@ -641,11 +662,14 @@ class ScheduleExecutor:
             us = np.empty((0,))
         states: list[np.ndarray] = []
         for plan in plans:
-            state = self._initial_state(initial_state, use_dm=False)
+            state = xp.asarray(
+                self._initial_state(initial_state, use_dm=False),
+                dtype=xp.cdtype,
+            )
             for _, slot in plan:
                 u = drift_props[-slot - 1] if slot < 0 else us[slot]
-                state = u @ state
-            states.append(state)
+                state = xp.matmul(u, state)
+            states.append(xp.to_host(state))
         return states
 
     #: Superoperator slices materialized at once by a batched open run
@@ -677,6 +701,7 @@ class ScheduleExecutor:
             nonlocal pending, pending_slices
             if not pending:
                 return
+            xp = active()
             all_hs = [h for hs, _ in pending for h in hs]
             all_steps = [s for _, steps in pending for s in steps]
             props = engine.superpropagators(
@@ -685,10 +710,12 @@ class ScheduleExecutor:
             offset = 0
             for hs, _ in pending:
                 rho = self._initial_state(initial_state, use_dm=True)
-                vec = vectorize_density(rho)
+                vec = xp.asarray(vectorize_density(rho), dtype=xp.cdtype)
                 for k in range(offset, offset + len(hs)):
-                    vec = props[k] @ vec
-                states.append(unvectorize_density(vec, engine.dim))
+                    vec = xp.matmul(props[k], vec)
+                states.append(
+                    unvectorize_density(xp.to_host(vec), engine.dim)
+                )
                 offset += len(hs)
             pending, pending_slices = [], 0
 
@@ -859,10 +886,11 @@ class ScheduleExecutor:
         if duration == 0:
             return identity(dim)
         drives, channel_names = self._synthesize_drives(schedule)
-        total = identity(dim)
+        xp = active()
+        total = xp.asarray(identity(dim), dtype=xp.cdtype)
         for _, u in self._run_propagators(drives, channel_names):
-            total = u @ total
-        return total
+            total = xp.matmul(u, total)
+        return xp.to_host(total)
 
     # ---- internals -------------------------------------------------------------
 
@@ -1020,12 +1048,20 @@ class ScheduleExecutor:
             )
             steps = np.asarray([length for _, length in runs], dtype=np.int64)
             return self.open_system.evolve(hs, steps, state, rng=rng)
+        xp = active()
+        if not use_dm:
+            state = xp.asarray(state, dtype=xp.cdtype)
         for length, u in self._run_propagators(drives, channel_names):
             if use_dm:
+                # Legacy Kraus interleave: host-resident per-run channel
+                # application, so pull each propagator to the host.
+                u = xp.to_host(u)
                 state = u @ state @ u.conj().T
                 state = self._apply_decoherence(state, length)
             else:
-                state = u @ state
+                state = xp.matmul(u, state)
+        if not use_dm:
+            state = xp.to_host(state)
         return state
 
     def _apply_decoherence(self, rho: np.ndarray, steps: int) -> np.ndarray:

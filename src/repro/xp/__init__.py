@@ -1,0 +1,45 @@
+"""repro.xp — the pluggable array-backend seam (backend × dtype).
+
+See :mod:`repro.xp.backend` for the full story; the short version:
+
+    from repro.xp import use_backend
+
+    with use_backend("numpy", dtype="complex64"):
+        result = executor.execute_batch(schedules)
+
+The numpy/complex128 default is bitwise-identical to the pre-seam
+engines; other (backend, dtype) combinations trade precision or
+placement for speed under their policy's parity tolerance.
+"""
+
+from repro.xp.backend import (
+    POLICIES,
+    PROTOCOL_OPS,
+    Active,
+    ArrayBackend,
+    DtypePolicy,
+    NumpyBackend,
+    active,
+    available_backends,
+    hostnp,
+    register_backend,
+    resolve_backend,
+    resolve_policy,
+    use_backend,
+)
+
+__all__ = [
+    "Active",
+    "ArrayBackend",
+    "DtypePolicy",
+    "NumpyBackend",
+    "POLICIES",
+    "PROTOCOL_OPS",
+    "active",
+    "available_backends",
+    "hostnp",
+    "register_backend",
+    "resolve_backend",
+    "resolve_policy",
+    "use_backend",
+]

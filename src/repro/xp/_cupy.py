@@ -1,0 +1,76 @@
+"""CuPy array backend — resolved lazily, requires a CUDA-capable cupy.
+
+Registered under ``"cupy"`` in :mod:`repro.xp.backend`; nothing here
+imports at package-import time, so machines without cupy pay nothing
+until a caller actually selects the backend (and then get a clear
+:class:`~repro.errors.ValidationError` instead of a deep ImportError).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+try:  # resolution-time gate: the registry imports this module lazily
+    import cupy as _cp
+except ImportError:  # pragma: no cover - exercised only without cupy
+    _cp = None
+
+
+class CupyBackend:
+    """GPU backend over cupy; the expm stack is pure batched GEMMs."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        if _cp is None:
+            raise ValidationError(
+                "the 'cupy' array backend requires cupy (with a CUDA "
+                "runtime); it is not installed in this environment"
+            )
+        cp = _cp
+        self.asarray = cp.asarray
+        self.ascontiguousarray = cp.ascontiguousarray
+        self.arange = cp.arange
+        self.empty = cp.empty
+        self.empty_like = cp.empty_like
+        self.zeros = cp.zeros
+        self.eye = cp.eye
+        self.copy = cp.copy
+        self.stack = cp.stack
+        self.broadcast_to = cp.broadcast_to
+        self.abs = cp.abs
+        self.exp = cp.exp
+        self.conj = cp.conj
+        self.real = cp.real
+        self.multiply = cp.multiply
+        self.where = cp.where
+        self.any = cp.any
+        self.amax = cp.max
+        self.sum = cp.sum
+        self.trace = cp.trace
+        self.matmul = cp.matmul
+        self.einsum = cp.einsum
+        self.eigh = cp.linalg.eigh
+        self.solve = cp.linalg.solve
+        self.errstate = cp.errstate
+        self._cp = cp
+
+    def dtype(self, name: str) -> Any:
+        return np.dtype(name)  # cupy shares numpy's dtype objects
+
+    def adjoint(self, a: Any) -> Any:
+        return self._cp.conj(self._cp.swapaxes(a, -1, -2))
+
+    def to_device(self, a: Any, dtype: Any = None) -> Any:
+        return self._cp.asarray(a, dtype)
+
+    def to_host(self, a: Any) -> np.ndarray:
+        return self._cp.asnumpy(a)
+
+    @staticmethod
+    def freeze(a: Any) -> Any:
+        return a  # cupy arrays have no writeable flag; freezing is advisory

@@ -1,0 +1,157 @@
+"""Torch array backend — resolved lazily, requires torch.
+
+Registered under ``"torch"`` in :mod:`repro.xp.backend`. The protocol
+surface is small enough that the numpy-flavoured ops map onto torch
+with thin shims (``out=`` keywords, axis spellings, dtype objects);
+everything compute-heavy lands on ``torch.matmul``/``torch.einsum``
+batched kernels, so CUDA tensors run the same engine code unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+try:  # resolution-time gate: the registry imports this module lazily
+    import torch as _torch
+except ImportError:  # pragma: no cover - exercised only without torch
+    _torch = None
+
+
+class TorchBackend:
+    """Torch backend (CPU or CUDA via *device*)."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cuda") -> None:
+        if _torch is None:
+            raise ValidationError(
+                "the 'torch' array backend requires torch; it is not "
+                "installed in this environment"
+            )
+        self._torch = _torch
+        self._device = _torch.device(device)
+
+    def dtype(self, name: str) -> Any:
+        return {
+            "complex64": self._torch.complex64,
+            "complex128": self._torch.complex128,
+            "float32": self._torch.float32,
+            "float64": self._torch.float64,
+        }[str(name)]
+
+    # ---- construction / conversion ----------------------------------------------
+
+    def asarray(self, a: Any, dtype: Any = None) -> Any:
+        t = self._torch.as_tensor(a, device=self._device)
+        return t.to(dtype) if dtype is not None and t.dtype != dtype else t
+
+    def ascontiguousarray(self, a: Any, dtype: Any = None) -> Any:
+        return self.asarray(a, dtype).contiguous()
+
+    def arange(self, *args: Any, **kwargs: Any) -> Any:
+        return self._torch.arange(*args, device=self._device, **kwargs)
+
+    def empty(self, shape: Any, dtype: Any = None) -> Any:
+        return self._torch.empty(shape, dtype=dtype, device=self._device)
+
+    def empty_like(self, a: Any) -> Any:
+        return self._torch.empty_like(a)
+
+    def zeros(self, shape: Any, dtype: Any = None) -> Any:
+        return self._torch.zeros(shape, dtype=dtype, device=self._device)
+
+    def eye(self, n: int, dtype: Any = None) -> Any:
+        return self._torch.eye(n, dtype=dtype, device=self._device)
+
+    def copy(self, a: Any) -> Any:
+        return a.clone()
+
+    def stack(self, arrays: Any, axis: int = 0) -> Any:
+        return self._torch.stack(list(arrays), dim=axis)
+
+    def broadcast_to(self, a: Any, shape: Any) -> Any:
+        return self._torch.broadcast_to(a, tuple(shape))
+
+    # ---- elementwise / reductions ------------------------------------------------
+
+    def abs(self, a: Any, out: Any = None) -> Any:
+        return self._torch.abs(a, out=out)
+
+    def exp(self, a: Any) -> Any:
+        return self._torch.exp(a)
+
+    def conj(self, a: Any) -> Any:
+        return self._torch.conj(a).resolve_conj()
+
+    def real(self, a: Any) -> Any:
+        return self._torch.real(a)
+
+    def multiply(self, a: Any, b: Any, out: Any = None) -> Any:
+        return self._torch.mul(a, b, out=out)
+
+    def where(self, cond: Any, x: Any, y: Any) -> Any:
+        scalar = self._torch.as_tensor
+        if not self._torch.is_tensor(x):
+            x = scalar(x, device=self._device)
+        if not self._torch.is_tensor(y):
+            y = scalar(y, device=self._device)
+        return self._torch.where(cond, x, y)
+
+    def any(self, a: Any, axis: Any = None) -> Any:
+        if axis is None:
+            return self._torch.any(a)
+        if isinstance(axis, tuple):
+            return self._torch.amax(a.to(self._torch.bool), dim=axis)
+        return self._torch.any(a, dim=axis)
+
+    def amax(self, a: Any, axis: Any = None) -> Any:
+        if axis is None:
+            return self._torch.max(a)
+        return self._torch.amax(a, dim=axis)
+
+    def sum(self, a: Any, axis: Any = None) -> Any:
+        if axis is None:
+            return self._torch.sum(a)
+        return self._torch.sum(a, dim=axis)
+
+    def trace(self, a: Any, axis1: int = 0, axis2: int = 1) -> Any:
+        return self._torch.diagonal(a, dim1=axis1, dim2=axis2).sum(-1)
+
+    # ---- linear algebra ----------------------------------------------------------
+
+    def matmul(self, a: Any, b: Any, out: Any = None) -> Any:
+        return self._torch.matmul(a, b, out=out)
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        return self._torch.einsum(subscripts, *operands)
+
+    def eigh(self, a: Any) -> Any:
+        result = self._torch.linalg.eigh(a)
+        return result.eigenvalues, result.eigenvectors
+
+    def solve(self, a: Any, b: Any) -> Any:
+        return self._torch.linalg.solve(a, b)
+
+    def adjoint(self, a: Any) -> Any:
+        return self._torch.conj(a.transpose(-1, -2)).resolve_conj()
+
+    # ---- transfer / portability shims --------------------------------------------
+
+    def to_device(self, a: Any, dtype: Any = None) -> Any:
+        return self.asarray(a, dtype)
+
+    def to_host(self, a: Any) -> np.ndarray:
+        return a.detach().cpu().numpy()
+
+    @staticmethod
+    def freeze(a: Any) -> Any:
+        return a  # tensors carry no writeable flag; freezing is advisory
+
+    @staticmethod
+    def errstate(**kwargs: Any) -> Any:
+        return nullcontext()  # torch has no fp-error state machinery

@@ -1,0 +1,445 @@
+"""The array-backend seam: protocol, dtype policies, and dispatch.
+
+The batched engines (:mod:`repro.sim.evolve`,
+:mod:`repro.sim.open_system`, and the evolution paths of
+:mod:`repro.sim.executor`) are pure stacked GEMMs — exactly the
+workload GPUs and mixed precision eat. Instead of hardcoding ``np.``
+calls, they route every *device-array* operation through the small
+:data:`PROTOCOL_OPS` surface of an :class:`ArrayBackend`, selected per
+call tree with the contextvar-scoped :func:`use_backend`:
+
+    with use_backend("numpy", dtype="complex64"):
+        us = batched_propagators(hs, dt)
+
+Three pieces:
+
+* **ArrayBackend** — the ~25 array ops the engines actually use
+  (``asarray/empty/stack/einsum/matmul/eigh/solve/abs/amax/...`` plus
+  ``to_device``/``to_host`` transfer and ``freeze``/``errstate``
+  portability shims). :class:`NumpyBackend` is the reference
+  implementation; every op delegates *directly* to the corresponding
+  ``numpy`` function, so the numpy/complex128 path is bitwise
+  identical to pre-seam code. CuPy and torch backends register lazily
+  through entry-point-style ``"module:attr"`` factories and only fail
+  at resolution time when the library is absent.
+* **DtypePolicy** — a named (complex dtype, real dtype, parity
+  tolerance) triple. ``complex128`` carries the engine's 1e-10
+  equivalence contract; ``complex64`` relaxes it to 1e-5.
+* **Active / use_backend / active** — the contextvar plumbing. An
+  :class:`Active` pairs one backend with one policy, proxies protocol
+  ops, and exposes ``cdtype``/``rdtype``/``atol`` plus the
+  cache-namespace :attr:`Active.spec` (``"numpy/complex128"``) that
+  :class:`~repro.sim.evolve.PropagatorCache` keys and profile records
+  carry.
+
+Host-side metadata work (segment bookkeeping, fingerprints, RNG-driven
+trajectory sampling, scipy fallbacks) stays on :data:`hostnp` — a
+documented alias of ``numpy`` that marks the usage as deliberately
+host-resident for the ``check_backend_purity`` lint gate.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Documented escape hatch: host-resident numpy for metadata work
+#: (segment bookkeeping, fingerprint hashing, RNG sampling, scipy
+#: fallbacks). Importing numpy under this name keeps the purity gate
+#: (`benchmarks/check_backend_purity.py`) able to tell deliberate
+#: host work from accidental seam bypasses.
+hostnp = np
+
+__all__ = [
+    "ArrayBackend",
+    "Active",
+    "DtypePolicy",
+    "NumpyBackend",
+    "PROTOCOL_OPS",
+    "POLICIES",
+    "active",
+    "available_backends",
+    "hostnp",
+    "register_backend",
+    "resolve_backend",
+    "resolve_policy",
+    "use_backend",
+]
+
+
+# ---- dtype policies --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DtypePolicy:
+    """A working precision and the parity tolerance it contracts to.
+
+    *atol* is the absolute tolerance parity suites and benchmarks hold
+    results to against the complex128 reference: 1e-10 for complex128
+    (the engine's historical equivalence contract), 1e-5 for
+    complex64.
+    """
+
+    name: str
+    cname: str  #: canonical complex dtype name, e.g. "complex128"
+    rname: str  #: matching real dtype name, e.g. "float64"
+    atol: float
+
+
+POLICIES: dict[str, DtypePolicy] = {
+    "complex128": DtypePolicy("complex128", "complex128", "float64", 1e-10),
+    "complex64": DtypePolicy("complex64", "complex64", "float32", 1e-5),
+}
+#: Aliases accepted anywhere a policy name is.
+_POLICY_ALIASES = {
+    "c128": "complex128",
+    "double": "complex128",
+    "c64": "complex64",
+    "single": "complex64",
+}
+
+
+def resolve_policy(dtype: "str | DtypePolicy | None") -> DtypePolicy:
+    """The :class:`DtypePolicy` for a name/alias (default complex128)."""
+    if dtype is None:
+        return POLICIES["complex128"]
+    if isinstance(dtype, DtypePolicy):
+        return dtype
+    name = _POLICY_ALIASES.get(str(dtype), str(dtype))
+    policy = POLICIES.get(name)
+    if policy is None:
+        raise ValidationError(
+            f"unknown dtype policy {dtype!r}; available: "
+            f"{sorted(POLICIES)} (aliases {sorted(_POLICY_ALIASES)})"
+        )
+    return policy
+
+
+# ---- the protocol ----------------------------------------------------------------
+
+#: Every array op the engines may route through the seam. The
+#: StrictBackend test double rejects anything else, and the purity
+#: lint gate keeps direct ``np.`` calls out of the engine modules, so
+#: this list *is* the porting surface for a new backend.
+PROTOCOL_OPS = frozenset(
+    {
+        # construction / conversion
+        "asarray",
+        "ascontiguousarray",
+        "arange",
+        "empty",
+        "empty_like",
+        "zeros",
+        "eye",
+        "copy",
+        "stack",
+        "broadcast_to",
+        # elementwise / reductions
+        "abs",
+        "exp",
+        "conj",
+        "real",
+        "multiply",
+        "where",
+        "any",
+        "amax",
+        "sum",
+        "trace",
+        # linear algebra
+        "matmul",
+        "einsum",
+        "eigh",
+        "solve",
+        "adjoint",
+        # transfer / portability shims
+        "to_device",
+        "to_host",
+        "freeze",
+        "errstate",
+        "dtype",
+    }
+)
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """Structural protocol of a pluggable array backend.
+
+    Implementations provide the :data:`PROTOCOL_OPS` as attributes
+    (methods or bound functions) plus a ``name``. Semantics follow
+    numpy; ``adjoint`` is the conjugate transpose of the last two
+    axes, ``to_device``/``to_host`` move arrays across the host
+    boundary (identity for numpy), ``freeze`` best-effort marks an
+    array read-only, and ``errstate`` is a context manager matching
+    ``np.errstate`` (a null context where the concept is absent).
+    """
+
+    name: str
+
+    def asarray(self, a: Any, dtype: Any = None) -> Any: ...
+
+    def to_host(self, a: Any) -> np.ndarray: ...
+
+
+class NumpyBackend:
+    """The reference backend: every op *is* the numpy function.
+
+    Direct delegation (no wrappers on the math ops) is what makes the
+    numpy/complex128 path bitwise identical to the pre-seam engines —
+    the same C loops run in the same order on the same buffers.
+    """
+
+    name = "numpy"
+
+    asarray = staticmethod(np.asarray)
+    ascontiguousarray = staticmethod(np.ascontiguousarray)
+    arange = staticmethod(np.arange)
+    empty = staticmethod(np.empty)
+    empty_like = staticmethod(np.empty_like)
+    zeros = staticmethod(np.zeros)
+    eye = staticmethod(np.eye)
+    copy = staticmethod(np.copy)
+    stack = staticmethod(np.stack)
+    broadcast_to = staticmethod(np.broadcast_to)
+
+    abs = staticmethod(np.abs)
+    exp = staticmethod(np.exp)
+    conj = staticmethod(np.conj)
+    real = staticmethod(np.real)
+    multiply = staticmethod(np.multiply)
+    where = staticmethod(np.where)
+    any = staticmethod(np.any)
+    amax = staticmethod(np.max)
+    sum = staticmethod(np.sum)
+    trace = staticmethod(np.trace)
+
+    matmul = staticmethod(np.matmul)
+    einsum = staticmethod(np.einsum)
+    eigh = staticmethod(np.linalg.eigh)
+    solve = staticmethod(np.linalg.solve)
+    errstate = staticmethod(np.errstate)
+
+    @staticmethod
+    def dtype(name: str) -> np.dtype:
+        return np.dtype(name)
+
+    @staticmethod
+    def adjoint(a: np.ndarray) -> np.ndarray:
+        """Conjugate transpose over the last two axes.
+
+        Conjugate first, then a stride-swapped view — the exact
+        ``a.conj().transpose(..., -1, -2)`` idiom the pre-seam engines
+        used, preserving the memory layout BLAS sees (and therefore
+        bitwise-identical matmul results).
+        """
+        return np.swapaxes(np.conj(a), -1, -2)
+
+    @staticmethod
+    def to_device(a: Any, dtype: Any = None) -> np.ndarray:
+        return np.asarray(a, dtype)
+
+    @staticmethod
+    def to_host(a: Any) -> np.ndarray:
+        return np.asarray(a)
+
+    @staticmethod
+    def freeze(a: np.ndarray) -> np.ndarray:
+        a.flags.writeable = False
+        return a
+
+
+# ---- registry --------------------------------------------------------------------
+
+#: Entry-point-style lazy factories: name -> "module:attr" (or a
+#: callable). Nothing imports cupy/torch until a caller actually asks
+#: for that backend, so the registry costs nothing on machines without
+#: the libraries.
+_FACTORIES: dict[str, "str | Callable[[], Any]"] = {
+    "numpy": "repro.xp.backend:NumpyBackend",
+    "cupy": "repro.xp._cupy:CupyBackend",
+    "torch": "repro.xp._torch:TorchBackend",
+}
+_INSTANCES: dict[str, Any] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(name: str, factory: "str | Callable[[], Any]") -> None:
+    """Register (or replace) a lazy backend factory under *name*.
+
+    *factory* is a ``"module:attr"`` entry-point string or a zero-arg
+    callable returning a backend instance/class.
+    """
+    with _REGISTRY_LOCK:
+        _FACTORIES[str(name)] = factory
+        _INSTANCES.pop(str(name), None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names (registration, not importability)."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_FACTORIES))
+
+
+def resolve_backend(backend: Any = None) -> Any:
+    """A backend instance for a name, factory result, or passthrough.
+
+    Strings resolve through the lazy registry (the import happens
+    here, and an unavailable library raises a
+    :class:`~repro.errors.ValidationError` naming it); anything
+    already exposing the protocol surface passes through untouched,
+    so tests can hand in doubles like
+    :class:`repro.xp.testing.StrictBackend`.
+    """
+    if backend is None:
+        return _default_active().backend
+    if isinstance(backend, str):
+        name = backend
+        with _REGISTRY_LOCK:
+            inst = _INSTANCES.get(name)
+            factory = _FACTORIES.get(name)
+        if inst is not None:
+            return inst
+        if factory is None:
+            raise ValidationError(
+                f"unknown array backend {name!r}; registered: "
+                f"{sorted(_FACTORIES)}"
+            )
+        if isinstance(factory, str):
+            module_name, _, attr = factory.partition(":")
+            try:
+                obj = getattr(importlib.import_module(module_name), attr)
+            except ImportError as exc:
+                raise ValidationError(
+                    f"array backend {name!r} is registered but its "
+                    f"implementation could not be imported: {exc}"
+                ) from exc
+        else:
+            obj = factory()
+        inst = obj() if isinstance(obj, type) else obj
+        with _REGISTRY_LOCK:
+            _INSTANCES[name] = inst
+        return inst
+    if isinstance(backend, Active):
+        return backend.backend
+    if hasattr(backend, "asarray") and hasattr(backend, "to_host"):
+        return backend
+    raise ValidationError(
+        f"cannot resolve {backend!r} to an array backend: pass a "
+        "registered name or an object implementing the ArrayBackend "
+        "protocol"
+    )
+
+
+# ---- the active context ----------------------------------------------------------
+
+
+class Active:
+    """One backend paired with one dtype policy — what engines see.
+
+    Protocol ops proxy to the backend (and *only* protocol ops:
+    reaching for anything outside :data:`PROTOCOL_OPS` raises, so a
+    seam bypass fails on every backend, not just under the strict test
+    double). Resolved ops are cached onto the instance, keeping the
+    hot-path attribute cost at one plain lookup.
+    """
+
+    def __init__(self, backend: Any, policy: DtypePolicy) -> None:
+        self.backend = backend
+        self.policy = policy
+        self.cdtype = backend.dtype(policy.cname)
+        self.rdtype = backend.dtype(policy.rname)
+
+    @property
+    def name(self) -> str:
+        return self.backend.name
+
+    @property
+    def atol(self) -> float:
+        return self.policy.atol
+
+    @property
+    def spec(self) -> str:
+        """Cache/metric namespace: ``"<backend>/<dtype>"``."""
+        return f"{self.backend.name}/{self.policy.name}"
+
+    def __getattr__(self, op: str) -> Any:
+        if op.startswith("_") or op not in PROTOCOL_OPS:
+            raise AttributeError(
+                f"{op!r} is not part of the ArrayBackend protocol; "
+                "route host-side metadata work through repro.xp.hostnp "
+                "or extend PROTOCOL_OPS deliberately"
+            )
+        fn = getattr(self.backend, op)
+        self.__dict__[op] = fn  # cache: later lookups skip __getattr__
+        return fn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Active({self.spec})"
+
+
+_ACTIVE: ContextVar[Active | None] = ContextVar("repro_xp_active", default=None)
+_DEFAULT: Active | None = None
+
+
+def _default_active() -> Active:
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Active(NumpyBackend(), POLICIES["complex128"])
+        with _REGISTRY_LOCK:
+            _INSTANCES.setdefault("numpy", _DEFAULT.backend)
+    return _DEFAULT
+
+
+def active() -> Active:
+    """The :class:`Active` backend/policy of the current context.
+
+    Defaults to numpy/complex128 — the bitwise-compatible reference —
+    when no :func:`use_backend` scope is open.
+    """
+    current = _ACTIVE.get()
+    return current if current is not None else _default_active()
+
+
+@contextmanager
+def use_backend(
+    backend: Any = None, *, dtype: "str | DtypePolicy | None" = None
+) -> Iterator[Active]:
+    """Scope the active backend (and/or dtype policy) to a ``with`` block.
+
+    *backend* is a registered name (``"numpy"``, ``"cupy"``,
+    ``"torch"``), a combined ``"name/dtype"`` spec (the serialized
+    form job metadata and cache keys carry), a backend instance, an
+    :class:`Active`, or ``None`` to keep the current backend. *dtype*
+    selects the :class:`DtypePolicy` and overrides a spec suffix.
+    Scopes nest; the previous context is restored on exit, including
+    across exceptions. Thread- and task-safe (contextvars).
+    """
+    current = active()
+    chosen_backend = current.backend
+    chosen_policy = current.policy
+    if isinstance(backend, Active):
+        chosen_backend, chosen_policy = backend.backend, backend.policy
+    elif isinstance(backend, str):
+        name, _, suffix = backend.partition("/")
+        if name:
+            chosen_backend = resolve_backend(name)
+        if suffix:
+            chosen_policy = resolve_policy(suffix)
+    elif backend is not None:
+        chosen_backend = resolve_backend(backend)
+    if dtype is not None:
+        chosen_policy = resolve_policy(dtype)
+    scope = Active(chosen_backend, chosen_policy)
+    token = _ACTIVE.set(scope)
+    try:
+        yield scope
+    finally:
+        _ACTIVE.reset(token)

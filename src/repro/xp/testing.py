@@ -1,0 +1,53 @@
+"""Test doubles for the array-backend seam.
+
+:class:`StrictBackend` wraps the numpy reference backend, records every
+protocol op invoked, and *rejects* any attribute outside
+:data:`~repro.xp.backend.PROTOCOL_OPS` — running the engine parity
+suites under it proves the hot paths never bypass the seam (CI does
+exactly that with ``REPRO_XP_STRICT=1``; see ``tests/conftest.py``).
+Results are numerically identical to the numpy backend, so existing
+assertions hold unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.xp.backend import PROTOCOL_OPS, NumpyBackend
+
+
+class StrictBackend:
+    """Numpy-delegating backend that records ops and rejects bypasses."""
+
+    def __init__(self) -> None:
+        self.name = "strict-numpy"
+        self.calls: list[str] = []
+        self._inner = NumpyBackend()
+        for op in PROTOCOL_OPS:
+            setattr(self, op, self._record(op))
+
+    def _record(self, op: str):
+        inner = getattr(self._inner, op)
+        calls = self.calls
+
+        def recorded(*args: Any, **kwargs: Any) -> Any:
+            calls.append(op)
+            return inner(*args, **kwargs)
+
+        recorded.__name__ = op
+        return recorded
+
+    def __getattr__(self, op: str) -> Any:
+        # Only reached for attributes not set in __init__ — i.e. every
+        # non-protocol op. Fail loud: this is the seam-bypass detector.
+        raise AttributeError(
+            f"StrictBackend: {op!r} is not in the ArrayBackend protocol "
+            "— the engine bypassed the backend seam"
+        )
+
+    def ops_used(self) -> set[str]:
+        """Distinct protocol ops invoked so far."""
+        return set(self.calls)
+
+    def reset(self) -> None:
+        self.calls.clear()
