@@ -15,6 +15,10 @@ A baseline value is either a bare number (a floor: fail when the
 measured value drops below it) or an object with ``min``/``max``
 bounds — ``{"max": 2.0}`` gates an overhead metric that must stay
 *under* its ceiling (e.g. ``obs_overhead.disabled_overhead_pct``).
+An object may also carry ``"optional": true`` for metrics the
+benchmark only emits when the runner qualifies (e.g. the multi-process
+``cluster_speedup`` needs >= 4 cores): a missing optional metric is
+skipped, but when present its bounds apply in full.
 
 Usage:
 
@@ -43,8 +47,15 @@ def check(baselines_path: str, artifacts_dir: str) -> int:
             artifact = json.load(fh)
         for metric, spec in sorted(floors.items()):
             value = artifact.get(metric)
+            optional = isinstance(spec, dict) and spec.get("optional")
             if value is None:
-                failures.append(f"{bench}.{metric}: not in artifact")
+                if optional:
+                    print(
+                        f"{bench:<24} {metric:<18} "
+                        f"{'—':>10}  (optional, not emitted)  skipped"
+                    )
+                else:
+                    failures.append(f"{bench}.{metric}: not in artifact")
                 continue
             if isinstance(spec, dict):
                 floor = spec.get("min")

@@ -207,9 +207,15 @@ class Executable:
         *,
         params: Mapping[str, float] | None = None,
     ) -> "Executable":
-        """Adapter-normalize *program* for *target* (no compilation yet)."""
+        """Adapter-normalize *program* for *target* (no compilation yet).
+
+        Detached service targets skip local normalization — the raw
+        program travels with the request and the serving side runs the
+        adapter + compile pipeline.
+        """
         executable = cls(program, target, params=params)
-        executable._ensure_payload()
+        if not target.is_detached:
+            executable._ensure_payload()
         return executable
 
     def compile(self) -> "Executable":
@@ -217,8 +223,12 @@ class Executable:
 
         A parametric program with incomplete bindings compiles its
         schedule template instead of a concrete artifact; the artifact
-        materializes at the first :meth:`bind`.
+        materializes at the first :meth:`bind`.  Detached service
+        targets (cluster/HTTP) compile service-side, so this is a
+        no-op for them.
         """
+        if self.target.is_detached:
+            return self
         self._ensure_payload()
         missing = set(self.program.parameters) - set(self.params)
         if missing:
@@ -239,6 +249,8 @@ class Executable:
         matching what the per-call APIs always did by re-running the
         adapter per submission.
         """
+        if self.target.is_detached:
+            return  # no local calibration view; service-side cache rules
         state = self.target.compiler.device_state_key(
             self.target.compile_device
         )
@@ -409,7 +421,7 @@ class Executable:
         path matches exactly (the same frequency-range check
         legalization would apply).
         """
-        if not self.program.is_parametric:
+        if not self.program.is_parametric or self.target.is_detached:
             return None
         self._ensure_payload()
         template = self._ensure_template()
@@ -444,6 +456,12 @@ class Executable:
             merged.update({str(k): float(v) for k, v in dict(params).items()})
         if kwargs:
             merged.update({k: float(v) for k, v in kwargs.items()})
+        if self.target.is_detached:
+            # Bindings ride the request's scalar_args; the serving
+            # side compiles (and caches) the bound point.
+            return Executable(
+                self.program, self.target, params=merged, backend=self.backend
+            )
         self._ensure_payload()
         if self.program.is_parametric:
             self._ensure_template()  # built once, shared by every bind
@@ -488,12 +506,12 @@ class Executable:
         with span(
             "run", device=self.target.device_name, shots=shots
         ):
-            compiled = self._ensure_compiled()
             if self.target.is_async:
                 ticket = self.run_async(
                     shots=shots, seed=seed, metadata=metadata
                 )
                 return ticket.result(timeout)
+            compiled = self._ensure_compiled()
             timings = dict(self._timings)
             if self.target.direct and not self.target.is_remote:
                 with span("dispatch", mode="direct"):
@@ -525,7 +543,19 @@ class Executable:
                 "run_async needs a service target; build it with "
                 "Target.from_service(service, device_name)"
             )
-        self._ensure_compiled()
+        if self.target.is_detached:
+            # Cluster/HTTP transports compile on the serving side; the
+            # request ships the raw program plus scalar bindings.
+            if not self.is_bound:
+                missing = sorted(
+                    set(self.program.parameters) - set(self.params)
+                )
+                raise ValidationError(
+                    f"executable has unbound parameters {missing}; "
+                    "call bind() before run()"
+                )
+        else:
+            self._ensure_compiled()
         return service._admit_request(
             self._as_request(shots, seed, metadata), block=block
         )

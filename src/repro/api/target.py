@@ -94,8 +94,24 @@ class Target:
 
     @classmethod
     def from_service(cls, service: Any, device_name: str) -> "Target":
-        """An asynchronous target dispatching through *service*."""
-        return cls(service.client, device_name, service=service)
+        """An asynchronous target dispatching through *service*.
+
+        *service* may be a :class:`~repro.serving.service.PulseService`,
+        a :class:`~repro.serving.cluster.ClusterService`, a connected
+        :class:`~repro.serving.connect.ServiceClient`, or an
+        ``http(s)://`` address of a running front-end (resolved via
+        :func:`repro.serving.connect`).  Transports without a local
+        client (cluster, HTTP) produce a *detached* target: requests
+        carry the raw program and scalar args, and compilation happens
+        service-side against the service's own compile cache.
+        """
+        if isinstance(service, str):
+            from repro.serving.connect import connect
+
+            service = connect(service)
+        return cls(
+            getattr(service, "client", None), device_name, service=service
+        )
 
     @classmethod
     def resolve(cls, spec: Any, endpoint: Any | None = None) -> "Target":
@@ -114,7 +130,9 @@ class Target:
                     f"resolving device name {spec!r} needs a client, "
                     "service, or driver endpoint"
                 )
-            if hasattr(endpoint, "submit_sweep"):  # PulseService
+            if isinstance(endpoint, str):  # front-end address
+                return cls.from_service(endpoint, spec)
+            if hasattr(endpoint, "submit_sweep"):  # service or client
                 return cls.from_service(endpoint, spec)
             if hasattr(endpoint, "execute_compiled"):  # MQSSClient
                 return cls.from_client(endpoint, spec)
@@ -132,20 +150,39 @@ class Target:
 
     # ---- resolution ------------------------------------------------------------------
 
+    def _require_client(self, what: str) -> Any:
+        if self.client is None:
+            raise ValidationError(
+                f"{what} needs a local client, but this target is "
+                "detached (cluster/HTTP transport): compilation and "
+                "device resolution happen service-side"
+            )
+        return self.client
+
+    @property
+    def is_detached(self) -> bool:
+        """Service-only target with no local client (cluster/HTTP)."""
+        return self.client is None
+
     @property
     def device(self) -> Any:
         """The registered device object (remote proxy included)."""
-        return self.client.driver.get_device(self.device_name)
+        return self._require_client("device lookup").driver.get_device(
+            self.device_name
+        )
 
     @property
     def compile_device(self) -> Any:
         """The calibration-bearing device compilation runs against."""
-        _, compile_device, _ = self.client.resolve_target(self.device_name)
+        client = self._require_client("compilation")
+        _, compile_device, _ = client.resolve_target(self.device_name)
         return compile_device
 
     @property
     def is_remote(self) -> bool:
         """Whether dispatch serializes to QIR over the remote path."""
+        if self.client is None:
+            return False
         _, _, remote = self.client.resolve_target(self.device_name)
         return remote
 
@@ -156,13 +193,13 @@ class Target:
 
     @property
     def compiler(self) -> Any:
-        return self.client.compiler
+        return self._require_client("compilation").compiler
 
     @property
     def cache(self) -> Any | None:
         """The compile cache this target's executables share."""
         if self.service is not None:
-            return self.service.cache
+            return getattr(self.service, "cache", None)
         return self.client.compile_cache
 
     # ---- capabilities / calibration state -------------------------------------------
@@ -198,6 +235,8 @@ class Target:
 
     def describe(self) -> str:
         """One-line human summary for examples and logs."""
+        if self.is_detached:
+            return f"{self.device_name} dispatch=service (detached)"
         caps = self.capabilities
         mode = "service" if self.is_async else ("remote" if caps["remote"] else "local")
         return (

@@ -252,11 +252,15 @@ class MQSSClient:
         device_name: str | None = None,
         shots: int | None = None,
         timings: dict[str, float] | None = None,
+        should_cancel: Any | None = None,
     ) -> ClientResult:
         """Route *program* to a device and execute it.
 
         *device_name* overrides the request's device (failover path);
         *shots* overrides the request's shot count (coalesced batches).
+        *should_cancel* is an optional zero-arg callable the device
+        executor polls at chunk boundaries; when it returns True the
+        execution aborts with :class:`~repro.errors.CancelledError`.
         """
         name = device_name or request.device
         _, _, remote = self.resolve_target(name)
@@ -275,6 +279,8 @@ class MQSSClient:
             decoherence = (request.metadata or {}).get("decoherence")
             if decoherence is not None:
                 metadata["decoherence"] = decoherence
+            if should_cancel is not None:
+                metadata["should_cancel"] = should_cancel
             job = session.run(
                 fmt,
                 job_payload,

@@ -37,6 +37,7 @@ from repro.core.port import Port, PortKind
 from repro.core.schedule import PulseSchedule
 from repro.devices.calibrations import CalibrationSet
 from repro.errors import (
+    CancelledError,
     ConstraintError,
     JobError,
     QDMIError,
@@ -470,8 +471,13 @@ class SimulatedDevice(QDMIDevice):
                 shots=job.shots,
                 seed=job.metadata.get("seed", job.job_id),
                 backend=job.metadata.get("backend"),
+                should_cancel=job.metadata.get("should_cancel"),
             )
             job.complete(result)
+        except CancelledError:
+            # Cooperative cancellation is not a device fault: let the
+            # serving layer resolve the tickets CANCELLED.
+            raise
         except Exception as exc:  # deliberate: device must not crash the stack
             job.fail(f"{type(exc).__name__}: {exc}")
         finally:

@@ -82,6 +82,15 @@ class RoutingError(ServiceError):
     """No capable device is available to execute a request."""
 
 
+class CancelledError(ServiceError):
+    """A ticket was cancelled before (or while) its job executed.
+
+    Raised from ``Ticket.result()`` for cancelled tickets, and raised
+    *inside* a running execution when the cooperative cancel flag is
+    observed at a chunk boundary (see
+    :meth:`repro.sim.executor.ScheduleExecutor.execute_batch`)."""
+
+
 class CalibrationError(ReproError):
     """A calibration routine failed to converge or was misconfigured."""
 

@@ -27,20 +27,50 @@ synchronous client stack into that service:
   :class:`SweepTicket`: one request fanning out into a batch of
   parameterized schedules, evaluated through the simulator's batched
   propagator engine with a shared propagator cache.
+
+Durable multi-process serving stacks three more tiers on top:
+
+* :mod:`repro.serving.tickets` — the unified :class:`Ticket` protocol
+  every transport's handle implements (``status``/``result``/
+  ``cancel``/``to_dict``) plus :func:`ticket_from_dict`;
+* :mod:`repro.serving.store` — :class:`JobStore`: a SQLite (WAL) job
+  store holding every ticket state transition; tickets survive
+  restarts and crashed workers' leases expire back onto the queue;
+* :mod:`repro.serving.cluster` — :class:`ClusterService`: a process
+  worker pool leasing jobs from the store and shipping stacked result
+  arrays back through ``multiprocessing.shared_memory``;
+* :mod:`repro.serving.http` — :class:`HttpFrontend` /
+  :class:`HttpServiceClient`: a stdlib HTTP tier over the same
+  surface;
+* :mod:`repro.serving.connect` — :func:`connect`: one
+  :class:`ServiceClient` over all three transports, bit-identical
+  results in-process and over the wire.
 """
 
 from repro.serving.batching import RequestBatcher
 from repro.serving.cache import CompileCache
+from repro.serving.cluster import ClusterService, ClusterTicket
+from repro.serving.connect import InProcessClient, ServiceClient, connect
 from repro.serving.metrics import LatencyHistogram, ServingMetrics
 from repro.serving.routing import CapabilityRouter
-from repro.serving.service import JobTicket, PulseService, TicketState
+from repro.serving.service import JobTicket, PulseService
+from repro.serving.store import JobStore
 from repro.serving.sweeps import SweepRequest, SweepTicket
+from repro.serving.tickets import Ticket, TicketState, ticket_from_dict
 from repro.serving.workers import DevicePool, ServiceEntry
 
 __all__ = [
     "PulseService",
     "JobTicket",
+    "Ticket",
     "TicketState",
+    "ticket_from_dict",
+    "connect",
+    "ServiceClient",
+    "InProcessClient",
+    "ClusterService",
+    "ClusterTicket",
+    "JobStore",
     "SweepRequest",
     "SweepTicket",
     "DevicePool",
@@ -51,3 +81,10 @@ __all__ = [
     "ServingMetrics",
     "LatencyHistogram",
 ]
+
+
+def serve_http(service, host: str = "127.0.0.1", port: int = 0):
+    """Start an HTTP front-end over *service* (lazy import wrapper)."""
+    from repro.serving.http import serve_http as _serve
+
+    return _serve(service, host, port)

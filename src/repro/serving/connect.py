@@ -1,0 +1,223 @@
+"""``connect()``: one client surface over every serving transport.
+
+The unified entry point::
+
+    client = repro.serving.connect(service_or_addr)
+
+accepts an in-process :class:`~repro.serving.service.PulseService`, a
+:class:`~repro.serving.cluster.ClusterService`, or an ``http://`` /
+``https://`` address of a running front-end
+(:mod:`repro.serving.http`), and returns a :class:`ServiceClient`
+whose surface is identical across all three::
+
+    ticket = client.submit(request)       # -> Ticket (protocol)
+    client.submit_many(requests)
+    client.submit_sweep(sweep)
+    client.status(ticket_or_id)           # -> TicketState
+    client.result(ticket_or_id, timeout)  # -> ClientResult
+    client.cancel(ticket_or_id)           # -> bool
+    client.devices(), client.metrics_text()
+
+Results are bit-identical across transports: the HTTP path serializes
+through :mod:`repro.serving.wire`, whose scalar fields are plain JSON
+(exact float round-trip), so the same seeded request returns the same
+counts and probabilities whether it executed in-process or behind the
+front-end.
+
+API mapping (all remain supported; ``connect`` is the
+transport-agnostic spelling):
+
+===============================  ======================================
+existing surface                  unified client
+===============================  ======================================
+``service.submit(req)``           ``client.submit(req)``
+``service.submit_many(reqs)``     ``client.submit_many(reqs)``
+``service.submit_sweep(sweep)``   ``client.submit_sweep(sweep)``
+``ticket.result(timeout)``        same (tickets implement the protocol)
+``Executable.run_async()``        unchanged — works against any
+                                  connected client via
+                                  ``Target.from_service(client, dev)``
+===============================  ======================================
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+from repro.client.client import ClientResult, JobRequest
+from repro.errors import ServiceError
+from repro.serving.tickets import Ticket, TicketState
+
+
+class ServiceClient:
+    """Shared surface of every connected serving transport.
+
+    Concrete transports implement ``submit``/``submit_many``/
+    ``submit_sweep``/``devices``/``metrics_text``; the by-id helpers
+    (``status``/``result``/``cancel``) resolve ids through a
+    transport-specific :meth:`ticket` lookup, so both ticket objects
+    and bare id strings are accepted everywhere.
+    """
+
+    def submit(self, request: JobRequest) -> Ticket:
+        raise NotImplementedError
+
+    def submit_many(self, requests: Iterable[JobRequest]) -> list[Ticket]:
+        return [self.submit(r) for r in requests]
+
+    def submit_sweep(self, sweep: Any):
+        raise NotImplementedError
+
+    def ticket(self, ticket_id: str) -> Ticket:
+        """Resolve a ticket id back to a live handle."""
+        raise NotImplementedError
+
+    def devices(self) -> list[str]:
+        raise NotImplementedError
+
+    def metrics_text(self) -> str:
+        """The obs registry exposition covering this service."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (no-op by default)."""
+
+    # ---- by-id conveniences ----------------------------------------------------------
+
+    def _coerce(self, ticket_or_id) -> Ticket:
+        if isinstance(ticket_or_id, str):
+            return self.ticket(ticket_or_id)
+        return ticket_or_id
+
+    def status(self, ticket_or_id) -> TicketState:
+        return self._coerce(ticket_or_id).status()
+
+    def result(self, ticket_or_id, timeout: float | None = None) -> ClientResult:
+        return self._coerce(ticket_or_id).result(timeout)
+
+    def cancel(self, ticket_or_id) -> bool:
+        return self._coerce(ticket_or_id).cancel()
+
+    # Shared admission core alias: Executable.run_async submits through
+    # ``target.service._admit_request``, so any connected client can
+    # stand in for a service on a Target.
+    def _admit_request(
+        self,
+        request: JobRequest,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> Ticket:
+        return self.submit(request)
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InProcessClient(ServiceClient):
+    """Unified client over a service object living in this process.
+
+    Works for both :class:`~repro.serving.service.PulseService`
+    (thread pool) and :class:`~repro.serving.cluster.ClusterService`
+    (process pool + durable store); tickets the service hands out are
+    kept in a registry so :meth:`ticket` resolves ids — cluster ids
+    additionally resolve straight from the durable store, surviving
+    registry loss across restarts.
+    """
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        self._tickets: dict[str, Ticket] = {}
+        self._lock = threading.Lock()
+
+    # expose the underlying client when the service has one, so
+    # Target.from_service(connect(service), dev) keeps local compile.
+    @property
+    def client(self):
+        return getattr(self.service, "client", None)
+
+    def _remember(self, ticket: Ticket) -> Ticket:
+        with self._lock:
+            self._tickets[ticket.id] = ticket
+        return ticket
+
+    def submit(self, request: JobRequest) -> Ticket:
+        return self._remember(self.service.submit(request))
+
+    def submit_many(self, requests: Iterable[JobRequest]) -> list[Ticket]:
+        tickets = self.service.submit_many(list(requests))
+        for t in tickets:
+            self._remember(t)
+        return tickets
+
+    def submit_sweep(self, sweep: Any):
+        aggregate = self.service.submit_sweep(sweep)
+        for t in aggregate.tickets:
+            self._remember(t)
+        self._remember(aggregate)
+        return aggregate
+
+    def ticket(self, ticket_id: str) -> Ticket:
+        with self._lock:
+            ticket = self._tickets.get(ticket_id)
+        if ticket is not None:
+            return ticket
+        lookup = getattr(self.service, "ticket", None)
+        if lookup is not None:  # durable store lookup (cluster)
+            return lookup(ticket_id)
+        raise ServiceError(f"unknown ticket {ticket_id!r}")
+
+    def devices(self) -> list[str]:
+        client = self.client
+        if client is not None:
+            return sorted(client.driver.device_names())
+        # Cluster services own no client; ask a worker-equivalent one.
+        factory = getattr(self.service, "client_factory", None)
+        if factory is not None:
+            probe = factory()
+            try:
+                return sorted(probe.driver.device_names())
+            finally:
+                close = getattr(probe, "close", None)
+                if close is not None:
+                    close()
+        return []
+
+    def metrics_text(self) -> str:
+        from repro.obs.metrics import exposition
+
+        return exposition()
+
+    def flush(self, timeout: float | None = None) -> bool:
+        return self.service.flush(timeout)
+
+
+def connect(target: Any) -> ServiceClient:
+    """One client over any serving transport.
+
+    *target* may be a :class:`PulseService`, a
+    :class:`ClusterService`, an already-connected
+    :class:`ServiceClient` (returned unchanged), or an ``http(s)://``
+    address string of a running :mod:`repro.serving.http` front-end.
+    """
+    if isinstance(target, ServiceClient):
+        return target
+    if isinstance(target, str):
+        if target.startswith(("http://", "https://")):
+            from repro.serving.http import HttpServiceClient
+
+            return HttpServiceClient(target)
+        raise ServiceError(
+            f"cannot connect to {target!r}: expected an http(s):// "
+            "address or a service object"
+        )
+    if hasattr(target, "submit") and hasattr(target, "submit_sweep"):
+        return InProcessClient(target)
+    raise ServiceError(
+        f"cannot connect to {type(target).__name__}: not a serving "
+        "transport"
+    )

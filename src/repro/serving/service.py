@@ -29,34 +29,39 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-import warnings
-from enum import Enum
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.client.client import ClientResult, JobRequest, MQSSClient
-from repro.errors import BackpressureError, ServiceError
+from repro.errors import BackpressureError, CancelledError, ServiceError
 from repro.obs.tracing import span
 from repro.serving.batching import RequestBatcher
 from repro.serving.cache import CompileCache
 from repro.serving.metrics import ServingMetrics
 from repro.serving.routing import CapabilityRouter
+from repro.serving.tickets import TicketState, new_ticket_id
 from repro.serving.workers import DevicePool, ServiceEntry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.serving.sweeps import SweepRequest
 
-
-class TicketState(Enum):
-    PENDING = "pending"
-    DISPATCHED = "dispatched"
-    DONE = "done"
-    FAILED = "failed"
+__all__ = ["JobTicket", "PulseService", "TicketState"]
 
 
 class JobTicket:
-    """Future-like handle for one request accepted by the service."""
+    """Future-like handle for one request accepted by the service.
 
-    def __init__(self, request: JobRequest) -> None:
+    Implements the :class:`repro.serving.tickets.Ticket` protocol: the
+    same ``id``/``status``/``result``/``cancel``/``to_dict`` surface
+    the cluster and HTTP tickets expose, so callers stay
+    transport-agnostic.  All terminal transitions go through one
+    idempotent :meth:`_finalize` — exactly one of resolve / fail /
+    cancel wins, late arrivals are dropped.
+    """
+
+    def __init__(
+        self, request: JobRequest | None, *, ticket_id: str | None = None
+    ) -> None:
+        self.id = ticket_id if ticket_id is not None else new_ticket_id()
         self.request = request
         self.state = TicketState.PENDING
         self.device: str | None = None  # device that actually executed
@@ -68,8 +73,17 @@ class JobTicket:
         self._event = threading.Event()
         self._result: ClientResult | None = None
         self._error: Exception | None = None
+        self._state_lock = threading.Lock()
+        self._cancel_requested = False
+        #: Set by the admitting service; lets ``cancel()`` drop still-
+        #: queued entries immediately instead of waiting for dispatch.
+        self._cancel_hook: Callable[["JobTicket"], None] | None = None
 
     # ---- caller API ----------------------------------------------------------------
+
+    def status(self) -> TicketState:
+        """The current lifecycle state (non-blocking)."""
+        return self.state
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -81,8 +95,7 @@ class JobTicket:
         """The execution result; blocks, re-raises the failure if any."""
         if not self._event.wait(timeout):
             raise ServiceError(
-                f"ticket for device {self.request.device!r} not done "
-                f"within {timeout}s"
+                f"ticket {self.id} not done within {timeout}s"
             )
         if self._error is not None:
             raise self._error
@@ -93,10 +106,32 @@ class JobTicket:
         """The failure, or None on success; blocks like :meth:`result`."""
         if not self._event.wait(timeout):
             raise ServiceError(
-                f"ticket for device {self.request.device!r} not done "
-                f"within {timeout}s"
+                f"ticket {self.id} not done within {timeout}s"
             )
         return self._error
+
+    def cancel(self) -> bool:
+        """Request cancellation; False once the ticket is terminal.
+
+        A still-queued job drops from its device queue and resolves
+        ``CANCELLED`` immediately; a running job sets a cooperative
+        flag checked at execution chunk boundaries.  ``True`` means
+        the request was *accepted*, not that interruption is
+        guaranteed — a job past its last chunk boundary completes.
+        """
+        with self._state_lock:
+            if self.state.terminal:
+                return False
+            self._cancel_requested = True
+        hook = self._cancel_hook
+        if hook is not None:
+            hook(self)
+        return True
+
+    @property
+    def cancel_requested(self) -> bool:
+        """Whether :meth:`cancel` has been called (cooperative flag)."""
+        return self._cancel_requested
 
     @property
     def wait_s(self) -> float | None:
@@ -105,6 +140,66 @@ class JobTicket:
             return None
         return self.dispatched_at - self.enqueued_at
 
+    # ---- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot (wire format of :mod:`repro.serving.wire`)."""
+        from repro.serving import wire
+
+        data: dict = {
+            "kind": "job",
+            "id": self.id,
+            "state": self.state.value,
+            "device": self.device
+            or (self.request.device if self.request is not None else None),
+            "attempts": self.attempts,
+            "group_size": self.group_size,
+        }
+        if self.request is not None:
+            data["request"] = wire.encode_request(self.request)
+        if self._result is not None:
+            data["result"] = wire.encode_result(self._result)
+        if self._error is not None:
+            data["error"] = wire.encode_error(self._error)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobTicket":
+        """Rebuild a (detached) ticket from a :meth:`to_dict` snapshot.
+
+        Terminal snapshots re-raise / return exactly what the original
+        ticket carried; non-terminal snapshots are static — they report
+        the snapshot state but never make progress.
+        """
+        from repro.serving import wire
+
+        request = (
+            wire.decode_request(data["request"]) if data.get("request") else None
+        )
+        ticket = cls(request, ticket_id=data.get("id"))
+        state = TicketState(data.get("state", "pending"))
+        if data.get("result") is not None:
+            ticket._finalize(
+                TicketState.DONE, result=wire.decode_result(data["result"])
+            )
+        elif data.get("error") is not None:
+            error = wire.decode_error(data["error"])
+            final = (
+                TicketState.CANCELLED
+                if isinstance(error, CancelledError)
+                else (state if state.terminal else TicketState.FAILED)
+            )
+            ticket._finalize(final, error=error)
+        elif state is TicketState.CANCELLED:
+            ticket._cancelled()
+        else:
+            ticket.state = state
+        if data.get("device"):
+            ticket.device = data["device"]
+        ticket.attempts = int(data.get("attempts", 0))
+        ticket.group_size = int(data.get("group_size", 0))
+        return ticket
+
     # ---- service internals ---------------------------------------------------------
 
     def _mark_dispatched(self) -> bool:
@@ -112,21 +207,46 @@ class JobTicket:
         if self.dispatched_at is not None:
             return False
         self.dispatched_at = time.perf_counter()
-        self.state = TicketState.DISPATCHED
+        with self._state_lock:
+            if not self.state.terminal:
+                self.state = TicketState.DISPATCHED
         return True
 
-    def _resolve(self, result: ClientResult) -> None:
-        self._result = result
-        self.device = result.device
-        self.completed_at = time.perf_counter()
-        self.state = TicketState.DONE
-        self._event.set()
+    def _mark_running(self) -> None:
+        with self._state_lock:
+            if not self.state.terminal:
+                self.state = TicketState.RUNNING
 
-    def _fail(self, error: Exception) -> None:
-        self._error = error
-        self.completed_at = time.perf_counter()
-        self.state = TicketState.FAILED
+    def _finalize(
+        self,
+        state: TicketState,
+        *,
+        result: ClientResult | None = None,
+        error: Exception | None = None,
+    ) -> bool:
+        """Terminal transition; exactly the first caller wins."""
+        with self._state_lock:
+            if self.state.terminal:
+                return False
+            self.state = state
+            self._result = result
+            self._error = error
+            if result is not None:
+                self.device = result.device
+            self.completed_at = time.perf_counter()
         self._event.set()
+        return True
+
+    def _resolve(self, result: ClientResult) -> bool:
+        return self._finalize(TicketState.DONE, result=result)
+
+    def _fail(self, error: Exception) -> bool:
+        return self._finalize(TicketState.FAILED, error=error)
+
+    def _cancelled(self, error: CancelledError | None = None) -> bool:
+        if error is None:
+            error = CancelledError(f"ticket {self.id} was cancelled")
+        return self._finalize(TicketState.CANCELLED, error=error)
 
 
 class PulseService:
@@ -246,17 +366,14 @@ class PulseService:
         Request-level errors (unknown device/adapter…) do not raise:
         they come back on the ticket.
 
-        .. deprecated::
-            Superseded by ``Executable.run_async()`` on a service
-            target (``Target.from_service``); kept as a shim over the
-            same admission core.
+        Equivalent compiled-API spelling (same admission core)::
+
+            repro.compile(program, Target.from_service(service, device)
+                          ).run_async()
+
+        Both remain supported; ``submit`` is the right surface when
+        you already hold a :class:`~repro.client.client.JobRequest`.
         """
-        warnings.warn(
-            "PulseService.submit is deprecated; use repro.compile(program, "
-            "Target.from_service(service, device)).run_async()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
         return self._admit_request(request, block=block, timeout=timeout)
 
     def _admit_request(
@@ -266,8 +383,9 @@ class PulseService:
         block: bool = False,
         timeout: float | None = None,
     ) -> JobTicket:
-        """Admission control + routing (internal, warning-free)."""
+        """Admission control + routing (shared by every submit surface)."""
         ticket = JobTicket(request)
+        ticket._cancel_hook = self._on_ticket_cancel
         with self._admit:
             if self._in_flight >= self.max_pending:
                 if not block:
@@ -339,16 +457,10 @@ class PulseService:
         the failed point's ticket carries the error and the returned
         :class:`SweepTicket` stays complete and scan-ordered.
 
-        .. deprecated::
-            Superseded by ``Executable.sweep(grid)`` on a service
-            target; kept as a shim over the same fan-out core.
+        Equivalent compiled-API spelling (same fan-out core):
+        ``Executable.sweep(grid)`` on a service target.  Both remain
+        supported.
         """
-        warnings.warn(
-            "PulseService.submit_sweep is deprecated; use "
-            "Executable.sweep(grid) on a service target",
-            DeprecationWarning,
-            stacklevel=2,
-        )
         return self._admit_sweep(sweep, block=block)
 
     def _admit_sweep(self, sweep: "SweepRequest", *, block: bool = True):
@@ -448,9 +560,47 @@ class PulseService:
             f"(per_device_pending={self.per_device_pending})"
         )
 
+    # ---- cancellation --------------------------------------------------------------
+
+    def _on_ticket_cancel(self, _ticket: JobTicket) -> None:
+        """Ticket cancel hook: drop still-queued cancelled entries now."""
+        self._purge_cancelled_entries()
+
+    def _purge_cancelled_entries(self) -> None:
+        """Remove cancel-requested entries from every device queue.
+
+        Purged tickets resolve ``CANCELLED`` immediately; entries a
+        worker already popped are left to the cooperative flag.
+        """
+        with self._pools_lock:
+            pools = list(self._pools.values())
+        for pool in pools:
+            purged = pool.purge(
+                lambda e: e.ticket.cancel_requested
+                and not e.ticket.state.terminal
+            )
+            for entry in purged:
+                if entry.ticket._cancelled():
+                    self.metrics.incr("cancelled")
+                self._finish_entry()
+
     # ---- execution (worker threads) ------------------------------------------------
 
     def _execute_group(self, pool: DevicePool, group: list[ServiceEntry]) -> None:
+        live: list[ServiceEntry] = []
+        for entry in group:
+            # Entries cancelled between queue and pop never execute.
+            if entry.ticket.state.terminal:
+                self._finish_entry()
+            elif entry.ticket.cancel_requested:
+                if entry.ticket._cancelled():
+                    self.metrics.incr("cancelled")
+                self._finish_entry()
+            else:
+                live.append(entry)
+        if not live:
+            return
+        group = live
         for entry in group:
             entry.ticket.group_size = len(group)
             if entry.ticket._mark_dispatched():
@@ -460,6 +610,12 @@ class PulseService:
                     "queue_wait", entry.ticket.dispatched_at - entry.enqueued_at
                 )
         head = group[0]
+
+        def _group_cancelled() -> bool:
+            # A coalesced execution serves every member; it is only
+            # abandoned when *all* of them asked to cancel.
+            return all(e.ticket.cancel_requested for e in group)
+
         try:
             with span(
                 "serving.execute",
@@ -487,6 +643,8 @@ class PulseService:
                     "cache_hits" if program.cache_hit else "cache_misses"
                 )
                 total_shots = sum(e.request.shots for e in group)
+                for entry in group:
+                    entry.ticket._mark_running()
                 with pool.exec_lock:
                     combined = self.client.execute_compiled(
                         head.request,
@@ -494,6 +652,7 @@ class PulseService:
                         device_name=pool.device_name,
                         shots=total_shots,
                         timings=timings,
+                        should_cancel=_group_cancelled,
                     )
                 self.metrics.observe("execute", timings["execute"])
                 self._resolve_group(group, combined, timings)
@@ -537,6 +696,15 @@ class PulseService:
             self._finish_entry()
 
     def _handle_failure(self, group: list[ServiceEntry], exc: Exception) -> None:
+        if isinstance(exc, CancelledError):
+            # Cooperative cancel observed mid-execution: resolve every
+            # member CANCELLED (the group only aborts when all asked)
+            # and never fail over — the cancel would follow the entry.
+            for entry in group:
+                if entry.ticket._cancelled(exc):
+                    self.metrics.incr("cancelled")
+                self._finish_entry()
+            return
         self.metrics.incr("execution_failures")
         for entry in group:
             nxt = entry.attempt + 1

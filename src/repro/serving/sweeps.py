@@ -157,9 +157,25 @@ class SweepRequest:
 
 
 class SweepTicket:
-    """Aggregated handle over the per-point tickets of one sweep."""
+    """Aggregated handle over the per-point tickets of one sweep.
 
-    def __init__(self, request: SweepRequest, tickets: list) -> None:
+    Implements the unified :class:`repro.serving.tickets.Ticket`
+    protocol — ``status()`` aggregates the per-point states,
+    ``cancel()`` fans out to every unresolved point, ``result()`` is
+    an alias of :meth:`results` — so sweep handles interoperate with
+    everything written against the protocol.
+    """
+
+    def __init__(
+        self,
+        request: SweepRequest | None,
+        tickets: list,
+        *,
+        ticket_id: str | None = None,
+    ) -> None:
+        from repro.serving.tickets import new_ticket_id
+
+        self.id = ticket_id if ticket_id is not None else new_ticket_id()
         self.request = request
         self.tickets = tickets
 
@@ -168,6 +184,56 @@ class SweepTicket:
 
     def done(self) -> bool:
         return all(t.done() for t in self.tickets)
+
+    def status(self):
+        """Aggregate lifecycle state across the scan points.
+
+        FAILED if any point failed, else CANCELLED if any point was
+        cancelled, else DONE when all points are done; otherwise the
+        most advanced in-flight state (RUNNING > DISPATCHED > PENDING).
+        """
+        from repro.serving.tickets import TicketState
+
+        states = [t.status() for t in self.tickets]
+        if any(s is TicketState.FAILED for s in states):
+            return TicketState.FAILED
+        if any(s is TicketState.CANCELLED for s in states):
+            return TicketState.CANCELLED
+        if all(s is TicketState.DONE for s in states):
+            return TicketState.DONE
+        for live in (TicketState.RUNNING, TicketState.DISPATCHED):
+            if any(s is live for s in states):
+                return live
+        return TicketState.PENDING
+
+    def cancel(self) -> bool:
+        """Cancel every unresolved point; False when all are terminal."""
+        accepted = [t.cancel() for t in self.tickets]
+        return any(accepted)
+
+    def result(self, timeout: float | None = None) -> list[ClientResult]:
+        """Protocol alias of :meth:`results` (scan-ordered list)."""
+        return self.results(timeout)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot: per-point ticket snapshots, in order."""
+        return {
+            "kind": "sweep",
+            "id": self.id,
+            "state": self.status().value,
+            "tickets": [t.to_dict() for t in self.tickets],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepTicket":
+        """Rebuild a detached sweep handle from a snapshot."""
+        from repro.serving.tickets import ticket_from_dict
+
+        return cls(
+            None,
+            [ticket_from_dict(t) for t in data.get("tickets", [])],
+            ticket_id=data.get("id"),
+        )
 
     @staticmethod
     def _deadline(timeout: float | None):

@@ -157,6 +157,25 @@ class DevicePool:
             self._cond.notify_all()
             return True
 
+    def purge(self, predicate) -> list[ServiceEntry]:
+        """Remove and return still-queued entries matching *predicate*.
+
+        Used by ticket cancellation: a cancelled entry that has not
+        been popped by a worker yet is dropped here, so it never
+        executes. Entries already popped are beyond the queue's reach
+        (the cooperative cancel flag covers them).
+        """
+        with self._cond:
+            keep: list[ServiceEntry] = []
+            removed: list[ServiceEntry] = []
+            for entry in self._entries:
+                (removed if predicate(entry) else keep).append(entry)
+            if removed:
+                self._entries[:] = keep
+                heapq.heapify(self._entries)
+                self._cond.notify_all()  # queue space freed
+            return removed
+
     def _pop_group_locked(self) -> list[ServiceEntry]:
         """Head entry + any coalescable mates currently queued."""
         head = heapq.heappop(self._entries)

@@ -54,7 +54,7 @@ from repro.core.instructions import (
 )
 from repro.core.port import Port
 from repro.core.schedule import PulseSchedule
-from repro.errors import ExecutionError, ValidationError
+from repro.errors import CancelledError, ExecutionError, ValidationError
 from repro.obs import profile as _profile
 from repro.obs.tracing import span
 from repro.sim.evolve import (
@@ -77,6 +77,18 @@ from repro.sim.open_system import (
 )
 from repro.sim.operators import basis_state, identity
 from repro.xp import active, use_backend
+
+
+def _check_cancel(should_cancel) -> None:
+    """Raise at a chunk boundary when cooperative cancel is requested.
+
+    ``should_cancel`` is the zero-arg callable the serving layer plumbs
+    down (ticket cancel flags); None means cancellation is disabled.
+    """
+    if should_cancel is not None and should_cancel():
+        raise CancelledError(
+            "execution cancelled cooperatively at a chunk boundary"
+        )
 
 _TWO_PI = 2.0 * math.pi
 
@@ -246,6 +258,7 @@ class ScheduleExecutor:
         seed: int | None = None,
         initial_state: np.ndarray | None = None,
         backend: str | None = None,
+        should_cancel=None,
     ) -> ExecutionResult:
         """Run *schedule* and sample *shots* measurement outcomes.
 
@@ -253,14 +266,21 @@ class ScheduleExecutor:
         (``"numpy/complex64"``, ``"cupy"``, ...; see
         :func:`repro.xp.use_backend`); ``None`` keeps the ambient
         scope. Measurement always runs on the host.
+
+        *should_cancel* (zero-arg callable) enables cooperative
+        cancellation: it is polled at chunk boundaries — before the
+        evolution and before the measurement tail — and a True return
+        raises :class:`~repro.errors.CancelledError`.
         """
         if rng is None:
             rng = np.random.default_rng(seed)
         use_dm = self.model.has_decoherence()
+        _check_cancel(should_cancel)
         with use_backend(backend):
             state = self._initial_state(initial_state, use_dm)
             if schedule.duration > 0:
                 state = self._evolve(schedule, state, use_dm, rng)
+        _check_cancel(should_cancel)
         return self._finalize(schedule, state, shots, rng)
 
     def execute_batch(
@@ -271,6 +291,7 @@ class ScheduleExecutor:
         seed: int | None = None,
         initial_state: np.ndarray | None = None,
         backend: str | None = None,
+        should_cancel=None,
     ) -> list[ExecutionResult]:
         """Run many schedules through one batched evolution pass.
 
@@ -302,6 +323,12 @@ class ScheduleExecutor:
         array backend/dtype spec (see :func:`repro.xp.use_backend`);
         the batch's stacks then stay on that backend until the
         measurement tail pulls the final states to the host.
+
+        *should_cancel* enables cooperative cancellation, polled at
+        the batch's chunk boundaries: between schedules on the
+        per-schedule fallback path, at every open-system flush (every
+        ``_MAX_OPEN_BATCH_SLICES`` superoperator slices), and before
+        the closed-system stacked call and the measurement tail.
         """
         schedules = list(schedules)
         if not schedules:
@@ -314,7 +341,7 @@ class ScheduleExecutor:
             try:
                 with use_backend(backend):
                     results = self._execute_batch_inner(
-                        schedules, shots, seed, initial_state
+                        schedules, shots, seed, initial_state, should_cancel
                     )
             finally:
                 records = _profile.end_collect(prev) if profiling else None
@@ -330,8 +357,10 @@ class ScheduleExecutor:
         shots: int,
         seed: int | None,
         initial_state: np.ndarray | None,
+        should_cancel=None,
     ) -> list[ExecutionResult]:
         use_dm = self.model.has_decoherence()
+        _check_cancel(should_cancel)
         if use_dm:
             method = self.open_system_method
             if method == "auto":
@@ -342,13 +371,21 @@ class ScheduleExecutor:
                     else "trajectories"
                 )
             if method != "superoperator":
+                # Per-schedule fallback: every schedule is a chunk
+                # boundary of its own.
                 return [
                     self.execute(
-                        s, shots=shots, seed=seed, initial_state=initial_state
+                        s,
+                        shots=shots,
+                        seed=seed,
+                        initial_state=initial_state,
+                        should_cancel=should_cancel,
                     )
                     for s in schedules
                 ]
-            states = self._batch_evolve_open(schedules, initial_state)
+            states = self._batch_evolve_open(
+                schedules, initial_state, should_cancel=should_cancel
+            )
         else:
             states = None
             if len(schedules) > 1 and schedules[0].duration > 0:
@@ -356,11 +393,13 @@ class ScheduleExecutor:
                     states = self._family_evolve_closed(
                         schedules, initial_state
                     )
+                    _check_cancel(should_cancel)
                     with span("measurement", points=len(schedules)):
                         return self._finalize_family(
                             schedules[0], states, shots, seed
                         )
             states = self._batch_evolve_closed(schedules, initial_state)
+        _check_cancel(should_cancel)
         with span("measurement", points=len(schedules)):
             return [
                 self._finalize(s, state, shots, np.random.default_rng(seed))
@@ -680,12 +719,14 @@ class ScheduleExecutor:
         self,
         schedules: Sequence[PulseSchedule],
         initial_state: np.ndarray | None,
+        should_cancel=None,
     ) -> list[np.ndarray]:
         """Final density matrices: stacked superpropagator calls.
 
         Chunked over schedules so the materialized ``(n, D^2, D^2)``
         stack stays bounded for large batches; the shared propagator
-        cache still dedups runs across chunks.
+        cache still dedups runs across chunks — and each flush is a
+        cooperative-cancellation chunk boundary.
         """
         from repro.sim.open_system import (
             unvectorize_density,
@@ -701,6 +742,7 @@ class ScheduleExecutor:
             nonlocal pending, pending_slices
             if not pending:
                 return
+            _check_cancel(should_cancel)
             xp = active()
             all_hs = [h for hs, _ in pending for h in hs]
             all_steps = [s for _, steps in pending for s in steps]

@@ -456,21 +456,29 @@ class TestDeprecationShims:
         ]
         assert len(batch_warnings) == 1  # items go through the core quietly
 
-    def test_service_submit_warns(self, sc_device):
+    def test_service_submit_is_warning_free(self, sc_device):
+        # PulseService.submit is first-class on the unified ticket
+        # surface (it maps 1:1 onto connect(service).submit), so it
+        # must not warn.
+        import warnings
+
         from repro.qdmi import QDMIDriver
 
         driver = QDMIDriver()
         driver.register_device(sc_device)
         client = MQSSClient(driver, persistent_sessions=True)
         with PulseService(client) as service:
-            with pytest.warns(DeprecationWarning, match="PulseService.submit"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
                 ticket = service.submit(
                     JobRequest(qpi_flip(), sc_device.name, shots=16, seed=1)
                 )
             assert sum(ticket.result(30).counts.values()) == 16
         client.close()
 
-    def test_service_submit_sweep_warns(self, sc_device):
+    def test_service_submit_sweep_is_warning_free(self, sc_device):
+        import warnings
+
         from repro.qdmi import QDMIDriver
         from repro.serving import SweepRequest
 
@@ -481,7 +489,8 @@ class TestDeprecationShims:
             sweep = SweepRequest.from_programs(
                 [qpi_flip(), qpi_flip()], sc_device.name, shots=8, seed=1
             )
-            with pytest.warns(DeprecationWarning, match="submit_sweep"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
                 ticket = service.submit_sweep(sweep)
             assert len(ticket.results(30)) == 2
         client.close()
