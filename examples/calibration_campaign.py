@@ -1,55 +1,68 @@
-"""Automated calibration campaign — paper §2.1.
+"""Automated calibration campaign as a pipeline DAG — paper §2.1.
 
-Runs the full calibration suite on a drifting transmon device:
+Runs the full calibration suite on a drifting transmon device, now
+expressed as the closed-loop pipeline workload of ``repro.pipeline``:
 
-1. Rabi amplitude calibration (recovers the Rabi rate),
-2. DRAG beta tuning (suppresses |2>-level leakage),
-3. readout confusion-matrix estimation,
-4. a drift-tracking campaign comparing Ramsey-tracked vs. untracked
-   frequency error over simulated wall-clock time — the closed loop
-   that motivates pulse-level access for HPC centers.
+1. a full bring-up DAG (Rabi amplitude, DRAG beta, readout confusion,
+   Ramsey frequency — experiment tasks batched per scan, fit tasks
+   pure, one atomic write-back, a verify gate),
+2. a drift-tracking campaign comparing Ramsey-tracked vs. untracked
+   frequency error over simulated wall-clock time, resumable from its
+   durable run store — the closed loop that motivates pulse-level
+   access for HPC centers.
 
 Run:  python examples/calibration_campaign.py
 """
 
-from repro.calibration import (
-    calibrate_drag,
-    calibrate_pi_amplitude,
-    measure_confusion,
-    run_drift_campaign,
-)
+import os
+import tempfile
+
+from repro.calibration import run_drift_campaign
 from repro.devices import SuperconductingDevice
+from repro.pipeline import PipelineRunner, PipelineStore, full_calibration_dag
 
 
 def main() -> None:
     device = SuperconductingDevice(num_qubits=1, seed=3)
 
-    print("== Rabi amplitude calibration ==")
-    rabi = calibrate_pi_amplitude(device, 0, shots=1024, seed=1)
-    print(f"pi amplitude     : {rabi.pi_amplitude:.4f}")
+    print("== full calibration DAG (Rabi + DRAG + readout + Ramsey) ==")
+    runner = PipelineRunner(device)
+    run = runner.run(full_calibration_dag(readout_shots=4096), seed=1)
+    order = " -> ".join(run.executed)
+    print(f"tasks            : {order}")
+    rabi = run.result("rabi-fit")
+    print(f"pi amplitude     : {rabi['pi_amplitude']['0']:.4f}")
     print(
-        f"implied Rabi rate: {rabi.implied_rabi_rate_hz/1e6:.2f} MHz "
+        f"implied Rabi rate: {rabi['implied_rabi_rate_hz']['0']/1e6:.2f} MHz "
         "(device: 50 MHz)"
     )
-    print(f"fit residual     : {rabi.fit_residual:.3f}\n")
-
-    print("== DRAG calibration ==")
-    drag = calibrate_drag(device, 0, write_back=True)
-    print(f"best beta        : {drag.best_beta:+.3f}")
-    print(f"leakage at beta=0: {drag.leakage[len(drag.betas)//2]:.2e}")
-    print(f"leakage at best  : {drag.best_leakage:.2e}\n")
-
-    print("== readout confusion matrix ==")
-    readout = measure_confusion(device, 0, shots=4096, seed=2)
-    print(f"P(1|0) = {readout.p01:.4f}   P(0|1) = {readout.p10:.4f}")
-    print(readout.confusion_matrix(), "\n")
+    drag = run.result("drag-fit")
+    print(f"best DRAG beta   : {drag['drag_beta']:+.3f}")
+    readout = run.result("readout-scan")["confusion"]["0"]
+    print(f"P(1|0) = {readout['p01']:.4f}   P(0|1) = {readout['p10']:.4f}")
+    verify = run.result("verify")
+    print(
+        f"verified         : tracking error "
+        f"{verify['tracking_error_hz'][0]:.1f} Hz, "
+        f"calibration epoch {device.calibration_epoch}\n"
+    )
 
     print("== drift tracking campaign (10 simulated minutes) ==")
     kwargs = dict(duration_s=600, step_s=60, shots=512)
     tracked_dev = SuperconductingDevice(num_qubits=1, seed=17, drift_rate=2e4)
     untracked_dev = SuperconductingDevice(num_qubits=1, seed=17, drift_rate=2e4)
+    # A durable store makes the campaign a resumable workload: rerun
+    # with the same run_id after an interruption and completed tasks
+    # replay instead of re-executing.
+    store_path = os.path.join(tempfile.mkdtemp(), "campaign.db")
     tracked = run_drift_campaign(
-        tracked_dev, tracked=True, calibration_interval_s=120, seed=5, **kwargs
+        tracked_dev,
+        tracked=True,
+        calibration_interval_s=120,
+        seed=5,
+        store=PipelineStore(store_path),
+        run_id="example-campaign",
+        **kwargs,
     )
     untracked = run_drift_campaign(untracked_dev, tracked=False, seed=5, **kwargs)
 
@@ -63,7 +76,9 @@ def main() -> None:
     print(
         f"\ncalibrations performed: {tracked.calibrations_performed}; "
         f"final error {tracked.final_mean_error_hz/1e3:.1f} kHz tracked vs "
-        f"{untracked.final_mean_error_hz/1e3:.1f} kHz untracked"
+        f"{untracked.final_mean_error_hz/1e3:.1f} kHz untracked "
+        f"(pipeline run {tracked.extras['run_id']!r}, "
+        f"{tracked.extras['executed_tasks']} tasks)"
     )
 
 

@@ -35,6 +35,10 @@ Layering (bottom to top)::
                 shot-splitting, capability failover, latency metrics
     control     GRAPE, parametric optimization, ctrl-VQE
     calibration Rabi/Ramsey/DRAG/readout calibration + planning
+    pipeline    durable DAG-orchestrated closed-loop calibration:
+                typed task graphs (experiment -> fit -> write-back ->
+                verify), SQLite-WAL run persistence with resume,
+                drift/staleness triggers, a runner over any surface
     obs         cross-cutting observability: structured tracing,
                 the process-wide metrics registry, profiling hooks
 
@@ -45,9 +49,10 @@ applications needing asynchronous submission talk to the service
 directly (see ``examples/serving_quickstart.py``).
 """
 
-from repro import obs
+from repro import obs, pipeline
 from repro._version import __version__
 from repro.api import Executable, Program, Target, compile, run
+from repro.pipeline import DAG, PipelineRunner, PipelineStore
 from repro.obs import exposition, span, trace
 from repro.core import (
     Frame,
@@ -90,6 +95,11 @@ __all__ = [
     "DataBin",
     "PubResult",
     "PrimitiveResult",
+    # Closed-loop calibration pipelines (repro.pipeline).
+    "pipeline",
+    "DAG",
+    "PipelineRunner",
+    "PipelineStore",
     # Observability (repro.obs): tracing, metrics, profiling.
     "obs",
     "span",

@@ -31,6 +31,30 @@ class DragResult:
     written_back: bool = False
 
 
+def refine_beta(
+    betas: np.ndarray, leakage: np.ndarray
+) -> tuple[float, float]:
+    """Parabolic refinement around the coarse leakage minimum.
+
+    The pure-fit half of :func:`calibrate_drag`, shared with the
+    pipeline's ``drag_fit`` task; returns ``(best_beta, coarse_min)``.
+    """
+    betas = np.asarray(betas, dtype=np.float64)
+    leakage = np.asarray(leakage, dtype=np.float64)
+    k = int(np.argmin(leakage))
+    if 0 < k < len(betas) - 1:
+        x = betas[k - 1 : k + 2]
+        y = leakage[k - 1 : k + 2]
+        coeffs = np.polyfit(x, y, 2)
+        if coeffs[0] > 0:
+            best = float(np.clip(-coeffs[1] / (2 * coeffs[0]), betas[0], betas[-1]))
+        else:
+            best = float(betas[k])
+    else:
+        best = float(betas[k])
+    return best, float(leakage[k])
+
+
 def calibrate_drag(
     device,
     site: int,
@@ -68,18 +92,7 @@ def calibrate_drag(
         result = device.executor.execute(sched, shots=0)
         leakage[i] = result.leakage[site]
 
-    # Parabolic refinement around the coarse minimum.
-    k = int(np.argmin(leakage))
-    if 0 < k < len(betas) - 1:
-        x = betas[k - 1 : k + 2]
-        y = leakage[k - 1 : k + 2]
-        coeffs = np.polyfit(x, y, 2)
-        if coeffs[0] > 0:
-            best = float(np.clip(-coeffs[1] / (2 * coeffs[0]), betas[0], betas[-1]))
-        else:
-            best = float(betas[k])
-    else:
-        best = float(betas[k])
+    best, coarse_min = refine_beta(betas, leakage)
 
     written = False
     if write_back and hasattr(device, "set_drag_beta"):
@@ -90,6 +103,6 @@ def calibrate_drag(
         betas=np.asarray(betas, dtype=np.float64),
         leakage=leakage,
         best_beta=best,
-        best_leakage=float(leakage[k]),
+        best_leakage=coarse_min,
         written_back=written,
     )

@@ -39,6 +39,39 @@ def _p1_model(amp: np.ndarray, amp_pi: float, visibility: float, offset: float):
     return offset - visibility * np.cos(np.pi * amp / amp_pi)
 
 
+def fit_pi_amplitude(
+    amplitudes: np.ndarray, populations: np.ndarray
+) -> tuple[float, float]:
+    """Fit one Rabi oscillation; ``(pi_amplitude, residual)``.
+
+    The pure-fit half of :func:`calibrate_pi_amplitude`, shared with
+    the pipeline's ``rabi_fit`` task.
+    """
+    amplitudes = np.asarray(amplitudes, dtype=np.float64)
+    populations = np.asarray(populations, dtype=np.float64)
+    # Initial guess from the first crossing of 0.5.
+    above = np.nonzero(populations > 0.5)[0]
+    guess_pi = (
+        float(amplitudes[above[0]] * 2.0) if above.size else float(amplitudes[-1])
+    )
+    try:
+        popt, _ = curve_fit(
+            _p1_model,
+            amplitudes,
+            populations,
+            p0=[guess_pi, 0.5, 0.5],
+            bounds=([1e-4, 0.1, 0.2], [10.0, 0.6, 0.8]),
+            maxfev=10000,
+        )
+    except Exception as exc:
+        raise CalibrationError(f"Rabi fit failed: {exc}") from exc
+    amp_pi = float(popt[0])
+    residual = float(
+        np.sqrt(np.mean((_p1_model(amplitudes, *popt) - populations) ** 2))
+    )
+    return amp_pi, residual
+
+
 def calibrate_pi_amplitude(
     device,
     site: int,
@@ -75,26 +108,7 @@ def calibrate_pi_amplitude(
         else:
             populations[i] = result.ideal_probabilities.get("1", 0.0)
 
-    # Initial guess from the first crossing of 0.5.
-    above = np.nonzero(populations > 0.5)[0]
-    guess_pi = (
-        float(amplitudes[above[0]] * 2.0) if above.size else float(amplitudes[-1])
-    )
-    try:
-        popt, _ = curve_fit(
-            _p1_model,
-            amplitudes,
-            populations,
-            p0=[guess_pi, 0.5, 0.5],
-            bounds=([1e-4, 0.1, 0.2], [10.0, 0.6, 0.8]),
-            maxfev=10000,
-        )
-    except Exception as exc:
-        raise CalibrationError(f"Rabi fit failed: {exc}") from exc
-    amp_pi = float(popt[0])
-    residual = float(
-        np.sqrt(np.mean((_p1_model(amplitudes, *popt) - populations) ** 2))
-    )
+    amp_pi, residual = fit_pi_amplitude(amplitudes, populations)
     dt = constraints.dt
     implied_rabi = 0.5 / (amp_pi * duration * dt)
     return RabiResult(

@@ -93,6 +93,46 @@ def _fringe_model(tau_s, freq, amp, phase, offset):
     return offset + amp * np.cos(2.0 * np.pi * freq * tau_s + phase)
 
 
+def fit_ramsey_fringe(
+    delays_samples: np.ndarray,
+    populations: np.ndarray,
+    dt: float,
+    artificial_detuning_hz: float,
+) -> tuple[float, float, float]:
+    """Fit one Ramsey fringe; ``(fringe_hz, detuning_hz, residual)``.
+
+    The pure-fit half of :func:`estimate_detuning`, shared with the
+    pipeline's ``ramsey_fit`` task so measurement (experiment tasks)
+    and fitting (fit tasks) can run — and retry — independently.
+    """
+    delays_samples = np.asarray(delays_samples, dtype=np.float64)
+    populations = np.asarray(populations, dtype=np.float64)
+    tau_s = delays_samples * dt
+
+    # FFT initial guess on a uniform grid.
+    uniform = np.linspace(tau_s[0], tau_s[-1], 256)
+    interp = np.interp(uniform, tau_s, populations - populations.mean())
+    spectrum = np.abs(np.fft.rfft(interp))
+    freqs = np.fft.rfftfreq(len(uniform), uniform[1] - uniform[0])
+    guess = float(freqs[int(np.argmax(spectrum[1:]) + 1)])
+    try:
+        popt, _ = curve_fit(
+            _fringe_model,
+            tau_s,
+            populations,
+            p0=[guess if guess > 0 else artificial_detuning_hz, 0.4, 0.0, 0.5],
+            bounds=([1e3, 0.05, -np.pi, 0.3], [1e9, 0.6, np.pi, 0.7]),
+            maxfev=20000,
+        )
+    except Exception as exc:
+        raise CalibrationError(f"Ramsey fit failed: {exc}") from exc
+    fringe = float(popt[0])
+    residual = float(
+        np.sqrt(np.mean((_fringe_model(tau_s, *popt) - populations) ** 2))
+    )
+    return fringe, fringe - artificial_detuning_hz, residual
+
+
 def estimate_detuning(
     device,
     site: int,
@@ -117,28 +157,9 @@ def estimate_detuning(
     populations = ramsey_populations(
         device, site, delays, artificial_detuning_hz, shots=shots, seed=seed
     )
-    tau_s = delays * constraints.dt
-
-    # FFT initial guess on a uniform grid.
-    uniform = np.linspace(tau_s[0], tau_s[-1], 256)
-    interp = np.interp(uniform, tau_s, populations - populations.mean())
-    spectrum = np.abs(np.fft.rfft(interp))
-    freqs = np.fft.rfftfreq(len(uniform), uniform[1] - uniform[0])
-    guess = float(freqs[int(np.argmax(spectrum[1:]) + 1)])
-    try:
-        popt, _ = curve_fit(
-            _fringe_model,
-            tau_s,
-            populations,
-            p0=[guess if guess > 0 else artificial_detuning_hz, 0.4, 0.0, 0.5],
-            bounds=([1e3, 0.05, -np.pi, 0.3], [1e9, 0.6, np.pi, 0.7]),
-            maxfev=20000,
-        )
-    except Exception as exc:
-        raise CalibrationError(f"Ramsey fit failed: {exc}") from exc
-    fringe = float(popt[0])
-    residual = float(np.sqrt(np.mean((_fringe_model(tau_s, *popt) - populations) ** 2)))
-    detuning = fringe - artificial_detuning_hz
+    fringe, detuning, residual = fit_ramsey_fringe(
+        delays, populations, constraints.dt, artificial_detuning_hz
+    )
     believed = device.believed_frequency(site)
     return RamseyResult(
         site=site,

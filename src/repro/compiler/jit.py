@@ -139,16 +139,22 @@ class JITCompiler:
         return hashlib.sha256(extra.encode()).hexdigest()[:8]
 
     def device_state_key(self, device: Any) -> str:
-        """Device identity + calibration state (believed frequencies).
+        """Device identity + calibration state.
 
-        Recalibration (a frame-frequency write-back) changes the key,
-        so stale compilations are never served after a calibration.
+        Recalibration changes the key, so stale compilations are never
+        served after a calibration: the believed frequencies cover
+        frame write-backs directly, and the device's
+        ``calibration_epoch`` (bumped by *every* write-back, including
+        DRAG-beta and readout refreshes that move no frequency) covers
+        the rest. Devices without an epoch counter — remote proxies,
+        external backends — degrade to the frequency-only key.
         """
         freqs = tuple(
             round(device.believed_frequency(s), 3)
             for s in range(device.config.num_sites)
         )
-        digest = hashlib.sha256(repr(freqs).encode()).hexdigest()[:8]
+        epoch = getattr(device, "calibration_epoch", 0)
+        digest = hashlib.sha256(repr((epoch, freqs)).encode()).hexdigest()[:8]
         return f"{device.name}:{digest}"
 
     def cache_key(

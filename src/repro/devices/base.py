@@ -130,6 +130,12 @@ class SimulatedDevice(QDMIDevice):
         ] = OrderedDict()
         self._jobs: list[QDMIJob] = []
         self.elapsed_seconds = 0.0
+        #: Monotonic calibration generation. Every committed write-back
+        #: (frame frequency, DRAG beta, readout refresh) bumps it, and
+        #: the compiler folds it into ``device_state_key`` — so caches
+        #: keyed on device state invalidate even for write-backs that
+        #: do not move a believed frequency.
+        self.calibration_epoch = 0
 
     # ---- identity -------------------------------------------------------------------
 
@@ -227,6 +233,17 @@ class SimulatedDevice(QDMIDevice):
         if not 0 <= site < self.config.num_sites:
             raise QDMIError(f"site {site} out of range")
         self._believed_offsets[site] = frequency - self._base_frequencies[site]
+        self.bump_calibration()
+
+    def bump_calibration(self) -> int:
+        """Advance the calibration generation; returns the new epoch.
+
+        Called by every write-back path so compile/payload caches keyed
+        on :meth:`repro.compiler.jit.JITCompiler.device_state_key` miss
+        cleanly after a calibration commit.
+        """
+        self.calibration_epoch += 1
+        return self.calibration_epoch
 
     def tracking_error(self, site: int) -> float:
         """|believed - true| frequency error in Hz."""

@@ -220,6 +220,9 @@ class SuperconductingDevice(SimulatedDevice):
         for q in range(self.config.num_sites):
             self.calibrations.add(self._make_x_entry("x", q, 1.0), overwrite=True)
             self.calibrations.add(self._make_x_entry("sx", q, 0.5), overwrite=True)
+        # A beta write-back changes compiled pulses without moving any
+        # believed frequency; the epoch bump is what invalidates caches.
+        self.bump_calibration()
 
     def _build_calibrations(self, num_qubits: int) -> None:
         cal = self.calibrations

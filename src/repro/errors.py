@@ -97,3 +97,9 @@ class CalibrationError(ReproError):
 
 class OptimizationError(ReproError):
     """Optimal-control optimization failure (GRAPE, parametric...)."""
+
+
+class PipelineError(ReproError):
+    """Failure inside the calibration pipeline (:mod:`repro.pipeline`):
+    malformed DAG, unknown task kind, exhausted retries, or a durable
+    run/task state inconsistency."""

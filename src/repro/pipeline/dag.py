@@ -1,0 +1,280 @@
+"""Typed calibration task DAGs: nodes, edges, and ready-set order.
+
+A calibration workload is a directed acyclic graph of **typed tasks**
+(experiment → fit → write-back → verify, plus control tasks such as
+simulated-time advancement).  The DAG layer is deliberately dumb: it
+knows task *names*, *kinds* and dependency edges, validates shape
+(unique names, known dependencies, no cycles) and hands the runner a
+deterministic topological order plus a ready-set at every step.  What
+a kind *does* lives in the task registry — implementations register
+under a kind string (:func:`register_task`) so a DAG serialized into
+the durable store (:mod:`repro.pipeline.state`) can be rebuilt and
+resumed by a fresh process that only shares the code, not the objects.
+
+Replay semantics are part of a task type's contract:
+
+* **pure** tasks (experiments, fits, probes) record their result and
+  are *skipped* on resume — the recorded JSON is reused verbatim;
+* **effectful** tasks (``advance_time``, ``writeback``) declare a
+  ``replay`` hook that re-applies the recorded effect to the fresh
+  device object, so a resumed run reconstructs exactly the device
+  state an uninterrupted run would have reached.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import PipelineError
+
+#: The task taxonomy of the calibration loop (ISSUE: experiment →
+#: fit → write-back → verify; "control" covers simulated-time and
+#: bookkeeping tasks that drive the loop itself).
+CATEGORIES = ("control", "experiment", "fit", "writeback", "verify")
+
+
+@dataclass(frozen=True)
+class TaskType:
+    """One registered task kind: category + run/replay behavior."""
+
+    kind: str
+    category: str
+    run: Callable[[Any, Mapping, int | None, Mapping], dict]
+    #: Re-applies a recorded result to a fresh device on resume; None
+    #: marks the kind pure (recorded results are reused, not re-run).
+    replay: Callable[[Any, Mapping, Mapping], None] | None = None
+
+
+#: kind -> TaskType; populated by :func:`register_task` at import time
+#: (experiments.py, writeback.py) and extensible by applications.
+TASK_TYPES: dict[str, TaskType] = {}
+
+
+def register_task(
+    kind: str,
+    category: str,
+    *,
+    replay: Callable[[Any, Mapping, Mapping], None] | None = None,
+) -> Callable:
+    """Register a task implementation under *kind*.
+
+    The decorated callable runs as ``fn(ctx, params, seed, upstream)``
+    and returns a JSON-serializable dict (the task's durable result).
+    *upstream* maps each dependency's task name to its recorded result.
+    """
+    if category not in CATEGORIES:
+        raise PipelineError(
+            f"unknown task category {category!r}; expected one of {CATEGORIES}"
+        )
+
+    def decorator(fn: Callable) -> Callable:
+        TASK_TYPES[kind] = TaskType(kind, category, fn, replay)
+        return fn
+
+    return decorator
+
+
+def task_type(kind: str) -> TaskType:
+    """Resolve a registered kind; raises :class:`PipelineError`."""
+    try:
+        return TASK_TYPES[kind]
+    except KeyError:
+        raise PipelineError(
+            f"unknown task kind {kind!r}; registered kinds: "
+            f"{sorted(TASK_TYPES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One DAG node: a named, parameterized instance of a task kind.
+
+    Everything here is JSON-serializable by construction — the spec
+    *is* what the durable store persists, so a killed run can rebuild
+    its DAG from the database alone.
+    """
+
+    name: str
+    kind: str
+    params: dict = field(default_factory=dict)
+    after: tuple[str, ...] = ()
+    max_attempts: int = 1
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PipelineError("a task needs a non-empty name")
+        if self.max_attempts < 1:
+            raise PipelineError(
+                f"task {self.name!r}: max_attempts must be >= 1"
+            )
+        object.__setattr__(self, "after", tuple(self.after))
+
+    @property
+    def category(self) -> str:
+        """The registered category of this task's kind."""
+        return task_type(self.kind).category
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "params": self.params,
+            "after": list(self.after),
+            "max_attempts": self.max_attempts,
+            "timeout_s": self.timeout_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "TaskSpec":
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            params=dict(data.get("params") or {}),
+            after=tuple(data.get("after") or ()),
+            max_attempts=int(data.get("max_attempts", 1)),
+            timeout_s=data.get("timeout_s"),
+        )
+
+
+class DAG:
+    """An ordered collection of :class:`TaskSpec` with dependency edges.
+
+    Insertion order is the tiebreaker everywhere (topological order,
+    ready sets), which makes runs — and therefore per-task seed
+    derivation — deterministic for a given DAG construction.
+    """
+
+    def __init__(self, name: str, tasks: Iterable[TaskSpec] = ()) -> None:
+        if not name:
+            raise PipelineError("a DAG needs a non-empty name")
+        self.name = name
+        self._tasks: dict[str, TaskSpec] = {}
+        for spec in tasks:
+            self.add(spec)
+
+    # ---- construction ----------------------------------------------------------------
+
+    def add(self, spec: TaskSpec) -> TaskSpec:
+        if spec.name in self._tasks:
+            raise PipelineError(
+                f"DAG {self.name!r} already has a task {spec.name!r}"
+            )
+        self._tasks[spec.name] = spec
+        return spec
+
+    def task(
+        self,
+        name: str,
+        kind: str,
+        params: Mapping | None = None,
+        *,
+        after: Sequence[str] = (),
+        max_attempts: int = 1,
+        timeout_s: float | None = None,
+    ) -> TaskSpec:
+        """Convenience builder: add and return one task node."""
+        return self.add(
+            TaskSpec(
+                name=name,
+                kind=kind,
+                params=dict(params or {}),
+                after=tuple(after),
+                max_attempts=max_attempts,
+                timeout_s=timeout_s,
+            )
+        )
+
+    # ---- introspection ---------------------------------------------------------------
+
+    @property
+    def tasks(self) -> tuple[TaskSpec, ...]:
+        return tuple(self._tasks.values())
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __getitem__(self, name: str) -> TaskSpec:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise PipelineError(
+                f"DAG {self.name!r} has no task {name!r}"
+            ) from None
+
+    def validate(self) -> None:
+        """Check edge targets and acyclicity (raises on violation)."""
+        for spec in self._tasks.values():
+            for dep in spec.after:
+                if dep not in self._tasks:
+                    raise PipelineError(
+                        f"task {spec.name!r} depends on unknown task {dep!r}"
+                    )
+        self.topological_order()
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm, insertion-order stable; raises on a cycle."""
+        indegree = {name: 0 for name in self._tasks}
+        for spec in self._tasks.values():
+            for dep in spec.after:
+                if dep not in self._tasks:
+                    raise PipelineError(
+                        f"task {spec.name!r} depends on unknown task {dep!r}"
+                    )
+                indegree[spec.name] += 1
+        order: list[str] = []
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for spec in self._tasks.values():
+                if name in spec.after:
+                    indegree[spec.name] -= 1
+                    if indegree[spec.name] == 0:
+                        ready.append(spec.name)
+        if len(order) != len(self._tasks):
+            cyclic = sorted(set(self._tasks) - set(order))
+            raise PipelineError(
+                f"DAG {self.name!r} has a dependency cycle involving {cyclic}"
+            )
+        return order
+
+    def ready(self, done: Iterable[str], exclude: Iterable[str] = ()) -> list[str]:
+        """Tasks whose dependencies are all in *done*, minus *exclude*.
+
+        The scheduler's ready-set: everything returned can execute now
+        (in insertion order) without violating an edge.
+        """
+        done_set = set(done)
+        skip = done_set | set(exclude)
+        return [
+            spec.name
+            for spec in self._tasks.values()
+            if spec.name not in skip and all(d in done_set for d in spec.after)
+        ]
+
+    # ---- serialization ---------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "tasks": [spec.to_json() for spec in self._tasks.values()],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str | Mapping) -> "DAG":
+        data = json.loads(payload) if isinstance(payload, str) else payload
+        return cls(
+            data["name"],
+            [TaskSpec.from_json(t) for t in data.get("tasks", ())],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DAG({self.name!r}, {len(self)} tasks)"

@@ -1,0 +1,588 @@
+"""Calibration experiments as pipeline task kinds.
+
+Every routine from :mod:`repro.calibration` appears here restructured
+for DAG execution, with the measurement half and the fitting half
+split into separate tasks:
+
+* **experiment tasks** (``ramsey_scan``, ``rabi_scan``, ``drag_scan``,
+  ``readout_scan``) build schedules and measure through the
+  Estimator/Sampler primitives — *all sites of a scan batch through
+  one primitive call* (one ``execute_batch`` evolution pass on direct
+  targets, one admitted sweep per PUB on a served target) instead of
+  the serial per-site × per-point loops of the original calibration
+  module.  Their recorded results carry everything the downstream fit
+  needs (including the believed frequencies at scan time), which makes
+  the fits pure.
+* **fit tasks** (``ramsey_fit``, ``rabi_fit``, ``drag_fit``) call the
+  shared fitting functions (:func:`~repro.calibration.ramsey.fit_ramsey_fringe`,
+  :func:`~repro.calibration.rabi.fit_pi_amplitude`,
+  :func:`~repro.calibration.drag.refine_beta`) on recorded scan data —
+  no device access, trivially replayable, retryable without
+  re-measuring.
+* **control/verify tasks** (``advance_time``, ``probe_error``,
+  ``verify_calibration``, ``callback``) advance simulated wall clock,
+  score tracking error against ground truth, and host arbitrary
+  callables (the scheduler shim's recalibration hook).
+
+The DAG builders at the bottom assemble these kinds into the three
+standard closed-loop workloads: single-shot frequency tracking, a full
+calibration pass (Rabi + DRAG + readout + Ramsey), and the drift
+campaign of experiment E9.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.frame import Frame
+from repro.core.instructions import Delay, Play
+from repro.core.schedule import PulseSchedule
+from repro.errors import CalibrationError, PipelineError
+from repro.pipeline.dag import DAG, register_task
+
+#: Default artificial detuning (Hz) — resolves drift sign, paper §2.1.
+ARTIFICIAL_DETUNING_HZ = 2e6
+
+
+def _sites(device, params: Mapping) -> list[int]:
+    sites = params.get("sites")
+    if sites is None:
+        return list(range(device.config.num_sites))
+    return [int(s) for s in sites]
+
+
+def _p1(slot: int):
+    """P1 on one measurement slot: ``(1 - Z)/2``."""
+    from repro.primitives import Observable
+
+    return Observable.identity(0.5) - Observable.z(slot, 0.5)
+
+
+def _program(schedule: PulseSchedule):
+    from repro.api.program import Program
+
+    return Program.from_schedule(schedule)
+
+
+# ---- control tasks -------------------------------------------------------------------
+
+
+def _advance_run(ctx, params, seed, upstream) -> dict:
+    seconds = float(params["seconds"])
+    ctx.device.advance_time(seconds)
+    return {"seconds": seconds, "elapsed_seconds": ctx.device.elapsed_seconds}
+
+
+def _advance_replay(ctx, params, recorded) -> None:
+    # Drift draws come from the device RNG in call order; replaying
+    # every completed advance in topological order walks the fresh
+    # device through the identical frequency trajectory.
+    ctx.device.advance_time(float(recorded["seconds"]))
+
+
+register_task("advance_time", "control", replay=_advance_replay)(_advance_run)
+
+
+def _callback_run(ctx, params, seed, upstream) -> dict:
+    fn = ctx.extras.get("callback")
+    if fn is None:
+        raise PipelineError(
+            "callback task needs a 'callback' entry in the runner extras"
+        )
+    fn(*params.get("args", []))
+    return {"ok": True}
+
+
+register_task("callback", "control")(_callback_run)
+
+
+# ---- verify tasks --------------------------------------------------------------------
+
+
+def _probe_run(ctx, params, seed, upstream) -> dict:
+    sites = _sites(ctx.device, params)
+    return {
+        "sites": sites,
+        "tracking_error_hz": [ctx.device.tracking_error(s) for s in sites],
+        "elapsed_seconds": ctx.device.elapsed_seconds,
+    }
+
+
+register_task("probe_error", "verify")(_probe_run)
+
+
+def _verify_run(ctx, params, seed, upstream) -> dict:
+    sites = _sites(ctx.device, params)
+    errors = [ctx.device.tracking_error(s) for s in sites]
+    budget = params.get("max_error_hz")
+    ok = budget is None or all(e <= float(budget) for e in errors)
+    if not ok and params.get("strict"):
+        raise CalibrationError(
+            f"post-calibration tracking error {max(errors):.1f} Hz exceeds "
+            f"the verification budget of {float(budget):.1f} Hz"
+        )
+    return {"sites": sites, "tracking_error_hz": errors, "ok": ok}
+
+
+register_task("verify_calibration", "verify")(_verify_run)
+
+
+# ---- Ramsey --------------------------------------------------------------------------
+
+
+def _ramsey_delays(device, max_delay_samples: int, points: int) -> np.ndarray:
+    g = device.config.constraints.granularity
+    return np.unique(
+        (np.linspace(0, max_delay_samples, points) / g).astype(int) * g
+    )
+
+
+def _ramsey_schedule(
+    device, sites: Sequence[int], tau: int, artificial_detuning_hz: float, tag: str
+) -> PulseSchedule:
+    """One schedule running the Ramsey sequence on *every* site at once.
+
+    Instruction placement is per-port, so the per-site sequences run
+    simultaneously; couplers are driven-only (no always-on ZZ), so the
+    joint evolution factorizes and each slot's marginal equals the
+    single-site Ramsey population.
+    """
+    from repro.calibration.ramsey import _half_pi_pulse
+
+    sched = PulseSchedule(tag)
+    for slot, site in enumerate(sites):
+        drive = device.drive_port(site)
+        base = device.default_frame(drive)
+        frame = Frame(base.name, base.frequency + artificial_detuning_hz, base.phase)
+        half = _half_pi_pulse(device, site)
+        sched.append(Play(drive, frame, half))
+        if tau > 0:
+            sched.append(Delay(drive, int(tau)))
+        sched.append(Play(drive, frame, half))
+    for slot, site in enumerate(sites):
+        device.calibrations.get("measure", (site,)).apply(sched, [slot])
+    return sched
+
+
+def _ramsey_scan_run(ctx, params, seed, upstream) -> dict:
+    device = ctx.device
+    sites = _sites(device, params)
+    artificial = float(params.get("artificial_detuning_hz", ARTIFICIAL_DETUNING_HZ))
+    max_delay = int(params.get("max_delay_samples", 1024))
+    points = int(params.get("points", 41))
+    shots = int(params.get("shots", 0))
+    delays = _ramsey_delays(device, max_delay, points)
+    observables = [_p1(slot) for slot in range(len(sites))]
+    pubs = [
+        (
+            _program(
+                _ramsey_schedule(device, sites, int(tau), artificial, f"ramsey-{i}")
+            ),
+            observables,
+        )
+        for i, tau in enumerate(delays)
+    ]
+    # One primitive call for the whole (delays x sites) grid: direct
+    # targets stack every schedule into a single execute_batch pass,
+    # served targets admit the PUB sweeps before collecting tickets.
+    res = ctx.estimator(shots=shots, seed=seed).run(pubs)
+    populations = {
+        str(site): [float(res[i].data.evs[slot]) for i in range(len(delays))]
+        for slot, site in enumerate(sites)
+    }
+    return {
+        "sites": sites,
+        "delays_samples": [int(t) for t in delays],
+        "artificial_detuning_hz": artificial,
+        "dt": device.config.constraints.dt,
+        "shots": shots,
+        "populations": populations,
+        # Captured at scan time so the downstream fit stays pure.
+        "believed_frequency_hz": {
+            str(site): device.believed_frequency(site) for site in sites
+        },
+    }
+
+
+register_task("ramsey_scan", "experiment")(_ramsey_scan_run)
+
+
+def _ramsey_fit_run(ctx, params, seed, upstream) -> dict:
+    from repro.calibration.ramsey import fit_ramsey_fringe
+
+    scan = _single_upstream(upstream, "ramsey_fit", "delays_samples")
+    delays = np.asarray(scan["delays_samples"], dtype=np.float64)
+    estimated: dict[str, float] = {}
+    detuning: dict[str, float] = {}
+    fringe: dict[str, float] = {}
+    residual: dict[str, float] = {}
+    for site, pops in scan["populations"].items():
+        f, d, r = fit_ramsey_fringe(
+            delays,
+            np.asarray(pops, dtype=np.float64),
+            float(scan["dt"]),
+            float(scan["artificial_detuning_hz"]),
+        )
+        fringe[site], detuning[site], residual[site] = f, d, r
+        estimated[site] = float(scan["believed_frequency_hz"][site]) - d
+    return {
+        "estimated_frequency_hz": estimated,
+        "detuning_hz": detuning,
+        "fringe_hz": fringe,
+        "fit_residual": residual,
+    }
+
+
+register_task("ramsey_fit", "fit")(_ramsey_fit_run)
+
+
+# ---- Rabi ----------------------------------------------------------------------------
+
+
+def _rabi_scan_run(ctx, params, seed, upstream) -> dict:
+    device = ctx.device
+    sites = _sites(device, params)
+    constraints = device.config.constraints
+    g = constraints.granularity
+    duration = int(params.get("duration", 40))
+    duration = max(g, int(round(duration / g)) * g)
+    amps = params.get("amplitudes")
+    if amps is None:
+        amps = np.linspace(0.05, min(1.0, constraints.max_amplitude), 16)
+    amps = np.asarray(amps, dtype=np.float64)
+    shots = int(params.get("shots", 0))
+    from repro.core.waveform import constant_waveform
+
+    observables = [_p1(slot) for slot in range(len(sites))]
+    pubs = []
+    for i, amp in enumerate(amps):
+        sched = PulseSchedule(f"rabi-{i}")
+        for slot, site in enumerate(sites):
+            drive = device.drive_port(site)
+            sched.append(
+                Play(
+                    drive,
+                    device.default_frame(drive),
+                    constant_waveform(duration, float(amp)),
+                )
+            )
+        for slot, site in enumerate(sites):
+            device.calibrations.get("measure", (site,)).apply(sched, [slot])
+        pubs.append((_program(sched), observables))
+    res = ctx.estimator(shots=shots, seed=seed).run(pubs)
+    return {
+        "sites": sites,
+        "amplitudes": [float(a) for a in amps],
+        "duration_samples": duration,
+        "dt": constraints.dt,
+        "shots": shots,
+        "populations": {
+            str(site): [float(res[i].data.evs[slot]) for i in range(len(amps))]
+            for slot, site in enumerate(sites)
+        },
+    }
+
+
+register_task("rabi_scan", "experiment")(_rabi_scan_run)
+
+
+def _rabi_fit_run(ctx, params, seed, upstream) -> dict:
+    from repro.calibration.rabi import fit_pi_amplitude
+
+    scan = _single_upstream(upstream, "rabi_fit", "amplitudes")
+    amps = np.asarray(scan["amplitudes"], dtype=np.float64)
+    pulse_s = float(scan["duration_samples"]) * float(scan["dt"])
+    pi_amplitude: dict[str, float] = {}
+    implied_rabi: dict[str, float] = {}
+    residual: dict[str, float] = {}
+    for site, pops in scan["populations"].items():
+        amp_pi, r = fit_pi_amplitude(amps, np.asarray(pops, dtype=np.float64))
+        pi_amplitude[site] = amp_pi
+        implied_rabi[site] = 0.5 / (amp_pi * pulse_s)
+        residual[site] = r
+    # Report-only: pi amplitudes cross-check the published RABI_RATE;
+    # no write-back key, so a downstream writeback task ignores this.
+    return {
+        "pi_amplitude": pi_amplitude,
+        "implied_rabi_rate_hz": implied_rabi,
+        "fit_residual": residual,
+    }
+
+
+register_task("rabi_fit", "fit")(_rabi_fit_run)
+
+
+# ---- DRAG ----------------------------------------------------------------------------
+
+
+def _drag_scan_run(ctx, params, seed, upstream) -> dict:
+    device = ctx.device
+    if ctx.runner.dispatch != "direct":
+        raise PipelineError(
+            "drag_scan needs a direct simulator target: leakage is only "
+            "reported by in-process execution results"
+        )
+    for attr in ("X_DURATION", "X_SIGMA", "_pi_amp"):
+        if not hasattr(device, attr):
+            raise PipelineError(
+                f"device {device.name!r} has no DRAG pulse parameters"
+            )
+    sites = _sites(device, params)
+    dims = device.model.dims
+    for site in sites:
+        if dims[site] < 3:
+            raise CalibrationError(
+                f"site {site} has only {dims[site]} levels; DRAG "
+                "calibration needs a leakage level"
+            )
+    betas = params.get("betas")
+    if betas is None:
+        betas = np.linspace(-2.0, 2.0, 17)
+    betas = np.asarray(betas, dtype=np.float64)
+    repetitions = int(params.get("repetitions", 4))
+    from repro.core.waveform import drag_waveform
+    from repro.primitives import Observable
+
+    amp = device._pi_amp(1.0)
+    pubs = []
+    # The Estimator's leakage channel is the *total* over sites, so the
+    # beta sweep pulses one site per schedule; all (site, beta) points
+    # still batch through one primitive call.
+    for site in sites:
+        drive = device.drive_port(site)
+        frame = device.default_frame(drive)
+        for i, beta in enumerate(betas):
+            sched = PulseSchedule(f"drag-{site}-{i}")
+            wf = drag_waveform(device.X_DURATION, amp, device.X_SIGMA, float(beta))
+            for _ in range(repetitions):
+                sched.append(Play(drive, frame, wf))
+            pubs.append((_program(sched), [Observable.identity(1.0)]))
+    res = ctx.estimator(seed=seed).run(pubs)
+    leakage = {
+        str(site): [
+            float(res[s * len(betas) + i].data.leakage[0])
+            for i in range(len(betas))
+        ]
+        for s, site in enumerate(sites)
+    }
+    return {
+        "sites": sites,
+        "betas": [float(b) for b in betas],
+        "repetitions": repetitions,
+        "leakage": leakage,
+    }
+
+
+register_task("drag_scan", "experiment")(_drag_scan_run)
+
+
+def _drag_fit_run(ctx, params, seed, upstream) -> dict:
+    from repro.calibration.drag import refine_beta
+
+    scan = _single_upstream(upstream, "drag_fit", "betas")
+    betas = np.asarray(scan["betas"], dtype=np.float64)
+    # One beta knob on the device: minimize the summed leakage.
+    total = np.zeros(len(betas), dtype=np.float64)
+    for series in scan["leakage"].values():
+        total += np.asarray(series, dtype=np.float64)
+    best, coarse_min = refine_beta(betas, total)
+    return {"drag_beta": best, "coarse_min_leakage": coarse_min}
+
+
+register_task("drag_fit", "fit")(_drag_fit_run)
+
+
+# ---- readout confusion ---------------------------------------------------------------
+
+
+def _readout_scan_run(ctx, params, seed, upstream) -> dict:
+    """Measure per-site assignment error; doubles as its own fit.
+
+    Confusion is a *post-readout* quantity, so this is the one scan
+    that samples counts through the Sampler instead of taking exact
+    Estimator expectation values.
+    """
+    device = ctx.device
+    sites = _sites(device, params)
+    shots = int(params.get("shots", 2048))
+    pubs = []
+    for site in sites:
+        ground = PulseSchedule(f"confusion-0-{site}")
+        device.calibrations.get("measure", (site,)).apply(ground, [0])
+        excited = PulseSchedule(f"confusion-1-{site}")
+        device.calibrations.get("x", (site,)).apply(excited, [])
+        device.calibrations.get("measure", (site,)).apply(excited, [0])
+        pubs.extend([_program(ground), _program(excited)])
+    res = ctx.sampler(default_shots=shots, seed=seed).run(pubs)
+
+    def ones_fraction(pub_result) -> float:
+        counts = pub_result.data.counts[()]
+        total = max(1, sum(counts.values()))
+        return sum(c for k, c in counts.items() if k[0] == "1") / total
+
+    confusion = {}
+    for i, site in enumerate(sites):
+        p01 = ones_fraction(res[2 * i])  # prepared |0>, read 1
+        p10 = 1.0 - ones_fraction(res[2 * i + 1])  # prepared |1>, read 0
+        confusion[str(site)] = {"p01": p01, "p10": p10, "shots": shots}
+    return {"sites": sites, "confusion": confusion}
+
+
+register_task("readout_scan", "experiment")(_readout_scan_run)
+
+
+# ---- shared helpers ------------------------------------------------------------------
+
+
+def _single_upstream(upstream: Mapping, kind: str, marker: str) -> Mapping:
+    """The one upstream result carrying *marker* (the scan to fit)."""
+    matches = [
+        r for r in upstream.values() if isinstance(r, Mapping) and marker in r
+    ]
+    if len(matches) != 1:
+        raise PipelineError(
+            f"{kind} needs exactly one upstream scan result with "
+            f"{marker!r}, found {len(matches)}"
+        )
+    return matches[0]
+
+
+# ---- DAG builders --------------------------------------------------------------------
+
+
+def frequency_tracking_dag(
+    sites: Sequence[int] | None = None,
+    *,
+    rounds: int = 1,
+    shots: int = 0,
+    artificial_detuning_hz: float = ARTIFICIAL_DETUNING_HZ,
+    max_delay_samples: int = 1024,
+    points: int = 41,
+    max_error_hz: float | None = None,
+    name: str = "frequency-tracking",
+) -> DAG:
+    """Closed-loop Ramsey tracking: (scan -> fit -> write-back) x rounds.
+
+    Each round doubles the maximum delay — the adaptive refinement of
+    :func:`~repro.calibration.ramsey.track_frequency` — and a final
+    ``verify_calibration`` task scores the result against ground truth.
+    """
+    dag = DAG(name)
+    site_list = None if sites is None else [int(s) for s in sites]
+    prev: tuple[str, ...] = ()
+    for r in range(rounds):
+        dag.task(
+            f"scan-{r}",
+            "ramsey_scan",
+            {
+                "sites": site_list,
+                "shots": shots,
+                "artificial_detuning_hz": artificial_detuning_hz,
+                "max_delay_samples": max_delay_samples * (2**r),
+                "points": points,
+            },
+            after=prev,
+        )
+        dag.task(f"fit-{r}", "ramsey_fit", after=(f"scan-{r}",))
+        dag.task(f"writeback-{r}", "writeback", after=(f"fit-{r}",))
+        prev = (f"writeback-{r}",)
+    verify_params: dict[str, Any] = {"sites": site_list}
+    if max_error_hz is not None:
+        verify_params["max_error_hz"] = max_error_hz
+    dag.task("verify", "verify_calibration", verify_params, after=prev)
+    return dag
+
+
+def full_calibration_dag(
+    sites: Sequence[int] | None = None,
+    *,
+    shots: int = 0,
+    readout_shots: int = 2048,
+    include_drag: bool = True,
+    name: str = "full-calibration",
+) -> DAG:
+    """The full bring-up pass: Rabi, DRAG, readout, Ramsey, write-back.
+
+    Scans are mutually independent (they fan out in the ready set);
+    one write-back commits every fitted field atomically, then a
+    verify task scores the tracked frequencies.
+    """
+    dag = DAG(name)
+    site_list = None if sites is None else [int(s) for s in sites]
+    base = {"sites": site_list, "shots": shots}
+    dag.task("rabi-scan", "rabi_scan", dict(base))
+    dag.task("rabi-fit", "rabi_fit", after=("rabi-scan",))
+    fitted = ["ramsey-fit", "readout-scan"]
+    if include_drag:
+        dag.task("drag-scan", "drag_scan", {"sites": site_list})
+        dag.task("drag-fit", "drag_fit", after=("drag-scan",))
+        fitted.append("drag-fit")
+    dag.task(
+        "readout-scan",
+        "readout_scan",
+        {"sites": site_list, "shots": readout_shots},
+    )
+    dag.task("ramsey-scan", "ramsey_scan", dict(base))
+    dag.task("ramsey-fit", "ramsey_fit", after=("ramsey-scan",))
+    dag.task("writeback", "writeback", after=tuple(fitted))
+    # rabi-fit is report-only but still gates completion.
+    dag.task(
+        "verify", "verify_calibration", {"sites": site_list},
+        after=("writeback", "rabi-fit"),
+    )
+    return dag
+
+
+def campaign_dag(
+    n_steps: int,
+    step_s: float,
+    sites: Sequence[int] | None = None,
+    *,
+    tracked: bool = True,
+    calibration_interval_s: float = 120.0,
+    shots: int = 0,
+    artificial_detuning_hz: float = ARTIFICIAL_DETUNING_HZ,
+    max_delay_samples: int = 1024,
+    points: int = 41,
+    name: str = "drift-campaign",
+) -> DAG:
+    """The E9 drift campaign as a DAG.
+
+    A linear chain — probe, then per step: advance time, optionally
+    (scan -> fit -> write-back) when the calibration interval has
+    elapsed, probe again.  The chain preserves the device-RNG call
+    order, so a resumed run replays the identical drift trajectory.
+    """
+    dag = DAG(name)
+    site_list = None if sites is None else [int(s) for s in sites]
+    dag.task("probe-0", "probe_error", {"sites": site_list})
+    prev = "probe-0"
+    since = 0.0
+    for k in range(1, n_steps + 1):
+        dag.task(
+            f"advance-{k}", "advance_time", {"seconds": step_s}, after=(prev,)
+        )
+        prev = f"advance-{k}"
+        since += step_s
+        if tracked and since >= calibration_interval_s:
+            dag.task(
+                f"scan-{k}",
+                "ramsey_scan",
+                {
+                    "sites": site_list,
+                    "shots": shots,
+                    "artificial_detuning_hz": artificial_detuning_hz,
+                    "max_delay_samples": max_delay_samples,
+                    "points": points,
+                },
+                after=(prev,),
+            )
+            dag.task(f"fit-{k}", "ramsey_fit", after=(f"scan-{k}",))
+            dag.task(f"writeback-{k}", "writeback", after=(f"fit-{k}",))
+            prev = f"writeback-{k}"
+            since = 0.0
+        dag.task(f"probe-{k}", "probe_error", {"sites": site_list}, after=(prev,))
+        prev = f"probe-{k}"
+    return dag

@@ -1,0 +1,388 @@
+"""Durable pipeline run/task state on the serving JobStore pattern.
+
+:class:`PipelineStore` persists runs and tasks into one SQLite file in
+WAL mode — per-thread connections, ``BEGIN IMMEDIATE`` transactions,
+the same recipe :class:`repro.serving.store.JobStore` uses for cluster
+tickets.  A run row carries the *serialized DAG itself* (every
+:class:`~repro.pipeline.dag.TaskSpec` is JSON by construction), so a
+process that was SIGKILLed mid-run can be replaced by a fresh one that
+rebuilds the DAG from the database, replays the completed tasks
+(:mod:`repro.pipeline.dag` replay semantics) and executes only the
+remainder.
+
+:class:`MemoryStore` implements the same surface on plain dicts for
+ephemeral runs — trigger-driven recalibrations inside a scheduler, unit
+tests — where durability across processes is not wanted and a SQLite
+file would be noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Iterable
+
+from repro.errors import PipelineError
+from repro.pipeline.dag import DAG
+
+#: Run/task lifecycle states (a subset of the serving ticket walk).
+RUN_STATES = ("pending", "running", "done", "failed")
+TASK_STATES = ("pending", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id           TEXT PRIMARY KEY,
+    dag_name     TEXT NOT NULL,
+    dag_json     TEXT NOT NULL,
+    state        TEXT NOT NULL DEFAULT 'pending',
+    seed         INTEGER,
+    error        TEXT,
+    created_at   REAL NOT NULL,
+    updated_at   REAL NOT NULL,
+    completed_at REAL
+);
+CREATE TABLE IF NOT EXISTS tasks (
+    run_id       TEXT NOT NULL,
+    name         TEXT NOT NULL,
+    kind         TEXT NOT NULL,
+    state        TEXT NOT NULL DEFAULT 'pending',
+    seed         INTEGER,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    result       TEXT,
+    error        TEXT,
+    created_at   REAL NOT NULL,
+    updated_at   REAL NOT NULL,
+    completed_at REAL,
+    PRIMARY KEY (run_id, name)
+);
+CREATE INDEX IF NOT EXISTS tasks_run_state ON tasks (run_id, state);
+"""
+
+
+class PipelineStore:
+    """One SQLite file of durable pipeline state.
+
+    Thread- and process-safe the same way the serving job store is:
+    every thread owns its connection, writes go through WAL, and the
+    run-creation path uses one ``BEGIN IMMEDIATE`` transaction so a
+    run plus its task rows land atomically.
+    """
+
+    def __init__(self, path: str, *, busy_timeout_s: float = 30.0) -> None:
+        if not path or path == ":memory:":
+            raise PipelineError(
+                "PipelineStore needs a file path; use MemoryStore for "
+                "ephemeral runs"
+            )
+        self.path = os.path.abspath(path)
+        self.busy_timeout_s = busy_timeout_s
+        self._local = threading.local()
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    # ---- connection plumbing ---------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(
+                self.path, timeout=self.busy_timeout_s, isolation_level=None
+            )
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout_s * 1000)}")
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # ---- runs ------------------------------------------------------------------------
+
+    def create_run(
+        self,
+        run_id: str,
+        dag: DAG,
+        *,
+        seed: int | None,
+        task_seeds: dict[str, int],
+    ) -> None:
+        """Persist a new run and one pending row per task, atomically."""
+        now = time.time()
+        conn = self._connect()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute(
+                "INSERT INTO runs (id, dag_name, dag_json, state, seed, "
+                "created_at, updated_at) VALUES (?, ?, ?, 'pending', ?, ?, ?)",
+                (run_id, dag.name, dag.to_json(), seed, now, now),
+            )
+            for spec in dag.tasks:
+                conn.execute(
+                    "INSERT INTO tasks (run_id, name, kind, state, seed, "
+                    "created_at, updated_at) "
+                    "VALUES (?, ?, ?, 'pending', ?, ?, ?)",
+                    (run_id, spec.name, spec.kind, task_seeds.get(spec.name), now, now),
+                )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def get_run(self, run_id: str) -> dict | None:
+        row = self._connect().execute(
+            "SELECT * FROM runs WHERE id = ?", (run_id,)
+        ).fetchone()
+        return dict(row) if row is not None else None
+
+    def load_dag(self, run_id: str) -> DAG:
+        """Rebuild the persisted DAG of *run_id*."""
+        row = self.get_run(run_id)
+        if row is None:
+            raise PipelineError(f"unknown pipeline run {run_id!r}")
+        return DAG.from_json(row["dag_json"])
+
+    def set_run_state(
+        self, run_id: str, state: str, *, error: str | None = None
+    ) -> None:
+        now = time.time()
+        terminal = state in ("done", "failed")
+        self._connect().execute(
+            "UPDATE runs SET state = ?, error = ?, updated_at = ?, "
+            "completed_at = ? WHERE id = ?",
+            (state, error, now, now if terminal else None, run_id),
+        )
+
+    def runs(self, states: Iterable[str] | None = None) -> list[dict]:
+        if states is None:
+            rows = self._connect().execute(
+                "SELECT * FROM runs ORDER BY created_at"
+            ).fetchall()
+        else:
+            states = tuple(states)
+            marks = ",".join("?" for _ in states)
+            rows = self._connect().execute(
+                f"SELECT * FROM runs WHERE state IN ({marks}) "
+                "ORDER BY created_at",
+                states,
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    def unfinished_runs(self) -> list[str]:
+        """Ids of runs a restarted runner should resume."""
+        return [r["id"] for r in self.runs(("pending", "running"))]
+
+    # ---- tasks -----------------------------------------------------------------------
+
+    def tasks(self, run_id: str) -> dict[str, dict]:
+        rows = self._connect().execute(
+            "SELECT * FROM tasks WHERE run_id = ?", (run_id,)
+        ).fetchall()
+        out: dict[str, dict] = {}
+        for row in rows:
+            rec = dict(row)
+            if rec.get("result"):
+                rec["result"] = json.loads(rec["result"])
+            out[rec["name"]] = rec
+        return out
+
+    def mark_task_running(self, run_id: str, name: str) -> int:
+        """pending/failed -> running; returns the new attempt count."""
+        now = time.time()
+        conn = self._connect()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute(
+                "UPDATE tasks SET state = 'running', "
+                "attempts = attempts + 1, updated_at = ? "
+                "WHERE run_id = ? AND name = ?",
+                (now, run_id, name),
+            )
+            row = conn.execute(
+                "SELECT attempts FROM tasks WHERE run_id = ? AND name = ?",
+                (run_id, name),
+            ).fetchone()
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if row is None:
+            raise PipelineError(f"unknown task {name!r} in run {run_id!r}")
+        return int(row["attempts"])
+
+    def complete_task(self, run_id: str, name: str, result: dict) -> None:
+        now = time.time()
+        self._connect().execute(
+            "UPDATE tasks SET state = 'done', result = ?, error = NULL, "
+            "updated_at = ?, completed_at = ? WHERE run_id = ? AND name = ?",
+            (json.dumps(result), now, now, run_id, name),
+        )
+
+    def fail_task(self, run_id: str, name: str, error: str) -> None:
+        now = time.time()
+        self._connect().execute(
+            "UPDATE tasks SET state = 'failed', error = ?, updated_at = ?, "
+            "completed_at = ? WHERE run_id = ? AND name = ?",
+            (error, now, now, run_id, name),
+        )
+
+    def counts_by_state(self, run_id: str) -> dict[str, int]:
+        rows = self._connect().execute(
+            "SELECT state, COUNT(*) AS n FROM tasks WHERE run_id = ? "
+            "GROUP BY state",
+            (run_id,),
+        ).fetchall()
+        return {row["state"]: int(row["n"]) for row in rows}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PipelineStore({self.path!r})"
+
+
+class MemoryStore:
+    """The :class:`PipelineStore` surface on in-process dicts.
+
+    For ephemeral runs (scheduler-triggered recalibration, tests):
+    same method contract, no durability — a process restart loses the
+    state, which is exactly the point.
+    """
+
+    def __init__(self) -> None:
+        self._runs: dict[str, dict] = {}
+        self._tasks: dict[str, dict[str, dict]] = {}
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        pass
+
+    # ---- runs ------------------------------------------------------------------------
+
+    def create_run(
+        self,
+        run_id: str,
+        dag: DAG,
+        *,
+        seed: int | None,
+        task_seeds: dict[str, int],
+    ) -> None:
+        now = time.time()
+        with self._lock:
+            if run_id in self._runs:
+                raise PipelineError(f"run {run_id!r} already exists")
+            self._runs[run_id] = {
+                "id": run_id,
+                "dag_name": dag.name,
+                "dag_json": dag.to_json(),
+                "state": "pending",
+                "seed": seed,
+                "error": None,
+                "created_at": now,
+                "updated_at": now,
+                "completed_at": None,
+            }
+            self._tasks[run_id] = {
+                spec.name: {
+                    "run_id": run_id,
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "state": "pending",
+                    "seed": task_seeds.get(spec.name),
+                    "attempts": 0,
+                    "result": None,
+                    "error": None,
+                    "created_at": now,
+                    "updated_at": now,
+                    "completed_at": None,
+                }
+                for spec in dag.tasks
+            }
+
+    def get_run(self, run_id: str) -> dict | None:
+        with self._lock:
+            row = self._runs.get(run_id)
+            return dict(row) if row is not None else None
+
+    def load_dag(self, run_id: str) -> DAG:
+        row = self.get_run(run_id)
+        if row is None:
+            raise PipelineError(f"unknown pipeline run {run_id!r}")
+        return DAG.from_json(row["dag_json"])
+
+    def set_run_state(
+        self, run_id: str, state: str, *, error: str | None = None
+    ) -> None:
+        now = time.time()
+        with self._lock:
+            row = self._runs[run_id]
+            row["state"] = state
+            row["error"] = error
+            row["updated_at"] = now
+            row["completed_at"] = now if state in ("done", "failed") else None
+
+    def runs(self, states: Iterable[str] | None = None) -> list[dict]:
+        with self._lock:
+            rows = [dict(r) for r in self._runs.values()]
+        if states is not None:
+            wanted = set(states)
+            rows = [r for r in rows if r["state"] in wanted]
+        return rows
+
+    def unfinished_runs(self) -> list[str]:
+        return [r["id"] for r in self.runs(("pending", "running"))]
+
+    # ---- tasks -----------------------------------------------------------------------
+
+    def tasks(self, run_id: str) -> dict[str, dict]:
+        with self._lock:
+            return {
+                name: dict(row)
+                for name, row in self._tasks.get(run_id, {}).items()
+            }
+
+    def mark_task_running(self, run_id: str, name: str) -> int:
+        with self._lock:
+            try:
+                row = self._tasks[run_id][name]
+            except KeyError:
+                raise PipelineError(
+                    f"unknown task {name!r} in run {run_id!r}"
+                ) from None
+            row["state"] = "running"
+            row["attempts"] += 1
+            row["updated_at"] = time.time()
+            return int(row["attempts"])
+
+    def complete_task(self, run_id: str, name: str, result: dict) -> None:
+        now = time.time()
+        with self._lock:
+            row = self._tasks[run_id][name]
+            row.update(
+                state="done",
+                result=dict(result),
+                error=None,
+                updated_at=now,
+                completed_at=now,
+            )
+
+    def fail_task(self, run_id: str, name: str, error: str) -> None:
+        now = time.time()
+        with self._lock:
+            row = self._tasks[run_id][name]
+            row.update(
+                state="failed", error=error, updated_at=now, completed_at=now
+            )
+
+    def counts_by_state(self, run_id: str) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for row in self.tasks(run_id).values():
+            out[row["state"]] = out.get(row["state"], 0) + 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryStore({len(self._runs)} runs)"

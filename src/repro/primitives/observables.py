@@ -335,16 +335,16 @@ class Observable:
             )
         keys = list(probabilities)
         probs = np.array([probabilities[k] for k in keys], dtype=np.float64)
+        # (outcome, slot) sign table built once; each term then reduces
+        # over its touched slots instead of re-walking every key.
+        bit_signs = np.array(
+            [[1.0 if ch == "0" else -1.0 for ch in k] for k in keys],
+            dtype=np.float64,
+        )
         values = np.zeros(len(keys), dtype=np.complex128)
         for term, coeff in self._terms.items():
-            signs = np.array(
-                [
-                    np.prod([1.0 if k[s] == "0" else -1.0 for s, _ in term])
-                    for k in keys
-                ],
-                dtype=np.float64,
-            )
-            values += coeff * signs
+            slots = [s for s, _ in term]
+            values += coeff * bit_signs[:, slots].prod(axis=1)
         return values, probs
 
     def expectation(

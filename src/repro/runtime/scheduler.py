@@ -174,6 +174,16 @@ class SecondLevelScheduler:
 class CalibrationAwareScheduler(SecondLevelScheduler):
     """Interleaves calibrations when a device's drift budget is spent.
 
+    A thin shim over the pipeline subsystem since PR 9: the
+    drift-budget arithmetic lives in
+    :class:`repro.pipeline.triggers.DriftBudgetTrigger` (exposed here
+    as :attr:`trigger`; its per-device clock *is* the legacy
+    ``_drift_clock`` dict), and each firing executes the calibration
+    callback as a one-task pipeline DAG through
+    :class:`~repro.pipeline.runner.PipelineRunner` — so interleaved
+    recalibrations appear in the same ``repro_pipeline_*`` metrics and
+    trace spans as any other scheduled calibration workload.
+
     Parameters
     ----------
     client:
@@ -199,14 +209,36 @@ class CalibrationAwareScheduler(SecondLevelScheduler):
         job_seconds: float = 10.0,
     ) -> None:
         super().__init__(client)
+        from repro.pipeline.triggers import DriftBudgetTrigger
+
         self.calibrate = calibrate
         self.error_budget_hz = error_budget_hz
         self.job_seconds = job_seconds
-        self._drift_clock: dict[str, float] = {}
+        self.trigger = DriftBudgetTrigger(error_budget_hz)
+        # Legacy alias: the trigger's clock is the drift clock (shared
+        # dict, not a copy — existing introspection keeps working).
+        self._drift_clock = self.trigger.clock
 
-    def _predicted_error(self, device: Any, elapsed: float) -> float:
-        rate = getattr(device.config, "drift_rate", 0.0)
-        return rate * (elapsed**0.5)
+    def _run_calibration(self, name: str) -> None:
+        """Execute the calibration callback as a pipeline DAG run."""
+        from repro.client.remote import RemoteDeviceProxy
+        from repro.errors import PipelineError
+        from repro.pipeline.dag import DAG
+        from repro.pipeline.runner import PipelineRunner
+
+        device = self.client.driver.get_device(name)
+        if isinstance(device, RemoteDeviceProxy):
+            device = device.inner
+        dag = DAG(f"recalibrate-{name}")
+        dag.task("calibrate", "callback")
+        runner = PipelineRunner(
+            device, extras={"callback": lambda: self.calibrate(name)}
+        )
+        run = runner.run(dag)
+        if not run.ok:
+            raise PipelineError(
+                f"interleaved recalibration of {name!r} failed: {run.error}"
+            )
 
     def _before_dispatch(self, job: ScheduledJob, report: SchedulerReport) -> None:
         name = job.request.device
@@ -219,11 +251,9 @@ class CalibrationAwareScheduler(SecondLevelScheduler):
             return
         # Device time passes (drift accumulates) between jobs.
         device.advance_time(self.job_seconds)
-        elapsed = self._drift_clock.get(name, 0.0) + self.job_seconds
-        if self._predicted_error(device, elapsed) >= self.error_budget_hz:
+        if self.trigger.note_elapsed(name, device, self.job_seconds):
             with self.telemetry.timer("calibration"):
-                self.calibrate(name)
+                self._run_calibration(name)
             report.calibrations += 1
             self.telemetry.incr("calibrations")
-            elapsed = 0.0
-        self._drift_clock[name] = elapsed
+            self.trigger.reset(name)

@@ -157,12 +157,27 @@ _PS_SCALE_THRESHOLD = 0.7
 # "auto" hands stacks needing more squaring levels than this to eigh:
 # 2^14 levels of rounding amplification keep the expm route under
 # ~4e-12, comfortably inside the 1e-10 equivalence contract.
+# (batched_expm — non-Hermitian superoperators with no eigh route —
+# still uses this as its dense-fallback bound.)
 _EXPM_MAX_LEVELS = 14
+
+# Hermitian "auto" slices whose estimated squaring level reaches this
+# route to eigh instead: past ~9 levels one exact per-matrix LAPACK
+# decomposition is cheaper than (6 + s) batched squaring matmuls.
+_EIGH_LEVELS = 9
 
 # Process large stacks in cache-resident chunks: the working set of
 # the expm evaluation is ~9 stack-sized arrays, and keeping it inside
-# the CPU caches beats one monolithic DRAM-bound pass.
+# the CPU caches beats one monolithic DRAM-bound pass. The slice cap
+# alone is not enough — at D=81 a 256-slice chunk is a ~240 MB working
+# set — so the effective chunk also honors a byte budget per dimension.
 _EXPM_CHUNK = 256
+_EXPM_BUDGET_BYTES = 16 << 20
+
+
+def _expm_chunk(dim: int) -> int:
+    """Chunk length keeping ~9 complex stacks inside _EXPM_BUDGET_BYTES."""
+    return max(8, min(_EXPM_CHUNK, _EXPM_BUDGET_BYTES // (9 * 16 * dim * dim)))
 
 # Reusable per-thread work buffers for the expm evaluation. A fresh
 # multi-megabyte allocation per call costs more in first-touch page
@@ -334,20 +349,46 @@ def batched_propagators(hamiltonians, dt: float, steps=1, *, method: str = "auto
         return xp.copy(hs)
     durations = dt * steps_arr.astype(hnp.float64)
 
+    # Cheap per-slice radius bound: |coeff| * inf-norm of the
+    # trace-shifted Hamiltonian. Drives both the auto method choice
+    # and the level-grouped chunking of the expm route below.
+    mu_est = xp.to_host(xp.real(xp.trace(hs, axis1=1, axis2=2))) / dim
+    row_sums = xp.to_host(xp.amax(xp.sum(xp.abs(hs), axis=2), axis=1))
+    radius = _TWO_PI * durations * (row_sums + hnp.abs(mu_est))
+    est_levels = hnp.maximum(
+        0,
+        hnp.ceil(
+            hnp.log2(hnp.maximum(radius, 1e-300) / _PS_SCALE_THRESHOLD)
+        ).astype(int),
+    )
+
     if method == "auto":
-        # Each squaring level amplifies rounding by ~2x, so past
-        # _EXPM_MAX_LEVELS levels the exact eigh route is the accurate
-        # (and, with that much squaring, also the cheaper) choice.
-        # Cheap per-slice radius bound: |coeff| * inf-norm of the
-        # trace-shifted Hamiltonian.
-        mu_est = xp.to_host(xp.real(xp.trace(hs, axis1=1, axis2=2))) / dim
-        row_sums = xp.to_host(xp.amax(xp.sum(xp.abs(hs), axis=2), axis=1))
-        radius = _TWO_PI * durations * (row_sums + hnp.abs(mu_est))
-        method = (
-            "eigh"
-            if radius.max() > _PS_SCALE_THRESHOLD * 2.0**_EXPM_MAX_LEVELS
-            else "expm"
-        )
+        # Per-slice cost model: the expm route pays ~(6 + s) batched
+        # matmuls per slice, the eigh route a fixed ~9-matmul-equivalent
+        # LAPACK decomposition — so long constant runs (Ramsey delays,
+        # flat-top Rabi pulses; s >= _EIGH_LEVELS) are cheaper AND exact
+        # through eigh, while the short pulse samples that dominate
+        # waveform slices stay on the batched-matmul expm path. Mixed
+        # stacks split per slice and recombine in input order. Each
+        # squaring level also amplifies rounding by ~2x, so routing
+        # high-level slices to eigh keeps the expm route comfortably
+        # inside the engine's 1e-10 equivalence contract.
+        eigh_mask = est_levels >= _EIGH_LEVELS
+        if bool(eigh_mask.all()):
+            method = "eigh"
+        elif not bool(eigh_mask.any()):
+            method = "expm"
+        else:
+            split = xp.empty_like(hs)
+            for mask, route in ((eigh_mask, "eigh"), (~eigh_mask, "expm")):
+                idx = hnp.nonzero(mask)[0]
+                sub_steps = (
+                    steps_arr if steps_arr.ndim == 0 else steps_arr[idx]
+                )
+                split[idx] = batched_propagators(
+                    hs[idx], dt, sub_steps, method=route
+                )
+            return split
 
     if method == "eigh":
         t0 = time.perf_counter()
@@ -382,12 +423,29 @@ def batched_propagators(hamiltonians, dt: float, steps=1, *, method: str = "auto
     shift = coeff * mu
     out = xp.empty_like(hs)
     levels = 0
-    for a in range(0, n, _EXPM_CHUNK):
-        b = min(a + _EXPM_CHUNK, n)
-        c = coeff if coeff.ndim == 0 else coeff[a:b]
-        s = _expm_skew_batched(xp, hs[a:b], c, shift[a:b], out[a:b])
-        if s > levels:
-            levels = s
+    # The squaring level is shared across a chunk (the largest slice's
+    # s applies to every matrix in it), so a heterogeneous stack — many
+    # short pulse samples mixed with a few long constant runs, the
+    # shape every batched Ramsey/delay sweep produces — would pay the
+    # worst slice's 2^s squaring matmuls on the *whole* chunk. Group
+    # slices by their estimated level first: each group squares only as
+    # much as its own members need, and results scatter back in input
+    # order. A homogeneous stack degenerates to the plain chunked loop.
+    chunk = _expm_chunk(dim)
+    for level in hnp.unique(est_levels):
+        sel = hnp.nonzero(est_levels == level)[0]
+        for a in range(0, sel.size, chunk):
+            idx = sel[a : a + chunk]
+            contiguous = idx.size == n  # single homogeneous group
+            hs_chunk = hs if contiguous else hs[idx]
+            shift_chunk = shift if contiguous else shift[idx]
+            out_chunk = out if contiguous else xp.empty_like(hs_chunk)
+            c = coeff if coeff.ndim == 0 else coeff[idx]
+            s = _expm_skew_batched(xp, hs_chunk, c, shift_chunk, out_chunk)
+            if not contiguous:
+                out[idx] = out_chunk
+            if s > levels:
+                levels = s
     out *= xp.exp(shift)[:, None, None]
     _profile.kernel(
         "propagators",
@@ -475,8 +533,9 @@ def batched_expm(matrices, *, scale=1.0, method: str = "auto"):
     shift = xp.broadcast_to(coeff * mu, (n,))  # mu is (n,), so shift is too
     out = xp.empty_like(a)
     levels = 0
-    for lo in range(0, n, _EXPM_CHUNK):
-        hi = min(lo + _EXPM_CHUNK, n)
+    chunk = _expm_chunk(m)
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
         c = coeff if coeff.ndim == 0 else coeff[lo:hi]
         s = _expm_skew_batched(xp, a[lo:hi], c, shift[lo:hi], out[lo:hi])
         if s > levels:

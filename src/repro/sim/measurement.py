@@ -91,22 +91,26 @@ def measured_bit_distribution(
     keep = list(measured_sites)
     others = [s for s in range(n) if s not in keep]
     marg = probs.sum(axis=tuple(others)) if others else probs
-    # Axes of marg follow ascending site index; enumerate in that order
-    # and assemble keys in the caller's measured-site order.
+    # Collapse each remaining axis to two bins — level 0 vs. levels
+    # >= 1 — so the enumeration below runs over 2^m bit patterns, not
+    # the full prod(dims) level grid.
+    for ax in range(marg.ndim):
+        zero = np.take(marg, [0], axis=ax)
+        rest = np.take(marg, range(1, marg.shape[ax]), axis=ax).sum(
+            axis=ax, keepdims=True
+        )
+        marg = np.concatenate([zero, rest], axis=ax)
+    # Axes of marg follow ascending site index; permute to the
+    # caller's measured-site order, then flatten (C order = leftmost
+    # site is the most significant bit of the key).
     sorted_keep = sorted(keep)
-    out: dict[str, float] = {}
-    it = np.ndindex(*[dims[s] for s in sorted_keep])
-    for labels in it:
-        p = float(marg[labels])
-        if p == 0.0:
-            continue
-        bits = {
-            site: ("1" if lbl >= 1 else "0")
-            for site, lbl in zip(sorted_keep, labels)
-        }
-        key = "".join(bits[s] for s in keep)
-        out[key] = out.get(key, 0.0) + p
-    return out
+    marg = marg.transpose([sorted_keep.index(s) for s in keep])
+    m = len(keep)
+    return {
+        format(i, f"0{m}b"): float(p)
+        for i, p in enumerate(marg.reshape(-1))
+        if p != 0.0
+    }
 
 
 def apply_readout_error(
@@ -124,22 +128,24 @@ def apply_readout_error(
         raise ValidationError(
             f"{len(models)} readout models for {n_bits}-bit outcomes"
         )
-    mats = [m.confusion_matrix() for m in models]
-    out: dict[str, float] = {}
+    # Joint confusion operator: kron over sites, leftmost bit most
+    # significant. One (2^n, 2^n) matvec replaces the per-string
+    # enumeration — tiny for the bit counts seen here and O(4^n)
+    # either way.
+    joint = models[0].confusion_matrix()
+    for model in models[1:]:
+        joint = np.kron(joint, model.confusion_matrix())
+    actual_vec = np.zeros(2**n_bits, dtype=np.float64)
     for actual, p in distribution.items():
         if len(actual) != n_bits:
             raise ValidationError("inconsistent bitstring lengths in distribution")
-        # Enumerate observed strings; n_bits is small (<= 4 in this repo).
-        for observed_idx in range(2**n_bits):
-            observed = format(observed_idx, f"0{n_bits}b")
-            weight = p
-            for mat, o, a in zip(mats, observed, actual):
-                weight *= mat[int(o), int(a)]
-                if weight == 0.0:
-                    break
-            if weight > 0.0:
-                out[observed] = out.get(observed, 0.0) + weight
-    return out
+        actual_vec[int(actual, 2)] += p
+    observed_vec = joint @ actual_vec
+    return {
+        format(i, f"0{n_bits}b"): float(w)
+        for i, w in enumerate(observed_vec)
+        if w > 0.0
+    }
 
 
 def sample_counts(

@@ -72,6 +72,18 @@ class ChannelCoupling:
                 f"reference_frequency must be >= 0, got {self.reference_frequency}"
             )
 
+    def adjoint_operator(self) -> np.ndarray:
+        """``operator.conj().T`` as a contiguous array, computed once.
+
+        The Hamiltonian assembly touches this on every constant-drive
+        run; caching it avoids re-materializing a dense adjoint per run.
+        """
+        cached = self.__dict__.get("_adjoint")
+        if cached is None:
+            cached = np.ascontiguousarray(np.conj(self.operator).T)
+            object.__setattr__(self, "_adjoint", cached)
+        return cached
+
 
 @dataclass(frozen=True)
 class DecoherenceSpec:

@@ -520,6 +520,10 @@ PUBLIC_API_SNAPSHOT = frozenset(
         "DataBin",
         "PubResult",
         "PrimitiveResult",
+        "pipeline",
+        "DAG",
+        "PipelineRunner",
+        "PipelineStore",
         "obs",
         "span",
         "trace",
