@@ -17,8 +17,8 @@ Run:  PYTHONPATH=src python examples/noisy_simulation.py
 import repro
 from repro.client import MQSSClient
 from repro.devices import SuperconductingDevice
-from repro.mitigation import validate_readout_mitigation
 from repro.qdmi import QDMIDriver
+from repro.qem import validate_readout_mitigation
 from repro.qpi import PythonicCircuit
 from repro.serving import PulseService, SweepRequest
 from repro.sim import DecoherenceSpec, ReadoutModel, ScheduleExecutor

@@ -41,6 +41,11 @@ Layering (bottom to top)::
                 drift/staleness triggers, a runner over any surface
     obs         cross-cutting observability: structured tracing,
                 the process-wide metrics registry, profiling hooks
+    qem         composable error mitigation & characterization on the
+                primitives tier: declared mitigation stacks (ZNE via
+                pulse stretching, Pauli twirling, readout inversion)
+                plus RB / coherence / process-tomography experiments
+                as durable pipeline task kinds
 
 The serving layer sits above ``client`` and beside ``runtime``: the
 scheduler's :meth:`~repro.runtime.scheduler.SecondLevelScheduler.drain`
@@ -49,11 +54,12 @@ applications needing asynchronous submission talk to the service
 directly (see ``examples/serving_quickstart.py``).
 """
 
-from repro import obs, pipeline
+from repro import obs, pipeline, qem
 from repro._version import __version__
 from repro.api import Executable, Program, Target, compile, run
 from repro.pipeline import DAG, PipelineRunner, PipelineStore
 from repro.obs import exposition, span, trace
+from repro.qem import EstimatorOptions, SamplerOptions
 from repro.core import (
     Frame,
     MixedFrame,
@@ -105,4 +111,8 @@ __all__ = [
     "span",
     "trace",
     "exposition",
+    # Error mitigation & characterization (repro.qem).
+    "qem",
+    "EstimatorOptions",
+    "SamplerOptions",
 ]

@@ -1,54 +1,31 @@
-"""Readout (assignment) calibration.
+"""Deprecated shim — the implementation moved to :mod:`repro.qem.readout`.
 
-Prepare |0> and |1|, measure many shots, and estimate the confusion
-matrix — the standard procedure behind measurement error mitigation.
-The estimate is compared against the device's true readout model by the
-tests (it should converge at the binomial rate).
+Readout (assignment) calibration now lives with the rest of the
+error-mitigation suite in :mod:`repro.qem`. The names here keep their
+exact signatures and behavior; :func:`measure_confusion` warns with
+:class:`DeprecationWarning` when called through this module.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import functools
+import warnings
 
-import numpy as np
+from repro.qem import readout as _impl
+from repro.qem.readout import (  # noqa: F401  (same class: isinstance parity)
+    ReadoutCalibration,
+)
 
-from repro.core.schedule import PulseSchedule
-
-
-@dataclass
-class ReadoutCalibration:
-    """Estimated assignment errors for one site."""
-
-    site: int
-    p01: float  # P(read 1 | prepared 0)
-    p10: float  # P(read 0 | prepared 1)
-    shots: int
-
-    def confusion_matrix(self) -> np.ndarray:
-        """2x2 ``M[observed, actual]`` from the estimates."""
-        return np.array(
-            [[1 - self.p01, self.p10], [self.p01, 1 - self.p10]], dtype=np.float64
-        )
+__all__ = ["ReadoutCalibration", "measure_confusion"]
 
 
-def measure_confusion(
-    device, site: int, *, shots: int = 2048, seed: int = 0
-) -> ReadoutCalibration:
-    """Estimate the confusion matrix of *site* from prepared states."""
-    rng = np.random.default_rng(seed)
-
-    def run(prepare_one: bool) -> float:
-        sched = PulseSchedule("readout-cal")
-        if prepare_one:
-            device.calibrations.get("x", (site,)).apply(sched, [])
-        device.calibrations.get("measure", (site,)).apply(sched, [0])
-        result = device.executor.execute(sched, shots=shots, rng=rng)
-        total = sum(result.counts.values())
-        ones = sum(c for k, c in result.counts.items() if k[0] == "1")
-        return ones / max(1, total)
-
-    p1_given_0 = run(prepare_one=False)
-    p1_given_1 = run(prepare_one=True)
-    return ReadoutCalibration(
-        site=site, p01=p1_given_0, p10=1.0 - p1_given_1, shots=shots
+@functools.wraps(_impl.measure_confusion)
+def measure_confusion(*args, **kwargs):
+    warnings.warn(
+        "repro.calibration.readout.measure_confusion moved to "
+        "repro.qem.readout.measure_confusion; the readout-calibration "
+        "half of repro.calibration is deprecated in favor of repro.qem",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _impl.measure_confusion(*args, **kwargs)

@@ -1,0 +1,137 @@
+"""Pulse-stretch schedule dilation — the noise-scaling half of ZNE.
+
+Zero-noise extrapolation needs the *same* unitary executed at scaled
+noise levels. On a pulse stack the canonical knob is time dilation
+(Kandala et al., "Error mitigation extends the computational reach of
+a noisy quantum processor"): stretch every pulse by a factor ``c >= 1``
+and shrink its amplitude so the pulse *area* — and with it the
+implemented rotation — is exactly preserved, while the circuit spends
+``c`` times longer exposed to T1/T2 decay. Extrapolating the measured
+expectation values back to ``c -> 0`` estimates the zero-noise limit.
+
+:func:`stretch_schedule` dilates a compiled
+:class:`~repro.core.schedule.PulseSchedule`:
+
+* ``Play`` — the waveform is resampled to the dilated length and
+  renormalized so its complex sample sum (the rotation-generating
+  area, for on-resonance drives) is bit-for-bit preserved; amplitudes
+  therefore scale as ``~1/c``.
+* ``Delay`` — duration scales with ``c``.
+* ``Capture`` — start time scales, the integration window does *not*:
+  readout is instrumentation, not circuit, and dilating it would
+  change what is measured rather than how noisily.
+* virtual instructions (frame updates, barriers) — carry over with
+  scaled start times; a virtual Z costs no time at any stretch.
+
+Start times map through ``floor(c * t)``, which preserves per-port
+ordering and can never create overlaps for ``c >= 1``
+(``floor(c*a) - floor(c*b) >= a - b`` for integers ``a >= b``), so the
+rebuilt schedule is valid by construction; any residual conflict (or a
+pulse dilated past the target's ``max_pulse_duration``) raises a clear
+:class:`~repro.errors.ValidationError` instead of silently returning
+an un-stretched schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.instructions import Capture, Delay, Play
+from repro.core.schedule import PulseSchedule
+from repro.core.waveform import SampledWaveform, Waveform
+from repro.errors import ScheduleError, ValidationError
+
+
+def coerce_stretch_factor(factor) -> float:
+    """Validate a ZNE stretch factor: finite, ``>= 1``."""
+    try:
+        c = float(factor)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"stretch factor must be a number, got {factor!r}"
+        ) from None
+    if not math.isfinite(c) or c < 1.0:
+        raise ValidationError(
+            f"stretch factor must be finite and >= 1, got {factor!r}"
+        )
+    return c
+
+
+def stretch_waveform(waveform: Waveform, duration: int) -> Waveform:
+    """Resample *waveform* to *duration* samples, preserving its area.
+
+    Linear interpolation on sample midpoints, then a global rescale so
+    the complex sample sum matches the original exactly — for an
+    on-resonance drive that sum is the rotation angle, so the dilated
+    pulse implements the same gate at ``~1/c`` amplitude. Zero-area
+    envelopes (pure derivative components) scale by ``n/duration``
+    instead, keeping their amplitude on the same ``1/c`` trajectory.
+    """
+    if duration < 1:
+        raise ValidationError(
+            f"stretched duration must be >= 1 sample, got {duration}"
+        )
+    samples = np.asarray(waveform.samples(), dtype=np.complex128)
+    n = samples.size
+    if duration == n:
+        return waveform
+    old_x = (np.arange(n, dtype=np.float64) + 0.5) / n
+    new_x = (np.arange(duration, dtype=np.float64) + 0.5) / duration
+    out = np.interp(new_x, old_x, samples.real) + 1j * np.interp(
+        new_x, old_x, samples.imag
+    )
+    area_old = samples.sum()
+    area_new = out.sum()
+    scale_floor = 1e-9 * (np.abs(samples).max() + 1.0)
+    if abs(area_old) > scale_floor and abs(area_new) > scale_floor:
+        out *= area_old / area_new
+    else:
+        out *= n / duration
+    return SampledWaveform(out)
+
+
+def stretch_schedule(
+    schedule: PulseSchedule,
+    factor,
+    *,
+    constraints=None,
+) -> PulseSchedule:
+    """Dilate *schedule* by *factor* (``>= 1``); see the module docs.
+
+    *constraints* (a :class:`~repro.core.constraints.PulseConstraints`)
+    is optional; when given, a pulse dilated beyond its
+    ``max_pulse_duration`` raises :class:`~repro.errors.ValidationError`
+    — the stretch-factor sweep should fail loudly, not execute a
+    truncated circuit.
+    """
+    c = coerce_stretch_factor(factor)
+    if c == 1.0:
+        return schedule
+    max_duration = None if constraints is None else constraints.max_pulse_duration
+    out = PulseSchedule(f"{schedule.name}@x{c:g}")
+    for item in schedule.ordered():
+        ins = item.instruction
+        t0 = int(math.floor(item.t0 * c))
+        t1 = int(math.floor(item.t1 * c))
+        if isinstance(ins, Play):
+            length = max(1, t1 - t0)
+            if max_duration is not None and length > max_duration:
+                raise ValidationError(
+                    f"stretch factor {c:g} dilates a "
+                    f"{ins.waveform.duration}-sample pulse to {length} "
+                    f"samples, beyond max_pulse_duration={max_duration}"
+                )
+            ins = Play(ins.port, ins.frame, stretch_waveform(ins.waveform, length))
+        elif isinstance(ins, Delay):
+            ins = Delay(ins.port, max(0, t1 - t0))
+        elif isinstance(ins, Capture):
+            pass  # readout window untouched; only its start time scales
+        try:
+            out.insert(t0, ins)
+        except ScheduleError as exc:
+            raise ValidationError(
+                f"cannot stretch schedule {schedule.name!r} by {c:g}: {exc}"
+            ) from exc
+    return out

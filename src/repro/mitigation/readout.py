@@ -1,212 +1,54 @@
-"""Confusion-matrix readout mitigation.
+"""Deprecated shim — the implementation moved to :mod:`repro.qem.readout`.
 
-Given per-site confusion matrices ``M_i[observed, actual]`` (estimated
-by :func:`repro.calibration.readout.measure_confusion`), the joint
-confusion matrix is their tensor product; applying its inverse to the
-observed distribution recovers an (unbiased, possibly slightly
-unphysical) estimate of the true distribution, which is then clipped
-and renormalized — the textbook "matrix-free measurement mitigation"
-baseline. Exact for the independent-error model the simulator uses;
-statistical noise shrinks at the shot rate.
-
-:func:`validate_readout_mitigation` closes the loop end to end: it
-executes a schedule on a decohering model (exact Lindblad dynamics via
-the batched open-system engine), pushes the outcome through the
-readout-error model and the mitigation, and scores both against the
-exact pre-readout distribution — the ground truth only a simulator
-can provide. That is the validation the mitigation baseline needs
-before its numbers are quoted against hardware.
+``repro.mitigation`` was absorbed into the composable error-mitigation
+suite (:mod:`repro.qem`), where confusion-matrix inversion is one
+member of the declared mitigation stack
+(``SamplerOptions(mitigation=("readout",))``) next to ZNE and Pauli
+twirling. Every public name here still works, with identical
+signatures and bit-for-bit identical results, but the functions warn
+with :class:`DeprecationWarning` when called — import from
+:mod:`repro.qem` (or :mod:`repro.qem.readout`) instead.
 """
 
 from __future__ import annotations
 
+import functools
 import warnings
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable
 
-import numpy as np
+from repro.qem import readout as _impl
+from repro.qem.readout import (  # noqa: F401  (same classes: isinstance parity)
+    MitigatedResult,
+    MitigationValidation,
+    _joint_confusion,
+)
 
-from repro.errors import ValidationError
-from repro.sim.measurement import ReadoutModel
+__all__ = [
+    "MitigatedResult",
+    "MitigationValidation",
+    "mitigate_counts",
+    "mitigate_distribution",
+    "total_variation_distance",
+    "validate_readout_mitigation",
+]
 
 
-@dataclass
-class MitigatedResult:
-    """Outcome of readout mitigation."""
-
-    distribution: dict[str, float]
-    raw_distribution: dict[str, float]
-    condition_number: float
-
-    def expectation_z(self, slot: int = 0) -> float:
-        """``<Z>`` of the bit at *slot* from the mitigated distribution.
-
-        Raises :class:`~repro.errors.ValidationError` on an empty
-        distribution or an out-of-range slot.
-
-        .. deprecated::
-            Thin view over the Observable engine; use
-            ``repro.primitives.Observable.z(slot).expectation(...)``
-            directly.
-        """
+def _deprecated(fn: Callable) -> Callable:
+    @functools.wraps(fn)
+    def shim(*args, **kwargs):
         warnings.warn(
-            "MitigatedResult.expectation_z is deprecated; evaluate "
-            "repro.primitives.Observable.z(slot) against the mitigated "
-            "distribution instead",
+            f"repro.mitigation.readout.{fn.__name__} moved to "
+            f"repro.qem.readout.{fn.__name__}; repro.mitigation is "
+            "deprecated in favor of the composable repro.qem stack",
             DeprecationWarning,
             stacklevel=2,
         )
-        from repro.primitives.observables import expectation_z
+        return fn(*args, **kwargs)
 
-        return expectation_z(self.distribution, slot)
-
-
-def _joint_confusion(models: Sequence[ReadoutModel]) -> np.ndarray:
-    out = np.array([[1.0]])
-    for m in models:
-        out = np.kron(out, m.confusion_matrix())
-    return out
+    return shim
 
 
-def mitigate_distribution(
-    distribution: Mapping[str, float],
-    models: Sequence[ReadoutModel],
-) -> MitigatedResult:
-    """Invert the joint confusion matrix on a bitstring distribution.
-
-    *models* must align with bit positions (leftmost bit = models[0]).
-    """
-    if not distribution:
-        raise ValidationError("cannot mitigate an empty distribution")
-    n_bits = len(next(iter(distribution)))
-    if any(len(k) != n_bits for k in distribution):
-        raise ValidationError("inconsistent bitstring lengths")
-    if len(models) != n_bits:
-        raise ValidationError(
-            f"{len(models)} readout models for {n_bits}-bit outcomes"
-        )
-    confusion = _joint_confusion(models)
-    cond = float(np.linalg.cond(confusion))
-    observed = np.zeros(2**n_bits, dtype=np.float64)
-    for key, p in distribution.items():
-        observed[int(key, 2)] = p
-    recovered = np.linalg.solve(confusion, observed)
-    # Clip tiny negative leakage from inversion noise; renormalize.
-    recovered = np.clip(recovered, 0.0, None)
-    total = recovered.sum()
-    if total <= 0:
-        raise ValidationError("mitigation produced a degenerate distribution")
-    recovered /= total
-    mitigated = {
-        format(i, f"0{n_bits}b"): float(v)
-        for i, v in enumerate(recovered)
-        if v > 1e-15
-    }
-    return MitigatedResult(
-        distribution=mitigated,
-        raw_distribution=dict(distribution),
-        condition_number=cond,
-    )
-
-
-def mitigate_counts(
-    counts: Mapping[str, int],
-    models: Sequence[ReadoutModel],
-) -> MitigatedResult:
-    """Mitigate raw shot counts (normalizes internally)."""
-    total = sum(counts.values())
-    if total <= 0:
-        raise ValidationError("cannot mitigate zero counts")
-    distribution = {k: v / total for k, v in counts.items()}
-    return mitigate_distribution(distribution, models)
-
-
-def total_variation_distance(
-    p: Mapping[str, float], q: Mapping[str, float]
-) -> float:
-    """``1/2 * sum_k |p_k - q_k|`` over the union of outcomes."""
-    keys = set(p) | set(q)
-    if not keys:
-        raise ValidationError("cannot compare two empty distributions")
-    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
-
-
-@dataclass
-class MitigationValidation:
-    """End-to-end score of readout mitigation against exact dynamics.
-
-    ``exact`` is the pre-readout outcome distribution of the Lindblad
-    evolution; ``observed`` what the (possibly sampled) noisy readout
-    reported; ``mitigated`` the recovered estimate. The figures of
-    merit are total-variation distances to ``exact``.
-    """
-
-    exact: dict[str, float]
-    observed: dict[str, float]
-    mitigated: dict[str, float]
-    tv_observed: float
-    tv_mitigated: float
-    condition_number: float
-    shots: int
-
-    @property
-    def improvement(self) -> float:
-        """TV-distance reduction achieved by mitigation (>0 is good)."""
-        return self.tv_observed - self.tv_mitigated
-
-
-def validate_readout_mitigation(
-    executor,
-    schedule,
-    *,
-    shots: int = 4096,
-    seed: int = 0,
-) -> MitigationValidation:
-    """Execute, corrupt, mitigate, and score against the exact result.
-
-    *executor* is a :class:`~repro.sim.executor.ScheduleExecutor`
-    whose readout mapping supplies the confusion matrices (sites
-    without a model count as ideal); *schedule* must capture at least
-    one site. With ``shots > 0`` the observed distribution is the
-    sampled counts — the realistic path, statistical noise included;
-    ``shots = 0`` scores the readout-error channel alone.
-
-    With decoherence enabled on the executor's model, the reference
-    distribution comes from the exact batched Lindblad engine, so the
-    returned distances measure mitigation quality *under* T1/T2 —
-    e.g. whether confusion inversion stays well-conditioned while
-    amplitude damping skews the populations.
-
-    Scoring runs through a mitigating
-    :class:`~repro.primitives.sampler.Sampler` over the executor: the
-    same DataBin fields (``counts``/``quasi_dists``/``probabilities``/
-    ``noisy_probabilities``/``condition_numbers``) any sampler PUB
-    exposes, just re-packed into the validation dataclass.
-    """
-    from repro.primitives import Sampler
-
-    sampler = Sampler.from_executor(
-        executor, default_shots=max(shots, 0), seed=seed, mitigation=True
-    )
-    bin_ = sampler.run([(schedule,)])[0].data
-    exact = dict(bin_.probabilities[()])
-    if not exact:
-        raise ValidationError(
-            "cannot validate mitigation: the schedule captured nothing"
-        )
-    counts = bin_.counts[()]
-    if shots > 0:
-        total = sum(counts.values())
-        observed = {k: v / total for k, v in counts.items()}
-    else:
-        observed = dict(bin_.noisy_probabilities[()])
-    mitigated = dict(bin_.quasi_dists[()])
-    return MitigationValidation(
-        exact=exact,
-        observed=observed,
-        mitigated=mitigated,
-        tv_observed=total_variation_distance(observed, exact),
-        tv_mitigated=total_variation_distance(mitigated, exact),
-        condition_number=float(bin_.condition_numbers[()]),
-        shots=max(shots, 0),
-    )
+mitigate_distribution = _deprecated(_impl.mitigate_distribution)
+mitigate_counts = _deprecated(_impl.mitigate_counts)
+total_variation_distance = _deprecated(_impl.total_variation_distance)
+validate_readout_mitigation = _deprecated(_impl.validate_readout_mitigation)

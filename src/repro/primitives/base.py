@@ -139,13 +139,28 @@ class BasePrimitive:
 
     # ---- schedule minting ------------------------------------------------------------
 
-    def _point_schedules(self, pub) -> list[Any]:
+    def _point_schedules(self, pub, *, stretch: float | None = None) -> list[Any]:
         """One concrete schedule per *unique* binding point of *pub*.
 
         Compiles the PUB's program once (template for parametric
         programs), then specializes per point through the fast path.
         In executor mode the program must already be a schedule.
+
+        *stretch* dilates every minted schedule by a ZNE stretch factor
+        (:mod:`repro.core.stretch`). The template fast path stretches
+        inside :meth:`Executable.specialize
+        <repro.api.executable.Executable.specialize>`; when the
+        template is unavailable the fallback binds through the full JIT
+        and stretches the bound schedule *explicitly* — an impossible
+        stretch raises :class:`~repro.errors.ValidationError`, it never
+        silently returns an un-stretched bind.
         """
+        from repro.core.stretch import coerce_stretch_factor, stretch_schedule
+
+        if stretch is not None:
+            stretch = coerce_stretch_factor(stretch)
+            if stretch == 1.0:
+                stretch = None
         bindings = pub.bindings
         n_points = bindings.size
         if self._executor is not None and self._target is None:
@@ -161,7 +176,10 @@ class BasePrimitive:
                     "an executor-backed primitive cannot bind parametric "
                     "programs; construct it from a Target instead"
                 )
-            return [pub.program.source] * n_points
+            source = pub.program.source
+            if stretch is not None:
+                source = stretch_schedule(source, stretch)
+            return [source] * n_points
         executable = self._executables.get(pub.program)
         if executable is None:
             self.stats["misses"] += 1
@@ -175,10 +193,24 @@ class BasePrimitive:
         else:
             self.stats["hits"] += 1
             self._executables.move_to_end(pub.program)
+        if self._mode == _CLIENT and stretch is not None:
+            raise ValidationError(
+                "pulse stretching needs a locally minted schedule; "
+                f"{self._mode!r} dispatch hands executables to the remote "
+                "side — run ZNE against a direct or service target"
+            )
+        constraints = (
+            self._target.constraints if self._mode != _CLIENT else None
+        )
         if not pub.program.is_parametric:
             if self._mode == _CLIENT:
                 return [executable] * n_points
-            return [executable._ensure_compiled().schedule] * n_points
+            schedule = executable._ensure_compiled().schedule
+            if stretch is not None:
+                schedule = stretch_schedule(
+                    schedule, stretch, constraints=constraints
+                )
+            return [schedule] * n_points
         schedules: list[Any] = []
         with span("specialize", points=n_points):
             for i in range(n_points):
@@ -186,9 +218,15 @@ class BasePrimitive:
                 if self._mode == _CLIENT:
                     schedules.append(executable.bind(point))
                     continue
-                schedule = executable.specialize(point)
+                schedule = executable.specialize(point, stretch=stretch)
                 if schedule is None:  # template unavailable: full bind
                     schedule = executable.bind(point).schedule
+                    if stretch is not None:
+                        # the fallback stretches explicitly — a silent
+                        # un-stretched bind would corrupt the ZNE sweep
+                        schedule = stretch_schedule(
+                            schedule, stretch, constraints=constraints
+                        )
                 schedules.append(schedule)
         return schedules
 

@@ -69,11 +69,31 @@ class Estimator(BasePrimitive):
         seed: int | None = None,
         shots: int = 0,
         backend: str | None = None,
+        options: Any = None,
     ) -> None:
         super().__init__(target, executor=executor, seed=seed, backend=backend)
         if shots < 0:
             raise ValidationError(f"shots must be >= 0, got {shots}")
         self.shots = int(shots)
+        #: Optional :class:`repro.qem.EstimatorOptions` — when set,
+        #: ``run`` routes through the composable mitigation engine
+        #: (:mod:`repro.qem.engine`): evaluation switches to the exact
+        #: *post-readout* distribution and the declared stack (ZNE /
+        #: twirling / readout inversion) expands and folds around it.
+        #: An empty stack is the unmitigated noisy baseline.
+        self.options = options
+        if options is not None:
+            if not hasattr(options, "mitigation"):
+                raise ValidationError(
+                    "options must be a repro.qem.EstimatorOptions "
+                    f"(got {type(options).__name__})"
+                )
+            if self.mode != "direct":
+                raise ValidationError(
+                    "mitigation options need a direct simulator target "
+                    "(the engine folds exact post-readout distributions "
+                    "only the local executor reports)"
+                )
 
     def run(
         self,
@@ -85,6 +105,15 @@ class Estimator(BasePrimitive):
         coerced = [EstimatorPub.coerce(p) for p in pubs]
         if not coerced:
             raise ValidationError("Estimator.run needs at least one PUB")
+        if self.options is not None:
+            from repro.qem.engine import run_mitigated_estimator
+
+            with span(
+                "estimator.run", pubs=len(coerced), mode=self.mode
+            ):
+                return run_mitigated_estimator(
+                    self, coerced, timeout=timeout
+                )
         with span("estimator.run", pubs=len(coerced), mode=self.mode):
             per_pub = [
                 (pub, self._point_schedules(pub), 0) for pub in coerced

@@ -66,6 +66,7 @@ class Sampler(BasePrimitive):
         seed: int | None = None,
         mitigation: bool = False,
         backend: str | None = None,
+        options: Any = None,
     ) -> None:
         super().__init__(target, executor=executor, seed=seed, backend=backend)
         if default_shots < 0:
@@ -79,6 +80,28 @@ class Sampler(BasePrimitive):
                 "readout mitigation needs a direct simulator target "
                 "(the confusion matrices live on the device executor)"
             )
+        #: Optional :class:`repro.qem.SamplerOptions` — when set,
+        #: ``run`` routes through the composable mitigation engine
+        #: (twirling + readout inversion folded into ``quasi_dists``).
+        #: The legacy ``mitigation=True`` flag is the readout-only
+        #: special case and stays on its original path.
+        self.options = options
+        if options is not None:
+            if not hasattr(options, "mitigation"):
+                raise ValidationError(
+                    "options must be a repro.qem.SamplerOptions "
+                    f"(got {type(options).__name__})"
+                )
+            if self.mitigation:
+                raise ValidationError(
+                    "pass either mitigation=True (legacy readout-only) "
+                    "or options=SamplerOptions(...), not both"
+                )
+            if self.mode != "direct":
+                raise ValidationError(
+                    "mitigation options need a direct simulator target "
+                    "(the confusion matrices live on the device executor)"
+                )
 
     def run(
         self,
@@ -95,6 +118,20 @@ class Sampler(BasePrimitive):
         coerced = [SamplerPub.coerce(p) for p in pubs]
         if not coerced:
             raise ValidationError("Sampler.run needs at least one PUB")
+        if self.options is not None:
+            from repro.qem.engine import run_mitigated_sampler
+
+            specs = [
+                (
+                    pub,
+                    pub.shots
+                    if pub.shots is not None
+                    else (self.default_shots if shots is None else int(shots)),
+                )
+                for pub in coerced
+            ]
+            with span("sampler.run", pubs=len(coerced), mode=self.mode):
+                return run_mitigated_sampler(self, specs, timeout=timeout)
         with span("sampler.run", pubs=len(coerced), mode=self.mode):
             per_pub = []
             for pub in coerced:
@@ -176,7 +213,7 @@ class Sampler(BasePrimitive):
         self, result: Any, counts: dict, noisy: dict, shots: int
     ) -> tuple[dict, float]:
         """Confusion-invert one point's observed distribution."""
-        from repro.mitigation.readout import mitigate_distribution
+        from repro.qem.readout import mitigate_distribution
         from repro.sim.measurement import ReadoutModel
 
         observed = (

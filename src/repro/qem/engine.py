@@ -1,0 +1,487 @@
+"""The mitigated execution engine behind the primitives' options stack.
+
+When an :class:`~repro.primitives.estimator.Estimator` (or
+:class:`~repro.primitives.sampler.Sampler`) carries a
+:class:`~repro.qem.options.EstimatorOptions` /
+:class:`~repro.qem.options.SamplerOptions`, its ``run`` routes here.
+The engine expands every PUB point into a grid of circuit variants —
+one per (stretch factor x twirl randomization), minted through the
+``Executable.specialize`` template fast path so a whole ZNE sweep is
+one broadcast PUB batch — executes the entire grid in a single
+batched dispatch, and folds the results back in reverse declared
+order: confusion-invert each variant's distribution, average the
+twirls (with the observable sign-tracked through the flip frame), and
+extrapolate the stretch factors to zero noise.
+
+Mitigated evaluation reads the **post-readout** distribution
+(``ExecutionResult.probabilities``) — the noisy quantity mitigation
+exists to clean up — unlike the default Estimator convention of
+pre-readout exactness, and therefore requires a direct simulator
+target and diagonal (Z-basis) observables. An *empty* stack is the
+unmitigated noisy baseline over the same convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import span
+from repro.primitives.containers import DataBin, PrimitiveResult, PubResult
+from repro.qem import twirling as _twirling
+from repro.qem.readout import mitigate_distribution
+from repro.qem.zne import extrapolate_to_zero, stretch_schedule
+from repro.sim.measurement import ReadoutModel
+
+
+class _Variant:
+    """One executed circuit variant of one PUB point."""
+
+    __slots__ = ("schedule", "factor_index", "twirl_index", "mask", "is_base")
+
+    def __init__(self, schedule, factor_index, twirl_index, mask, is_base=False):
+        self.schedule = schedule
+        self.factor_index = factor_index
+        self.twirl_index = twirl_index
+        self.mask = mask
+        self.is_base = is_base
+
+
+def _require_direct(primitive, what: str) -> None:
+    if primitive.mode != "direct":
+        raise ValidationError(
+            f"{what} needs a direct simulator target (mitigation folds "
+            "exact post-readout distributions that only the local "
+            "executor reports)"
+        )
+
+
+def _twirl_device(primitive):
+    device = None if primitive.target is None else primitive.target.device
+    if device is None:
+        raise ValidationError(
+            "twirling needs a device-backed target (the flip pulses come "
+            "from the device's calibrated 'x' entries); executor-backed "
+            "primitives compose 'readout' only"
+        )
+    return device
+
+
+def _readout_models(primitive, options, result) -> list[ReadoutModel]:
+    override = options.readout.models
+    sites = result.measured_sites
+    if override is not None:
+        if len(override) != len(sites):
+            raise ValidationError(
+                f"{len(override)} readout-model overrides for "
+                f"{len(sites)} measured sites"
+            )
+        return list(override)
+    return [
+        primitive._executor.readout.get(site, ReadoutModel()) for site in sites
+    ]
+
+
+def _variant_distribution(primitive, options, result, cache, index):
+    """The (optionally confusion-inverted) distribution of one variant."""
+    if index in cache:
+        return cache[index]
+    if not result.measured_sites:
+        raise ValidationError(
+            "mitigated evaluation needs measuring programs (the schedule "
+            "captured nothing)"
+        )
+    dist = dict(result.probabilities)
+    if "readout" in options.mitigation:
+        dist = mitigate_distribution(
+            dist, _readout_models(primitive, options, result)
+        ).distribution
+    cache[index] = dist
+    return dist
+
+
+def _expand_pub(est, pub, options, rng, n_points) -> list[list[_Variant]]:
+    """The variant grid of one Estimator PUB, per binding point."""
+    stack = options.mitigation
+    zne_opt = options.zne if "zne" in stack else None
+    tw_opt = options.twirling if "twirling" in stack else None
+    factors = zne_opt.stretch_factors if zne_opt is not None else (1.0,)
+    zne_outer = (
+        tw_opt is None
+        or zne_opt is None
+        or stack.index("zne") < stack.index("twirling")
+    )
+    constraints = (
+        est.target.constraints if est.target is not None else None
+    )
+    device = _twirl_device(est) if tw_opt is not None else None
+    base = est._point_schedules(pub)
+    per_factor = {0: base}
+    if zne_opt is not None and zne_outer:
+        # Each stretch factor mints through the specialize template fast
+        # path; the whole factor sweep is one broadcast PUB batch.
+        for fi, f in enumerate(factors):
+            if fi:
+                per_factor[fi] = est._point_schedules(pub, stretch=f)
+    plans: list[list[_Variant]] = []
+    for b in range(n_points):
+        if tw_opt is not None:
+            slots = _twirling.measured_slots(base[b])
+            if not slots:
+                raise ValidationError(
+                    "twirling needs measuring programs (the schedule "
+                    "captured nothing)"
+                )
+            sites = [site for _, site in slots]
+            masks = _twirling.twirl_masks(len(slots), tw_opt, rng)
+        else:
+            masks = [None]
+        variants: list[_Variant] = []
+        if zne_outer:
+            for fi in range(len(factors)):
+                sched = per_factor[fi][b]
+                for ri, mask in enumerate(masks):
+                    s = (
+                        sched
+                        if mask is None or not any(mask)
+                        else _twirling.twirl_schedule(sched, mask, device, sites)
+                    )
+                    variants.append(_Variant(s, fi, ri, mask))
+        else:  # twirling declared first: stretch the twirled circuits
+            for ri, mask in enumerate(masks):
+                s0 = (
+                    base[b]
+                    if mask is None or not any(mask)
+                    else _twirling.twirl_schedule(base[b], mask, device, sites)
+                )
+                for fi, f in enumerate(factors):
+                    s = (
+                        s0
+                        if f == 1.0
+                        else stretch_schedule(s0, f, constraints=constraints)
+                    )
+                    variants.append(_Variant(s, fi, ri, mask))
+        plans.append(variants)
+    return plans
+
+
+def _fold_estimate(
+    est, options, observable, variants, results, dist_cache
+) -> tuple[float, float]:
+    """``(value, variance)`` of one observable at one binding point."""
+    if not observable.is_diagonal:
+        raise ValidationError(
+            "mitigated estimation evaluates from measured outcome "
+            "distributions; only diagonal (Z-basis) observables compose "
+            "with the mitigation stack"
+        )
+    stack = options.mitigation
+    zne_opt = options.zne if "zne" in stack else None
+    factors = zne_opt.stretch_factors if zne_opt is not None else (1.0,)
+    n_factors = len(factors)
+    n_twirls = len(variants) // n_factors
+    grid = np.empty((n_factors, n_twirls), dtype=np.float64)
+    variance = 0.0
+    for index, variant in enumerate(variants):
+        result = results[index]
+        dist = _variant_distribution(est, options, result, dist_cache, index)
+        adjusted = (
+            observable
+            if variant.mask is None
+            else _twirling.conjugate_by_x(observable, variant.mask)
+        )
+        mean, var = est._distribution_moments(
+            adjusted, dist, len(result.measured_sites)
+        )
+        grid[variant.factor_index, variant.twirl_index] = mean
+        if variant.factor_index == 0 and variant.twirl_index == 0:
+            variance = var
+    if zne_opt is None:
+        return float(grid[0].mean()), variance
+    zne_outer = (
+        "twirling" not in stack
+        or stack.index("zne") < stack.index("twirling")
+    )
+    if zne_outer:
+        # fold right-to-left: twirl-average within each factor, then
+        # extrapolate the per-factor means to c = 0
+        value = extrapolate_to_zero(
+            factors, grid.mean(axis=1), zne_opt.extrapolation
+        )
+    else:
+        # twirling declared first: extrapolate within each
+        # randomization, then average the extrapolated values
+        value = float(
+            np.mean(
+                [
+                    extrapolate_to_zero(
+                        factors, grid[:, ri], zne_opt.extrapolation
+                    )
+                    for ri in range(n_twirls)
+                ]
+            )
+        )
+    return value, variance
+
+
+def _qem_metadata(options, plans) -> dict[str, Any]:
+    meta: dict[str, Any] = {
+        "mitigation": list(options.mitigation),
+        "overhead": options.overhead,
+        "variants_per_point": len(plans[0]) if plans and plans[0] else 1,
+    }
+    if "zne" in options.mitigation:
+        meta["stretch_factors"] = list(options.zne.stretch_factors)
+        meta["extrapolation"] = options.zne.extrapolation
+    if "twirling" in options.mitigation:
+        meta["randomizations"] = options.twirling.num_randomizations
+    return meta
+
+
+def run_mitigated_estimator(est, pubs, *, timeout=None) -> PrimitiveResult:
+    """Mitigated ``Estimator.run``: expand, batch-execute, fold."""
+    options = est.options
+    _require_direct(est, "mitigated estimation")
+    rng = np.random.default_rng(est._seed if est._seed is not None else 0)
+    stack = ",".join(options.mitigation) or "none"
+    with span("qem.expand", pubs=len(pubs), stack=stack):
+        all_plans = [
+            _expand_pub(est, pub, options, rng, pub.bindings.size)
+            for pub in pubs
+        ]
+    per_pub = [
+        (pub, [v.schedule for point in plans for v in point], 0)
+        for pub, plans in zip(pubs, all_plans)
+    ]
+    total = sum(len(h) for _, h, _ in per_pub)
+    REGISTRY.counter(
+        "repro_qem_variants_total",
+        "Circuit variants executed by the mitigation engine",
+        {"primitive": "estimator"},
+    ).inc(total)
+    results = est._execute_all(per_pub, timeout=timeout)
+    with span("qem.fold", pubs=len(pubs), stack=stack):
+        pub_results = [
+            _assemble_estimator(est, options, pub, plans, res)
+            for (pub, plans), res in zip(zip(pubs, all_plans), results)
+        ]
+    return PrimitiveResult(
+        pub_results,
+        metadata={
+            "dispatch": est.mode,
+            "seed": est._seed,
+            "qem": _qem_metadata(options, all_plans[0]),
+        },
+    )
+
+
+def _assemble_estimator(
+    est, options, pub, plans, results: Sequence[Any]
+) -> PubResult:
+    shape = pub.shape
+    size = pub.size
+    bind_idx = pub.binding_indices().reshape(-1) if shape else None
+    obs_idx = pub.observable_indices().reshape(-1) if shape else None
+    observables = pub.observables.flat()
+    stride = len(plans[0]) if plans else 1
+    evs = np.empty(size, dtype=np.float64)
+    variances = np.empty(size, dtype=np.float64)
+    memo: dict[tuple[int, int], tuple[float, float]] = {}
+    dist_caches: dict[int, dict] = {}
+    for flat in range(size):
+        b = int(bind_idx[flat]) if bind_idx is not None else 0
+        o = int(obs_idx[flat]) if obs_idx is not None else 0
+        key = (b, o)
+        if key not in memo:
+            memo[key] = _fold_estimate(
+                est,
+                options,
+                observables[o],
+                plans[b],
+                results[b * stride : (b + 1) * stride],
+                dist_caches.setdefault(b, {}),
+            )
+        evs[flat], variances[flat] = memo[key]
+    stds = (
+        np.sqrt(variances / est.shots)
+        if est.shots > 0
+        else np.zeros(size, dtype=np.float64)
+    )
+    metadata: dict[str, Any] = {
+        "shots": est.shots,
+        "target": est._device_name(),
+        "dispatch": est.mode,
+        "qem": _qem_metadata(options, plans),
+    }
+    profile = est._batch_profile(results)
+    if profile is not None:
+        metadata["profile"] = profile
+    return PubResult(
+        DataBin(shape=shape, evs=evs.reshape(shape), stds=stds.reshape(shape)),
+        metadata=metadata,
+    )
+
+
+# ---- sampler -------------------------------------------------------------------------
+
+
+def _expand_sampler_pub(sampler, pub, options, rng, n_points):
+    """Variant grid of one Sampler PUB: the raw base execution first
+    (it keeps reporting ``counts``/``probabilities``), then the twirl
+    randomizations the quasi-distribution folds over."""
+    tw_opt = options.twirling if "twirling" in options.mitigation else None
+    device = _twirl_device(sampler) if tw_opt is not None else None
+    base = sampler._point_schedules(pub)
+    plans: list[list[_Variant]] = []
+    for b in range(n_points):
+        variants = [_Variant(base[b], 0, 0, None, is_base=True)]
+        if tw_opt is not None:
+            slots = _twirling.measured_slots(base[b])
+            if not slots:
+                raise ValidationError(
+                    "twirling needs measuring programs (the schedule "
+                    "captured nothing)"
+                )
+            sites = [site for _, site in slots]
+            for ri, mask in enumerate(
+                _twirling.twirl_masks(len(slots), tw_opt, rng)
+            ):
+                s = (
+                    base[b]
+                    if not any(mask)
+                    else _twirling.twirl_schedule(base[b], mask, device, sites)
+                )
+                variants.append(_Variant(s, 0, ri, mask))
+        plans.append(variants)
+    return plans
+
+
+def run_mitigated_sampler(sampler, specs, *, timeout=None) -> PrimitiveResult:
+    """Mitigated ``Sampler.run``; *specs* is ``[(pub, shots), ...]``."""
+    options = sampler.options
+    _require_direct(sampler, "mitigated sampling")
+    rng = np.random.default_rng(
+        sampler._seed if sampler._seed is not None else 0
+    )
+    stack = ",".join(options.mitigation) or "none"
+    with span("qem.expand", pubs=len(specs), stack=stack):
+        all_plans = [
+            _expand_sampler_pub(sampler, pub, options, rng, pub.bindings.size)
+            for pub, _ in specs
+        ]
+    per_pub = [
+        (pub, [v.schedule for point in plans for v in point], shots)
+        for (pub, shots), plans in zip(specs, all_plans)
+    ]
+    REGISTRY.counter(
+        "repro_qem_variants_total",
+        "Circuit variants executed by the mitigation engine",
+        {"primitive": "sampler"},
+    ).inc(sum(len(h) for _, h, _ in per_pub))
+    results = sampler._execute_all(per_pub, timeout=timeout)
+    with span("qem.fold", pubs=len(specs), stack=stack):
+        pub_results = [
+            _assemble_sampler(sampler, options, pub, shots, plans, res)
+            for ((pub, shots), plans), res in zip(
+                zip(specs, all_plans), results
+            )
+        ]
+    return PrimitiveResult(
+        pub_results,
+        metadata={
+            "dispatch": sampler.mode,
+            "seed": sampler._seed,
+            "qem": _qem_metadata(options, all_plans[0]),
+        },
+    )
+
+
+def _fold_sampler_point(
+    sampler, options, shots, variants, results
+) -> tuple[dict, float]:
+    """``(quasi_distribution, condition_number)`` of one point."""
+    twirling = "twirling" in options.mitigation
+    readout = "readout" in options.mitigation
+    # the fold averages the twirl randomizations; without twirling the
+    # base execution is the single fold input (readout-only inversion)
+    fold = [
+        (v, r)
+        for v, r in zip(variants, results)
+        if (not v.is_base) == twirling
+    ]
+    condition = float("nan")
+    folded: dict[str, float] = {}
+    for variant, result in fold:
+        observed = (
+            {
+                k: v / sum(result.counts.values())
+                for k, v in result.counts.items()
+            }
+            if shots > 0 and result.counts
+            else dict(result.probabilities)
+        )
+        if not observed:
+            return {}, condition
+        if readout:
+            mitigated = mitigate_distribution(
+                observed, _readout_models(sampler, options, result)
+            )
+            observed = mitigated.distribution
+            if math.isnan(condition):  # first inversion wins
+                condition = mitigated.condition_number
+        if variant.mask is not None:
+            observed = _twirling.unflip_distribution(observed, variant.mask)
+        for key, p in observed.items():
+            folded[key] = folded.get(key, 0.0) + p / len(fold)
+    return folded, condition
+
+
+def _assemble_sampler(
+    sampler, options, pub, shots, plans, results: Sequence[Any]
+) -> PubResult:
+    shape = pub.shape
+    stride = len(plans[0]) if plans else 1
+    counts: list[dict] = []
+    probabilities: list[dict] = []
+    noisy: list[dict] = []
+    quasi: list[dict] = []
+    conditions: list[float] = []
+    leakage: list[float] = []
+    for b, variants in enumerate(plans):
+        point_results = results[b * stride : (b + 1) * stride]
+        base = point_results[0]
+        counts.append(dict(base.counts))
+        probabilities.append(dict(base.ideal_probabilities))
+        noisy.append(dict(base.probabilities))
+        leakage.append(float(sum(base.leakage.values())))
+        folded, condition = _fold_sampler_point(
+            sampler, options, shots, variants, point_results
+        )
+        quasi.append(folded)
+        conditions.append(condition)
+    fields: dict[str, Any] = {
+        "counts": sampler._object_array(shape, counts),
+        "quasi_dists": sampler._object_array(shape, quasi),
+        "probabilities": sampler._object_array(shape, probabilities),
+        "noisy_probabilities": sampler._object_array(shape, noisy),
+        "leakage": np.asarray(leakage, dtype=np.float64).reshape(shape),
+    }
+    if "readout" in options.mitigation:
+        fields["condition_numbers"] = np.asarray(
+            conditions, dtype=np.float64
+        ).reshape(shape)
+    metadata: dict[str, Any] = {
+        "shots": shots,
+        "target": sampler._device_name(),
+        "dispatch": sampler.mode,
+        "mitigated": True,
+        "qem": _qem_metadata(options, plans),
+    }
+    profile = sampler._batch_profile(results)
+    if profile is not None:
+        metadata["profile"] = profile
+    return PubResult(DataBin(shape=shape, **fields), metadata=metadata)

@@ -1,0 +1,147 @@
+"""Pauli (bit-flip) twirling of the measurement frame.
+
+A twirl randomization conjugates the final Z-basis measurement by X on
+a subset of measured slots: physically, a calibrated ``x`` pulse lands
+on each flipped site *just before* the measurement block; algebraically,
+the estimated observable rides along in the flipped frame —
+``X Z X = -Z`` / ``X Y X = -Y`` — so every randomization still
+estimates the same quantity. Averaging over randomizations symmetrizes
+whatever is not covariant under the twirl: an asymmetric confusion
+matrix (``p01 != p10``) becomes an unbiased symmetric one, and coherent
+readout bias turns into zero-mean stochastic noise.
+
+Schedule surgery, not circuit surgery: the primitives tier hands us
+*compiled* pulse schedules, so :func:`twirl_schedule` splits the
+schedule at the earliest :class:`~repro.core.instructions.Capture`,
+re-inserts the circuit half verbatim, appends the flip pulses from the
+device's calibrated ``"x"`` entries, and re-inserts the measurement
+half shifted by the flip-pulse duration — valid by construction, and
+the twirl pulses are the device's own calibrated gates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instructions import Capture
+from repro.core.schedule import PulseSchedule
+from repro.errors import ValidationError
+from repro.primitives.observables import Observable
+from repro.qem.options import TwirlingOptions
+
+
+def measured_slots(schedule: PulseSchedule) -> list[tuple[int, int]]:
+    """``(memory_slot, site)`` pairs of *schedule*'s captures, slot-ordered."""
+    out = []
+    for item in schedule.instructions_of(Capture):
+        capture = item.instruction
+        targets = capture.port.targets
+        if len(targets) != 1:
+            raise ValidationError(
+                f"capture port {capture.port.name!r} must target exactly "
+                "one site"
+            )
+        out.append((capture.memory_slot, targets[0]))
+    return sorted(out)
+
+
+def twirl_masks(
+    n_slots: int, options: TwirlingOptions, rng: np.random.Generator
+) -> list[tuple[bool, ...]]:
+    """The flip masks of one twirl, one per randomization.
+
+    With ``options.balanced`` and ``2**n_slots <= num_randomizations``
+    the masks enumerate every flip pattern — an exhaustive twirl whose
+    average symmetrizes exactly; otherwise ``num_randomizations``
+    uniform random masks.
+    """
+    if n_slots < 1:
+        raise ValidationError("twirling needs at least one measured slot")
+    if options.balanced and 2**n_slots <= options.num_randomizations:
+        return [
+            tuple(bool((pattern >> bit) & 1) for bit in range(n_slots))
+            for pattern in range(2**n_slots)
+        ]
+    return [
+        tuple(bool(b) for b in rng.integers(0, 2, size=n_slots))
+        for _ in range(options.num_randomizations)
+    ]
+
+
+def twirl_schedule(
+    schedule: PulseSchedule,
+    mask,
+    device,
+    sites,
+) -> PulseSchedule:
+    """*schedule* with a calibrated X inserted pre-measurement on every
+    flipped site; ``sites[i]`` is the device site of measured slot *i*."""
+    mask = tuple(bool(b) for b in mask)
+    if len(mask) != len(sites):
+        raise ValidationError(
+            f"twirl mask covers {len(mask)} slots for {len(sites)} "
+            "measured sites"
+        )
+    if not any(mask):
+        return schedule
+    items = schedule.ordered()
+    capture_starts = [
+        it.t0 for it in items if isinstance(it.instruction, Capture)
+    ]
+    if not capture_starts:
+        raise ValidationError(
+            "twirling needs a measuring schedule (no capture found)"
+        )
+    split = min(capture_starts)
+    entries = [
+        device.calibrations.get("x", (site,))
+        for site, flip in zip(sites, mask)
+        if flip
+    ]
+    shift = max(entry.duration for entry in entries)
+    out = PulseSchedule(f"{schedule.name}@twirl")
+    for item in items:
+        if item.t0 < split:
+            out.insert(item.t0, item.instruction)
+    for entry in entries:
+        entry.apply(out, [])
+    for item in items:
+        if item.t0 >= split:
+            out.insert(item.t0 + shift, item.instruction)
+    return out
+
+
+def conjugate_by_x(observable: Observable, mask) -> Observable:
+    """*observable* pushed through the twirl frame: per flipped slot,
+    ``Z -> -Z`` and ``Y -> -Y`` (X commutes). Same term structure, only
+    signs move — the Observable algebra keeps the bookkeeping exact."""
+    mask = tuple(bool(b) for b in mask)
+    terms: dict = {}
+    for key, coeff in observable.terms.items():
+        sign = 1.0
+        for slot, pauli in key:
+            if slot < len(mask) and mask[slot] and pauli in ("Y", "Z"):
+                sign = -sign
+        terms[key] = terms.get(key, 0.0) + coeff * sign
+    return Observable(terms)
+
+
+def unflip_distribution(distribution, mask) -> dict[str, float]:
+    """Classically undo a twirl's bit flips on an outcome distribution
+    (the sampler-side fold: flip the flipped bits back, then average)."""
+    mask = tuple(bool(b) for b in mask)
+    if not any(mask):
+        return dict(distribution)
+    out: dict[str, float] = {}
+    for key, p in distribution.items():
+        if len(key) != len(mask):
+            raise ValidationError(
+                f"outcome {key!r} has {len(key)} bits for a "
+                f"{len(mask)}-slot twirl mask"
+            )
+        flipped = "".join(
+            ("1" if bit == "0" else "0") if mask[i] else bit
+            for i, bit in enumerate(key)
+        )
+        out[flipped] = out.get(flipped, 0.0) + p
+    return out

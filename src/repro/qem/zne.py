@@ -1,0 +1,85 @@
+"""Zero-noise extrapolation: the ``c -> 0`` fold.
+
+The noise-scaling half (pulse stretching) lives in
+:mod:`repro.core.stretch`; this module owns the statistical half —
+fitting the measured expectation values at stretch factors ``c_i >= 1``
+and reporting the extrapolated value at ``c = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stretch import (  # noqa: F401 — re-exported: qem is the
+    coerce_stretch_factor,  # public face of the stretch machinery
+    stretch_schedule,
+    stretch_waveform,
+)
+from repro.errors import ValidationError
+
+
+def _linear(factors: np.ndarray, values: np.ndarray) -> float:
+    slope, intercept = np.polyfit(factors, values, 1)
+    return float(intercept)
+
+
+def _richardson(factors: np.ndarray, values: np.ndarray) -> float:
+    # Lagrange interpolation evaluated at c = 0: exact for a polynomial
+    # of degree len(factors) - 1 — the classic Richardson weights.
+    out = 0.0
+    for i, ci in enumerate(factors):
+        weight = 1.0
+        for j, cj in enumerate(factors):
+            if j != i:
+                weight *= cj / (cj - ci)
+        out += weight * values[i]
+    return float(out)
+
+
+def _exponential(factors: np.ndarray, values: np.ndarray) -> float:
+    # v(c) = a + b * exp(-g * c); decoherence noise is exponential in
+    # circuit duration, so this model is near-exact for T1/T2-limited
+    # error. Falls back to the linear fold when the fit cannot converge
+    # (degenerate data, too few points for three parameters).
+    from scipy.optimize import curve_fit
+
+    def model(c, a, b, g):
+        return a + b * np.exp(-g * c)
+
+    if len(factors) < 3:
+        return _linear(factors, values)
+    slope, intercept = np.polyfit(factors, values, 1)
+    p0 = (float(values[-1]), float(values[0] - values[-1]), 0.5)
+    try:
+        params, _ = curve_fit(model, factors, values, p0=p0, maxfev=4000)
+    except (RuntimeError, ValueError):
+        return _linear(factors, values)
+    return float(model(0.0, *params))
+
+
+_FOLDS = {
+    "linear": _linear,
+    "exponential": _exponential,
+    "richardson": _richardson,
+}
+
+
+def extrapolate_to_zero(
+    factors, values, method: str = "linear"
+) -> float:
+    """Extrapolate *values* measured at stretch *factors* to ``c = 0``."""
+    fold = _FOLDS.get(method)
+    if fold is None:
+        raise ValidationError(
+            f"unknown extrapolation {method!r}; expected one of {sorted(_FOLDS)}"
+        )
+    cs = np.asarray(list(factors), dtype=np.float64)
+    vs = np.asarray(list(values), dtype=np.float64)
+    if cs.shape != vs.shape or cs.ndim != 1 or cs.size < 2:
+        raise ValidationError(
+            "extrapolation needs matching 1-D factors/values with at "
+            f"least two points, got shapes {cs.shape} and {vs.shape}"
+        )
+    if len(set(cs.tolist())) != cs.size:
+        raise ValidationError(f"stretch factors must be distinct, got {cs}")
+    return fold(cs, vs)

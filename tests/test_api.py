@@ -528,6 +528,9 @@ PUBLIC_API_SNAPSHOT = frozenset(
         "span",
         "trace",
         "exposition",
+        "qem",
+        "EstimatorOptions",
+        "SamplerOptions",
     }
 )
 
